@@ -1,0 +1,111 @@
+// Command datagen generates the benchmark input files of the paper's
+// evaluation: Zipf-distributed text corpora for word count, "encrypt"
+// files with embedded target strings for string match, and the "keys"
+// files those targets come from.
+//
+// Usage:
+//
+//	datagen -kind text -size 500M -seed 1 -out corpus.txt
+//	datagen -kind keys -count 16 -seed 2 -out keys.txt
+//	datagen -kind encrypt -size 500M -seed 3 -keys keys.txt -hitrate 0.1 -out enc.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mcsd/internal/units"
+	"mcsd/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatalf("datagen: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		kind     = flag.String("kind", "text", "text | encrypt | keys | points")
+		sizeFlag = flag.String("size", "1M", "output size for text/encrypt")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("out", "", "output file (required)")
+		count    = flag.Int("count", 16, "number of keys (kind=keys) or points (kind=points)")
+		dim      = flag.Int("dim", 2, "point dimensionality (kind=points)")
+		blobs    = flag.Int("blobs", 4, "number of Gaussian blobs (kind=points)")
+		keysFile = flag.String("keys", "", "keys file to embed (kind=encrypt)")
+		hitRate  = flag.Float64("hitrate", 0.1, "fraction of lines containing a key (kind=encrypt)")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		return fmt.Errorf("-out is required")
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	defer w.Flush()
+
+	switch *kind {
+	case "text":
+		size, err := units.ParseBytes(*sizeFlag)
+		if err != nil {
+			return err
+		}
+		n, err := workloads.GenerateText(w, size, *seed)
+		if err != nil {
+			return err
+		}
+		log.Printf("datagen: wrote %s of text to %s", units.FormatBytes(n), *out)
+	case "keys":
+		for _, k := range workloads.GenerateKeys(*count, *seed) {
+			fmt.Fprintln(w, k)
+		}
+		log.Printf("datagen: wrote %d keys to %s", *count, *out)
+	case "encrypt":
+		size, err := units.ParseBytes(*sizeFlag)
+		if err != nil {
+			return err
+		}
+		var keys []string
+		if *keysFile != "" {
+			data, err := os.ReadFile(*keysFile)
+			if err != nil {
+				return err
+			}
+			for _, line := range strings.Split(string(data), "\n") {
+				if line = strings.TrimSpace(line); line != "" {
+					keys = append(keys, line)
+				}
+			}
+		}
+		n, err := workloads.GenerateEncryptFile(w, size, *seed, keys, *hitRate)
+		if err != nil {
+			return err
+		}
+		log.Printf("datagen: wrote %s encrypt file to %s (%d keys embedded at %.0f%%)",
+			units.FormatBytes(n), *out, len(keys), *hitRate*100)
+	case "points":
+		pts, _ := workloads.GeneratePoints(*count, *dim, *blobs, *seed)
+		enc, _, err := workloads.EncodePoints(pts)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(enc); err != nil {
+			return err
+		}
+		log.Printf("datagen: wrote %d points (dim %d, %d blobs, %s) to %s",
+			*count, *dim, *blobs, units.FormatBytes(int64(len(enc))), *out)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	return w.Flush()
+}

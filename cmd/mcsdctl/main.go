@@ -1,0 +1,316 @@
+// Command mcsdctl is the host-side control tool for McSD storage nodes:
+// it mounts a node's export, stages data files, and invokes the preloaded
+// data-intensive modules through the smartFAM mechanism — the command-line
+// face of the core.Runtime programming framework.
+//
+// Usage:
+//
+//	mcsdctl -addr 127.0.0.1:9000 status
+//	mcsdctl -addr 127.0.0.1:9000 modules
+//	mcsdctl -addr 127.0.0.1:9000 put corpus.txt data/corpus.txt
+//	mcsdctl -addr 127.0.0.1:9000 wordcount -file data/corpus.txt -partition 64M -top 10
+//	mcsdctl -addr 127.0.0.1:9000 stringmatch -file data/enc.txt -keys data/keys.txt
+//	mcsdctl -addr 127.0.0.1:9000 dbselect -file data/sales.csv -group-by region -min-price 100
+//	mcsdctl -addr 127.0.0.1:9000 kmeans -file data/points.bin -dim 2 -k 4 -partition 16M
+//	mcsdctl -addr 127.0.0.1:9000 matmul -n 256
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mcsd/internal/core"
+	"mcsd/internal/nfs"
+	"mcsd/internal/smartfam"
+	"mcsd/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("mcsdctl: %v", err)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("mcsdctl", flag.ContinueOnError)
+	addr := global.String("addr", "127.0.0.1:9000", "address of the SD node's export")
+	timeout := global.Duration("timeout", 10*time.Minute, "overall invocation timeout")
+	conns := global.Int("conns", 2, "pooled connections to the export")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: mcsdctl [-addr host:port] <status|modules|put|wordcount|stringmatch|matmul|dbselect|kmeans> ...")
+	}
+
+	client, err := nfs.DialPool(*addr, 10*time.Second, *conns)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	rt := core.New()
+	rt.AttachSD(*addr, client)
+
+	switch cmd, cmdArgs := rest[0], rest[1:]; cmd {
+	case "modules":
+		return listModules(client)
+	case "status":
+		return status(client)
+	case "put":
+		return put(client, cmdArgs)
+	case "wordcount":
+		return wordcount(ctx, rt, cmdArgs)
+	case "stringmatch":
+		return stringmatch(ctx, rt, cmdArgs)
+	case "matmul":
+		return matmul(ctx, rt, cmdArgs)
+	case "dbselect":
+		return dbselect(ctx, rt, cmdArgs)
+	case "kmeans":
+		return kmeans(ctx, rt, cmdArgs)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func listModules(client *nfs.Pool) error {
+	names, err := client.List()
+	if err != nil {
+		return err
+	}
+	found := 0
+	for _, n := range names {
+		if len(n) > 4 && n[len(n)-4:] == ".log" {
+			fmt.Println(n[:len(n)-4])
+			found++
+		}
+	}
+	if found == 0 {
+		fmt.Println("(no modules preloaded)")
+	}
+	return nil
+}
+
+// status reports node liveness and the preloaded modules — the operator's
+// first stop when an offload hangs.
+func status(client *nfs.Pool) error {
+	if err := client.Ping(); err != nil {
+		return fmt.Errorf("export unreachable: %w", err)
+	}
+	fmt.Println("export:    reachable")
+	if ts, ok := smartfam.ReadHeartbeat(client); ok {
+		age := time.Since(ts).Round(time.Millisecond)
+		state := "LIVE"
+		if age > 5*time.Second {
+			state = "STALE"
+		}
+		fmt.Printf("daemon:    %s (heartbeat %v old)\n", state, age)
+	} else {
+		fmt.Println("daemon:    no heartbeat file (old daemon or not started)")
+	}
+	names, err := client.List()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		if module, ok := smartfam.ModuleFromLog(n); ok {
+			size, _, err := client.Stat(n)
+			if err != nil {
+				continue
+			}
+			gen := smartfam.ReadGeneration(client, module)
+			fmt.Printf("module:    %-14s log %s, compaction generation %d\n",
+				module, units.FormatBytes(size), gen)
+		}
+	}
+	return nil
+}
+
+func put(client *nfs.Pool, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: put <local-file> <remote-path>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	if err := client.WriteFile(args[1], data); err != nil {
+		return err
+	}
+	fmt.Printf("staged %s -> %s (%s)\n", args[0], args[1], units.FormatBytes(int64(len(data))))
+	return nil
+}
+
+func wordcount(ctx context.Context, rt *core.Runtime, args []string) error {
+	fs := flag.NewFlagSet("wordcount", flag.ContinueOnError)
+	file := fs.String("file", "", "data file on the SD node")
+	partFlag := fs.String("partition", "", "partition size (e.g. 600M); empty = native")
+	top := fs.Int("top", 20, "rows of the frequency table to print")
+	workers := fs.Int("workers", 0, "worker override (0 = node default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("wordcount: -file is required")
+	}
+	params := core.WordCountParams{DataFile: *file, TopN: *top, Workers: *workers}
+	if *partFlag != "" {
+		n, err := units.ParseBytes(*partFlag)
+		if err != nil {
+			return err
+		}
+		params.PartitionBytes = n
+	}
+	res, err := rt.Invoke(ctx, core.ModuleWordCount, params)
+	if err != nil {
+		return err
+	}
+	var out core.WordCountOutput
+	if err := core.Decode(res.Payload, &out); err != nil {
+		return err
+	}
+	fmt.Printf("total words: %d  unique: %d  fragments: %d  module time: %dms  (offloaded to %s)\n",
+		out.TotalWords, out.UniqueWords, out.Fragments, out.ElapsedMs, res.SD)
+	for _, wf := range out.Top {
+		fmt.Printf("%8d  %s\n", wf.Count, wf.Word)
+	}
+	return nil
+}
+
+func stringmatch(ctx context.Context, rt *core.Runtime, args []string) error {
+	fs := flag.NewFlagSet("stringmatch", flag.ContinueOnError)
+	file := fs.String("file", "", "encrypt file on the SD node")
+	keys := fs.String("keys", "", "keys file on the SD node")
+	partFlag := fs.String("partition", "", "partition size; empty = native")
+	sample := fs.Int("sample", 5, "matching lines to print verbatim")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" || *keys == "" {
+		return fmt.Errorf("stringmatch: -file and -keys are required")
+	}
+	params := core.StringMatchParams{DataFile: *file, KeysFile: *keys, SampleLines: *sample}
+	if *partFlag != "" {
+		n, err := units.ParseBytes(*partFlag)
+		if err != nil {
+			return err
+		}
+		params.PartitionBytes = n
+	}
+	res, err := rt.Invoke(ctx, core.ModuleStringMatch, params)
+	if err != nil {
+		return err
+	}
+	var out core.StringMatchOutput
+	if err := core.Decode(res.Payload, &out); err != nil {
+		return err
+	}
+	fmt.Printf("total hits: %d across %d keys  fragments: %d  module time: %dms\n",
+		out.TotalHits, len(out.HitsPerKey), out.Fragments, out.ElapsedMs)
+	for k, n := range out.HitsPerKey {
+		fmt.Printf("%8d  %s\n", n, k)
+	}
+	for _, line := range out.Sample {
+		fmt.Printf("  | %s\n", line)
+	}
+	return nil
+}
+
+func dbselect(ctx context.Context, rt *core.Runtime, args []string) error {
+	fs := flag.NewFlagSet("dbselect", flag.ContinueOnError)
+	file := fs.String("file", "", "sales CSV on the SD node")
+	groupBy := fs.String("group-by", "region", "region | product")
+	minPrice := fs.Float64("min-price", 0, "price filter")
+	partFlag := fs.String("partition", "", "partition size; empty = native")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("dbselect: -file is required")
+	}
+	params := core.DBSelectParams{DataFile: *file, GroupBy: *groupBy, MinPrice: *minPrice}
+	if *partFlag != "" {
+		n, err := units.ParseBytes(*partFlag)
+		if err != nil {
+			return err
+		}
+		params.PartitionBytes = n
+	}
+	res, err := rt.Invoke(ctx, core.ModuleDBSelect, params)
+	if err != nil {
+		return err
+	}
+	var out core.DBSelectOutput
+	if err := core.Decode(res.Payload, &out); err != nil {
+		return err
+	}
+	fmt.Printf("%d groups  fragments: %d  module time: %dms\n",
+		out.Groups, out.Fragments, out.ElapsedMs)
+	for g, v := range out.Revenue {
+		fmt.Printf("%14.2f  %s\n", v, g)
+	}
+	return nil
+}
+
+func kmeans(ctx context.Context, rt *core.Runtime, args []string) error {
+	fs := flag.NewFlagSet("kmeans", flag.ContinueOnError)
+	file := fs.String("file", "", "encoded points file on the SD node (datagen -kind points)")
+	dim := fs.Int("dim", 2, "point dimensionality")
+	k := fs.Int("k", 4, "clusters")
+	rounds := fs.Int("rounds", 50, "max rounds")
+	partFlag := fs.String("partition", "", "per-round fragment size; empty = native")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("kmeans: -file is required")
+	}
+	params := core.KMeansParams{DataFile: *file, Dim: *dim, K: *k, MaxRounds: *rounds}
+	if *partFlag != "" {
+		n, err := units.ParseBytes(*partFlag)
+		if err != nil {
+			return err
+		}
+		params.PartitionBytes = n
+	}
+	out, _, err := rt.KMeans(ctx, params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("k-means: %d rounds, converged=%v (last shift %.3g), module time %dms\n",
+		out.Rounds, out.Converged, out.LastShift, out.ElapsedMs)
+	for i, c := range out.Centroids {
+		fmt.Printf("centroid %d: %.3f\n", i, c)
+	}
+	return nil
+}
+
+func matmul(ctx context.Context, rt *core.Runtime, args []string) error {
+	fs := flag.NewFlagSet("matmul", flag.ContinueOnError)
+	n := fs.Int("n", 256, "matrix dimension")
+	seedA := fs.Int64("seed-a", 1, "seed of matrix A")
+	seedB := fs.Int64("seed-b", 2, "seed of matrix B")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := rt.Invoke(ctx, core.ModuleMatMul, core.MatMulParams{N: *n, SeedA: *seedA, SeedB: *seedB})
+	if err != nil {
+		return err
+	}
+	var out core.MatMulOutput
+	if err := core.Decode(res.Payload, &out); err != nil {
+		return err
+	}
+	fmt.Printf("matmul %dx%d: trace=%.6f frob^2=%.6f  module time: %dms\n",
+		out.N, out.N, out.Trace, out.FrobSq, out.ElapsedMs)
+	return nil
+}

@@ -1,0 +1,133 @@
+// Command mcsdd runs a McSD smart-storage node: it exports a directory
+// over the built-in networked file service (the testbed's NFS role) and
+// serves the preloaded data-intensive modules — word count, string match,
+// matrix multiplication — through the smartFAM log-file mechanism.
+//
+// Usage:
+//
+//	mcsdd -dir /srv/mcsd -listen :9000 -workers 2
+//
+// A host node mounts the export with mcsdctl (or the core.Runtime API),
+// stages data files into it, and invokes modules; mcsdd notices parameter
+// writes in the module log files and runs the module over its local copy
+// of the data — no bulk data crosses the network.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcsd/internal/core"
+	"mcsd/internal/memsim"
+	"mcsd/internal/smartfam"
+	"mcsd/internal/units"
+
+	nfssrv "mcsd/internal/nfs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatalf("mcsdd: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		dir     = flag.String("dir", "", "directory to export (share + data root); required")
+		listen  = flag.String("listen", "127.0.0.1:9000", "address of the file-service export")
+		workers = flag.Int("workers", 2, "cores dedicated to data-intensive modules (duo-core SD default)")
+		memFlag = flag.String("mem", "", "optional memory limit for module admission control (e.g. 2G)")
+		poll    = flag.Duration("poll", smartfam.DefaultPollInterval, "smartFAM watcher poll interval")
+		compact = flag.Duration("compact", 5*time.Minute, "compact module logs after this long idle (0 disables)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		return fmt.Errorf("-dir is required")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return fmt.Errorf("creating export dir: %w", err)
+	}
+
+	var acct *memsim.Accountant
+	if *memFlag != "" {
+		capBytes, err := units.ParseBytes(*memFlag)
+		if err != nil {
+			return err
+		}
+		cfg := memsim.DefaultConfig()
+		cfg.CapacityBytes = capBytes
+		acct = memsim.NewAccountant(cfg)
+	}
+
+	share := smartfam.DirFS(*dir)
+	reg := smartfam.NewRegistry(share)
+	modCfg := core.ModuleConfig{Store: core.DirStore(*dir), Workers: *workers, Memory: acct}
+	for _, m := range core.StandardModules(modCfg) {
+		if err := reg.Register(m); err != nil {
+			return fmt.Errorf("registering %s: %w", m.Name(), err)
+		}
+	}
+	log.Printf("mcsdd: preloaded modules: %v", reg.Names())
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *listen, err)
+	}
+	srv := nfssrv.NewServer(*dir)
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			log.Printf("mcsdd: file service: %v", err)
+		}
+	}()
+	log.Printf("mcsdd: exporting %s on %s", *dir, ln.Addr())
+
+	daemon := smartfam.NewDaemon(share, reg,
+		smartfam.WithPollInterval(*poll), smartfam.WithWorkers(*workers))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Module logs grow one record per parameter write and one per result;
+	// compact them whenever the node has been idle for a full interval.
+	if *compact > 0 {
+		go func() {
+			ticker := time.NewTicker(*compact)
+			defer ticker.Stop()
+			var last int64
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					cur := daemon.Metrics().Counter("smartfam.daemon.requests").Value()
+					if cur == last {
+						if n, err := reg.CompactAll(); err != nil {
+							log.Printf("mcsdd: log compaction: %v", err)
+						} else if n > 0 {
+							log.Printf("mcsdd: compacted %d module logs", n)
+						}
+					}
+					last = cur
+				}
+			}
+		}()
+	}
+
+	log.Printf("mcsdd: smartFAM daemon running (%d workers); Ctrl-C to stop", *workers)
+	err = daemon.Run(ctx)
+	ln.Close()
+	srv.Shutdown()
+	if err != nil && ctx.Err() != nil {
+		log.Printf("mcsdd: shutting down")
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,130 @@
+// Dbselect-query: database operations on smart storage.
+//
+// The paper's future-work section (§VI) calls for extending McSD's
+// preloaded modules to "database operations" — the decision-support
+// workloads the whole smart-disk lineage (SmartSTOR, active disks, IDISK)
+// was built for. This demo stages a sales table on the SD node and runs
+//
+//	SELECT region,  SUM(quantity*price) WHERE price >= 200 GROUP BY region
+//	SELECT product, SUM(quantity*price)                    GROUP BY product
+//
+// at the storage: the table never crosses the wire, only the few-hundred-
+// byte aggregate does. The host-side equivalent is computed for comparison
+// and verification.
+//
+// Run with:
+//
+//	go run ./examples/dbselect-query
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"mcsd/internal/core"
+	"mcsd/internal/smartfam"
+	"mcsd/internal/units"
+	"mcsd/internal/workloads"
+)
+
+const tableSize = 8 << 20 // 8 MiB of CSV rows
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatalf("dbselect-query: %v", err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// SD node holding the sales table.
+	dir, err := os.MkdirTemp("", "mcsd-db-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	share := smartfam.DirFS(dir)
+	reg := smartfam.NewRegistry(share)
+	for _, m := range core.StandardModules(core.ModuleConfig{Store: core.DirStore(dir), Workers: 2}) {
+		if err := reg.Register(m); err != nil {
+			return err
+		}
+	}
+	daemon := smartfam.NewDaemon(share, reg, smartfam.WithWorkers(2))
+	go daemon.Run(ctx) //nolint:errcheck
+
+	table := workloads.GenerateSalesBytes(tableSize, 2026)
+	if err := os.WriteFile(filepath.Join(dir, "sales.csv"), table, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("SD node holds a %s sales table (%d rows)\n\n",
+		units.FormatBytes(int64(len(table))), countRows(table))
+
+	rt := core.New()
+	rt.AttachSD("sd0", share)
+
+	queries := []core.DBSelectParams{
+		{DataFile: "sales.csv", GroupBy: "region", MinPrice: 200, PartitionBytes: 1 << 20},
+		{DataFile: "sales.csv", GroupBy: "product", PartitionBytes: 1 << 20},
+	}
+	for _, q := range queries {
+		where := ""
+		if q.MinPrice > 0 {
+			where = fmt.Sprintf(" WHERE price >= %.0f", q.MinPrice)
+		}
+		fmt.Printf("SELECT %s, SUM(quantity*price)%s GROUP BY %s\n", q.GroupBy, where, q.GroupBy)
+
+		start := time.Now()
+		res, err := rt.Invoke(ctx, core.ModuleDBSelect, q)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		var out core.DBSelectOutput
+		if err := core.Decode(res.Payload, &out); err != nil {
+			return err
+		}
+
+		// Verify against the host-side sequential scan.
+		want, err := workloads.DBSelectSeq(table, workloads.DBQuery{GroupBy: q.GroupBy, MinPrice: q.MinPrice})
+		if err != nil {
+			return err
+		}
+		for g, v := range want {
+			diff := out.Revenue[g] - v
+			if diff > 1e-6*v || diff < -1e-6*v {
+				return fmt.Errorf("verification failed for group %s: %v vs %v", g, out.Revenue[g], v)
+			}
+		}
+
+		groups := make([]string, 0, len(out.Revenue))
+		for g := range out.Revenue {
+			groups = append(groups, g)
+		}
+		sort.Slice(groups, func(i, j int) bool { return out.Revenue[groups[i]] > out.Revenue[groups[j]] })
+		for _, g := range groups {
+			fmt.Printf("%14.2f  %s\n", out.Revenue[g], g)
+		}
+		fmt.Printf("-> %d fragments on the SD node, %v total; result payload %s vs %s of table\n\n",
+			out.Fragments, elapsed.Round(time.Millisecond),
+			units.FormatBytes(int64(len(res.Payload))), units.FormatBytes(int64(len(table))))
+	}
+	return nil
+}
+
+func countRows(table []byte) int {
+	rows := 0
+	for _, b := range table {
+		if b == '\n' {
+			rows++
+		}
+	}
+	return rows
+}

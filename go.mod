@@ -1,0 +1,3 @@
+module mcsd
+
+go 1.24

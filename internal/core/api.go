@@ -1,0 +1,105 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Standard module names preloaded on every McSD node.
+const (
+	ModuleWordCount   = "wordcount"
+	ModuleStringMatch = "stringmatch"
+	ModuleMatMul      = "matmul"
+)
+
+// WordCountParams parametrizes the wordcount module: the paper's
+// "wordcount [data-file] [partition-size]" command line (§IV-C).
+type WordCountParams struct {
+	// DataFile is the input path on the SD node's data store.
+	DataFile string `json:"data_file"`
+	// PartitionBytes is the fragment size; 0 runs in the native way;
+	// AutoPartition (-1) lets the node pick from its memory model (§IV-C's
+	// "automatically determined by the runtime system").
+	PartitionBytes int64 `json:"partition_bytes,omitempty"`
+	// Workers overrides the module's worker count (0 = node default).
+	Workers int `json:"workers,omitempty"`
+	// TopN bounds the returned frequency table (0 = 100).
+	TopN int `json:"top_n,omitempty"`
+	// Pipelined overlaps fragment reads with compute (partition.RunPipelined)
+	// at the cost of up to one extra resident fragment of raw input.
+	Pipelined bool `json:"pipelined,omitempty"`
+}
+
+// WordFreq is one row of the word-count output.
+type WordFreq struct {
+	Word  string `json:"word"`
+	Count int    `json:"count"`
+}
+
+// WordCountOutput is the wordcount module's result.
+type WordCountOutput struct {
+	TotalWords  int64      `json:"total_words"`
+	UniqueWords int        `json:"unique_words"`
+	Top         []WordFreq `json:"top"`
+	Fragments   int        `json:"fragments"`
+	ElapsedMs   int64      `json:"elapsed_ms"`
+}
+
+// StringMatchParams parametrizes the stringmatch module: the "encrypt"
+// file scanned for the target strings of a "keys" file (§V-A).
+type StringMatchParams struct {
+	DataFile       string `json:"data_file"`
+	KeysFile       string `json:"keys_file"`
+	PartitionBytes int64  `json:"partition_bytes,omitempty"`
+	Workers        int    `json:"workers,omitempty"`
+	// SampleLines bounds how many matching lines are returned verbatim
+	// (counts are always complete). 0 = 10.
+	SampleLines int `json:"sample_lines,omitempty"`
+	// Pipelined overlaps fragment reads with compute.
+	Pipelined bool `json:"pipelined,omitempty"`
+}
+
+// StringMatchOutput is the stringmatch module's result.
+type StringMatchOutput struct {
+	HitsPerKey map[string]int `json:"hits_per_key"`
+	TotalHits  int64          `json:"total_hits"`
+	Sample     []string       `json:"sample"`
+	Fragments  int            `json:"fragments"`
+	ElapsedMs  int64          `json:"elapsed_ms"`
+}
+
+// MatMulParams parametrizes the matmul module. Matrices are generated
+// deterministically from the seeds on the executing node, so only the
+// description crosses the wire.
+type MatMulParams struct {
+	N       int   `json:"n"`
+	SeedA   int64 `json:"seed_a"`
+	SeedB   int64 `json:"seed_b"`
+	Workers int   `json:"workers,omitempty"`
+}
+
+// MatMulOutput is the matmul module's result: a content checksum (the
+// trace and Frobenius-norm square) rather than the full product.
+type MatMulOutput struct {
+	N         int     `json:"n"`
+	Trace     float64 `json:"trace"`
+	FrobSq    float64 `json:"frob_sq"`
+	ElapsedMs int64   `json:"elapsed_ms"`
+}
+
+// encode marshals module parameters or results.
+func encode(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding %T: %w", v, err)
+	}
+	return b, nil
+}
+
+// Decode unmarshals a module result payload into out.
+func Decode(payload []byte, out any) error {
+	if err := json.Unmarshal(payload, out); err != nil {
+		return fmt.Errorf("core: decoding %T: %w", out, err)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import "context"
+
+// Typed wrappers over Runtime.Invoke for the standard modules: each
+// dispatches the module, decodes its output, and returns the job Result
+// for placement/attempt metadata.
+
+// WordCount offloads a word count and decodes the frequency table.
+func (r *Runtime) WordCount(ctx context.Context, p WordCountParams) (*WordCountOutput, *Result, error) {
+	res, err := r.Invoke(ctx, ModuleWordCount, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out WordCountOutput
+	if err := Decode(res.Payload, &out); err != nil {
+		return nil, res, err
+	}
+	return &out, res, nil
+}
+
+// StringMatch offloads a string match and decodes the hit counts.
+func (r *Runtime) StringMatch(ctx context.Context, p StringMatchParams) (*StringMatchOutput, *Result, error) {
+	res, err := r.Invoke(ctx, ModuleStringMatch, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out StringMatchOutput
+	if err := Decode(res.Payload, &out); err != nil {
+		return nil, res, err
+	}
+	return &out, res, nil
+}
+
+// MatMul offloads a matrix multiplication and decodes its checksums.
+func (r *Runtime) MatMul(ctx context.Context, p MatMulParams) (*MatMulOutput, *Result, error) {
+	res, err := r.Invoke(ctx, ModuleMatMul, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out MatMulOutput
+	if err := Decode(res.Payload, &out); err != nil {
+		return nil, res, err
+	}
+	return &out, res, nil
+}
+
+// DBSelect offloads a selection/aggregation and decodes the aggregate.
+func (r *Runtime) DBSelect(ctx context.Context, p DBSelectParams) (*DBSelectOutput, *Result, error) {
+	res, err := r.Invoke(ctx, ModuleDBSelect, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out DBSelectOutput
+	if err := Decode(res.Payload, &out); err != nil {
+		return nil, res, err
+	}
+	return &out, res, nil
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcsd/internal/metrics"
+	"mcsd/internal/smartfam"
+	"mcsd/internal/trace"
+)
+
+// Runtime is the host-side McSD runtime: it tracks attached smart-storage
+// nodes, offloads data-intensive module invocations to them over smartFAM,
+// balances load across nodes, overlaps the host's computation-intensive
+// work, and fails over when a node dies (§IV plus the parallelism and
+// fault-tolerance extensions of §VI).
+type Runtime struct {
+	pollInterval   time.Duration
+	attemptTimeout time.Duration
+	hbStaleness    time.Duration
+	metrics        *metrics.Registry
+	tracer         *trace.Tracer
+
+	mu    sync.Mutex
+	sds   []*sdHandle
+	local map[string]smartfam.Module
+}
+
+type sdHandle struct {
+	name     string
+	share    smartfam.FS
+	client   *smartfam.Client
+	inflight atomic.Int64
+	healthy  atomic.Bool
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithPollInterval sets how often the runtime polls the share for module
+// responses.
+func WithPollInterval(d time.Duration) Option {
+	return func(r *Runtime) {
+		if d > 0 {
+			r.pollInterval = d
+		}
+	}
+}
+
+// WithAttemptTimeout bounds each offload attempt; on expiry the runtime
+// fails over to the next node. Zero disables per-attempt timeouts.
+func WithAttemptTimeout(d time.Duration) Option {
+	return func(r *Runtime) { r.attemptTimeout = d }
+}
+
+// WithMetrics attaches a metrics registry.
+func WithMetrics(m *metrics.Registry) Option {
+	return func(r *Runtime) { r.metrics = m }
+}
+
+// WithTracer records a span tree per job (offload leg, host-side leg,
+// per-node attempts), renderable with trace.Render — it makes the
+// framework's host/SD overlap visible.
+func WithTracer(tr *trace.Tracer) Option {
+	return func(r *Runtime) { r.tracer = tr }
+}
+
+// WithHeartbeatStaleness sets how old a node's liveness stamp may be
+// before the runtime stops dispatching to it (nodes without a heartbeat
+// file are never skipped — they fall back to timeout detection). Zero
+// disables heartbeat checks.
+func WithHeartbeatStaleness(d time.Duration) Option {
+	return func(r *Runtime) { r.hbStaleness = d }
+}
+
+// New returns an empty runtime; attach SD nodes with AttachSD.
+func New(opts ...Option) *Runtime {
+	r := &Runtime{
+		pollInterval: smartfam.DefaultPollInterval,
+		hbStaleness:  8 * smartfam.DefaultHeartbeatInterval,
+		metrics:      metrics.NewRegistry(),
+		local:        make(map[string]smartfam.Module),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Metrics returns the runtime's metrics registry.
+func (r *Runtime) Metrics() *metrics.Registry { return r.metrics }
+
+// AttachSD registers a smart-storage node by the share through which it is
+// reached (an nfs.Client for a remote node, a smartfam DirFS for a
+// co-located one).
+func (r *Runtime) AttachSD(name string, share smartfam.FS) {
+	h := &sdHandle{name: name, share: share, client: smartfam.NewClient(share, r.pollInterval)}
+	h.healthy.Store(true)
+	r.mu.Lock()
+	r.sds = append(r.sds, h)
+	r.mu.Unlock()
+}
+
+// RegisterLocalFallback registers a module the host itself can execute
+// when no SD node can — the host-only degraded mode. The module should
+// read data through an NFSStore so the fallback pays the data-movement
+// cost it actually incurs.
+func (r *Runtime) RegisterLocalFallback(m smartfam.Module) {
+	r.mu.Lock()
+	r.local[m.Name()] = m
+	r.mu.Unlock()
+}
+
+// SDNames lists attached nodes in attachment order.
+func (r *Runtime) SDNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, len(r.sds))
+	for i, h := range r.sds {
+		names[i] = h.name
+	}
+	return names
+}
+
+// Job is one McSD computation: a data-intensive module invocation that the
+// runtime offloads, plus an optional host-side computation-intensive
+// function that runs concurrently (the framework's load balancing between
+// computing and storage nodes).
+type Job struct {
+	// Module is the data-intensive module to invoke.
+	Module string
+	// Params is JSON-encoded and passed through the module's log file.
+	Params any
+	// Local optionally runs on the host, overlapping the offload.
+	Local func(ctx context.Context) error
+}
+
+// Result reports one completed job.
+type Result struct {
+	// Payload is the module's result payload (Decode into the module's
+	// output type).
+	Payload []byte
+	// SD names the node that served the invocation; empty for a local
+	// fallback run.
+	SD string
+	// Offloaded reports whether a smart-storage node served the job.
+	Offloaded bool
+	// Attempts counts offload attempts, including the successful one.
+	Attempts int
+	// Elapsed is end-to-end job time (max of offload and Local).
+	Elapsed time.Duration
+}
+
+// Errors returned by Run/Invoke.
+var (
+	ErrNoExecutor = errors.New("core: no SD node or local fallback can run module")
+)
+
+// Run executes a job: the module invocation is dispatched to the
+// least-loaded healthy SD node (failing over on node errors, falling back
+// to a registered local module when every node is out), while Job.Local
+// runs concurrently on the host. Run returns when both halves finish.
+func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
+	params, err := encode(job.Params)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	jobSpan := r.tracer.Start("job " + job.Module)
+	defer jobSpan.Finish()
+
+	var localErr error
+	localDone := make(chan struct{})
+	if job.Local != nil {
+		localSpan := jobSpan.Child("host-local")
+		go func() {
+			defer close(localDone)
+			defer localSpan.Finish()
+			localErr = job.Local(ctx)
+		}()
+	} else {
+		close(localDone)
+	}
+
+	offSpan := jobSpan.Child("offload")
+	res, offErr := r.invoke(ctx, job.Module, params, offSpan)
+	offSpan.Finish()
+	<-localDone
+	if offErr != nil {
+		return nil, offErr
+	}
+	if localErr != nil {
+		return nil, fmt.Errorf("core: host-side function: %w", localErr)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Invoke runs a module with no host-side part.
+func (r *Runtime) Invoke(ctx context.Context, module string, params any) (*Result, error) {
+	return r.Run(ctx, Job{Module: module, Params: params})
+}
+
+// invoke picks nodes and handles failover.
+func (r *Runtime) invoke(ctx context.Context, module string, params []byte, span *trace.Span) (*Result, error) {
+	res := &Result{}
+	tried := make(map[*sdHandle]bool)
+	var lastErr error
+	for {
+		h := r.pick(tried)
+		if h == nil {
+			break
+		}
+		tried[h] = true
+		res.Attempts++
+		attemptSpan := span.Child("attempt " + h.name)
+		payload, err := r.attempt(ctx, h, module, params)
+		attemptSpan.Finish()
+		if err == nil {
+			res.Payload = payload
+			res.SD = h.name
+			res.Offloaded = true
+			r.metrics.Counter("core.offloads").Inc()
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		var merr *smartfam.ModuleError
+		if errors.As(err, &merr) {
+			// Application-level failure: deterministic, do not fail over.
+			return nil, err
+		}
+		if errors.Is(err, smartfam.ErrUnknownModule) {
+			// This node does not host the module; try the next.
+			lastErr = err
+			continue
+		}
+		// Transport failure or timeout: mark unhealthy, fail over (§VI:
+		// "a mechanism in McSD to support fault tolerance").
+		h.healthy.Store(false)
+		r.metrics.Counter("core.failovers").Inc()
+		lastErr = err
+	}
+
+	// Local fallback.
+	r.mu.Lock()
+	m, ok := r.local[module]
+	r.mu.Unlock()
+	if ok {
+		res.Attempts++
+		fbSpan := span.Child("local-fallback")
+		payload, err := m.Run(ctx, params)
+		fbSpan.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("core: local fallback for %q: %w", module, err)
+		}
+		res.Payload = payload
+		r.metrics.Counter("core.local_fallbacks").Inc()
+		return res, nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: %q: last error: %v", ErrNoExecutor, module, lastErr)
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNoExecutor, module)
+}
+
+// attempt performs one invocation against one node, with the per-attempt
+// timeout.
+func (r *Runtime) attempt(ctx context.Context, h *sdHandle, module string, params []byte) ([]byte, error) {
+	if r.attemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.attemptTimeout)
+		defer cancel()
+	}
+	h.inflight.Add(1)
+	defer h.inflight.Add(-1)
+	timer := r.metrics.Timer("core.invoke." + module)
+	start := time.Now()
+	payload, err := h.client.Invoke(ctx, module, params)
+	timer.Observe(time.Since(start))
+	return payload, err
+}
+
+// pick returns the least-loaded healthy untried node, or nil. A node whose
+// heartbeat stamp has gone stale is passed over (and counted) without
+// burning an invocation timeout on it; nodes that never stamped one are
+// given the benefit of the doubt.
+func (r *Runtime) pick(tried map[*sdHandle]bool) *sdHandle {
+	r.mu.Lock()
+	candidates := make([]*sdHandle, len(r.sds))
+	copy(candidates, r.sds)
+	staleness := r.hbStaleness
+	r.mu.Unlock()
+
+	var best *sdHandle
+	for _, h := range candidates {
+		if tried[h] || !h.healthy.Load() {
+			continue
+		}
+		if staleness > 0 {
+			if ts, ok := smartfam.ReadHeartbeat(h.share); ok && time.Since(ts) > staleness {
+				r.metrics.Counter("core.heartbeat_skips").Inc()
+				continue
+			}
+		}
+		if best == nil || h.inflight.Load() < best.inflight.Load() {
+			best = h
+		}
+	}
+	return best
+}
+
+// ShardedResult is the outcome of one shard of RunSharded.
+type ShardedResult struct {
+	Index   int
+	Result  *Result
+	Err     error
+	Payload []byte
+}
+
+// RunSharded dispatches one invocation per params entry concurrently
+// across the attached SD nodes — the multi-SD parallelism of §VI. Results
+// arrive in input order; individual shard failures do not cancel others.
+func (r *Runtime) RunSharded(ctx context.Context, module string, paramsList []any) []ShardedResult {
+	out := make([]ShardedResult, len(paramsList))
+	var wg sync.WaitGroup
+	for i, p := range paramsList {
+		wg.Add(1)
+		go func(i int, p any) {
+			defer wg.Done()
+			res, err := r.Invoke(ctx, module, p)
+			out[i] = ShardedResult{Index: i, Result: res, Err: err}
+			if res != nil {
+				out[i].Payload = res.Payload
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	return out
+}
+
+// MarkHealthy restores a node after operator intervention.
+func (r *Runtime) MarkHealthy(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, h := range r.sds {
+		if h.name == name {
+			h.healthy.Store(true)
+			return true
+		}
+	}
+	return false
+}

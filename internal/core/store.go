@@ -1,0 +1,93 @@
+// Package core is the McSD programming framework: the public runtime a
+// host application links against to write MapReduce-like code whose
+// data-intensive parts are automatically offloaded to multicore smart
+// storage nodes (§IV), plus the standard data-intensive modules those
+// nodes preload.
+//
+// The framework owns what the paper's §I promises: computation offload
+// (via smartFAM log files over the share), data partitioning (the Fig. 6
+// extension, applied on the SD side), and load balancing (the host-side
+// computation-intensive function runs concurrently with the offloaded
+// function; jobs spread across SD nodes; failed nodes fail over).
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mcsd/internal/nfs"
+)
+
+// DataStore abstracts where a module's input data lives: the SD node's
+// local disk (DirStore — the fast path that makes smart storage smart) or
+// the share seen from the host (NFSStore — the slow path a host-only run
+// is forced through).
+type DataStore interface {
+	// Open returns a streaming reader for the named file.
+	Open(name string) (io.ReadCloser, error)
+	// Size returns the file's size in bytes.
+	Size(name string) (int64, error)
+}
+
+// DirStore returns a DataStore over a local directory.
+func DirStore(root string) DataStore { return &dirStore{root: root} }
+
+type dirStore struct {
+	root string
+}
+
+func (d *dirStore) path(name string) (string, error) {
+	if name == "" || strings.HasPrefix(name, "/") || strings.Contains(name, `\`) {
+		return "", fmt.Errorf("core: invalid data path %q", name)
+	}
+	for _, part := range strings.Split(name, "/") {
+		if part == "" || part == "." || part == ".." {
+			return "", fmt.Errorf("core: invalid data path %q", name)
+		}
+	}
+	return filepath.Join(d.root, filepath.FromSlash(name)), nil
+}
+
+func (d *dirStore) Open(name string) (io.ReadCloser, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: open %s: %w", name, err)
+	}
+	return f, nil
+}
+
+func (d *dirStore) Size(name string) (int64, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		return 0, fmt.Errorf("core: stat %s: %w", name, err)
+	}
+	return fi.Size(), nil
+}
+
+// NFSStore returns a DataStore over a mounted share — host-side access to
+// SD-resident data, paying network costs for every byte.
+func NFSStore(c *nfs.Client) DataStore { return &nfsStore{c: c} }
+
+type nfsStore struct {
+	c *nfs.Client
+}
+
+func (s *nfsStore) Open(name string) (io.ReadCloser, error) {
+	return s.c.OpenReader(name)
+}
+
+func (s *nfsStore) Size(name string) (int64, error) {
+	size, _, err := s.c.Stat(name)
+	return size, err
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcsd/internal/cluster"
+	"mcsd/internal/metrics"
+	"mcsd/internal/netsim"
+	"mcsd/internal/sim"
+	"mcsd/internal/workloads"
+)
+
+// The figures below go beyond the paper's evaluation, covering its §VI
+// future-work directions with the same model: multi-SD parallelism,
+// the InfiniBand interconnect upgrade, and sensitivity to the SMB routine
+// load.
+
+// FigMultiSD studies "parallelisms among multiple McSD smart disks":
+// speedup of a 2 GB word count striped across k duo-core SD nodes,
+// relative to a single node.
+func FigMultiSD() (*metrics.Figure, error) {
+	fig := metrics.NewFigure("Ext. A: multi-SD striping speedup (WC, 2 GB)",
+		"SD nodes", "speedup vs 1 node")
+	line := fig.Line("speedup")
+	cfg := sim.PairConfig{
+		Cluster:        cluster.TableI(),
+		DataCost:       workloads.WordCountCost(),
+		DataBytes:      2 << 30,
+		PartitionBytes: PartitionBytes,
+		SMBLoad:        SMBLoad,
+	}
+	for k := 1; k <= 6; k++ {
+		s, err := sim.MultiSDSpeedup(cfg, k)
+		if err != nil {
+			return nil, fmt.Errorf("multi-SD k=%d: %w", k, err)
+		}
+		line.Add(float64(k), s)
+	}
+	return fig, nil
+}
+
+// FigInterconnect studies the §VI testbed upgrade ("replace Ethernet with
+// InfiniBand"): the MM/WC host-only-vs-McSD speedup under three
+// interconnects, below (500 MB) and above (1.25 GB) the memory threshold.
+// The punchline the model exposes: a faster wire rescues host-only
+// execution only below the memory wall — past it, thrashing, not the
+// network, dominates.
+func FigInterconnect() (*metrics.Figure, error) {
+	fig := metrics.NewFigure("Ext. B: interconnect study (MM/WC, Host-only vs McSD)",
+		"profile", "speedup of McSD")
+	profiles := []netsim.Profile{
+		netsim.ProfileFastEthernet,
+		netsim.ProfileGigabitEthernet,
+		netsim.ProfileInfiniBand,
+	}
+	for si, size := range []int64{500 * mb, 1250 * mb} {
+		line := fig.Line(fmt.Sprintf("%dMB", size/mb))
+		for pi, p := range profiles {
+			tbl := cluster.TableI()
+			tbl.Network = p
+			cfg := sim.PairConfig{
+				Cluster:        tbl,
+				DataCost:       workloads.WordCountCost(),
+				DataBytes:      size,
+				MatrixN:        MatrixN,
+				PartitionBytes: PartitionBytes,
+				SMBLoad:        SMBLoad,
+			}
+			base, err := sim.SimulatePair(cfg, sim.ScenarioHostOnly)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := sim.SimulatePair(cfg, sim.ScenarioMcSD)
+			if err != nil {
+				return nil, err
+			}
+			if s, ok := sim.Speedup(base, opt); ok {
+				// x axis: profile index (0=100MbE, 1=1GbE, 2=IB).
+				line.Add(float64(pi), s)
+			}
+		}
+		_ = si
+	}
+	return fig, nil
+}
+
+// InterconnectProfileNames maps FigInterconnect's x values to names.
+var InterconnectProfileNames = []string{"100MbE", "1GbE", "IB-QDR"}
+
+// FigOffloadEconomics asks the founding active-disk question (Riedel et
+// al.): which operations are worth offloading? For each data-intensive
+// module it plots the McSD-vs-host-only speedup across sizes (with a
+// negligible host-side computation so the data app dominates). The
+// per-workload profile — compute intensity, output selectivity, memory
+// hunger — decides the answer.
+func FigOffloadEconomics() (*metrics.Figure, error) {
+	fig := metrics.NewFigure("Ext. D: offload economics — McSD vs Host-only per workload",
+		"size(MB)", "speedup")
+	for _, w := range []struct {
+		name string
+		cost workloads.CostModel
+	}{
+		{"wordcount", workloads.WordCountCost()},
+		{"stringmatch", workloads.StringMatchCost()},
+		{"dbselect", workloads.DBSelectCost()},
+		{"histogram", workloads.HistogramCost()},
+	} {
+		line := fig.Line(w.name)
+		for _, size := range SizesA {
+			cfg := sim.PairConfig{
+				Cluster:        cluster.TableI(),
+				DataCost:       w.cost,
+				DataBytes:      size,
+				MatrixN:        64, // negligible host-side computation
+				PartitionBytes: PartitionBytes,
+				SMBLoad:        SMBLoad,
+			}
+			base, err := sim.SimulatePair(cfg, sim.ScenarioHostOnly)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := sim.SimulatePair(cfg, sim.ScenarioMcSD)
+			if err != nil {
+				return nil, err
+			}
+			if s, ok := sim.Speedup(base, opt); ok {
+				line.Add(float64(size/mb), s)
+			}
+		}
+	}
+	return fig, nil
+}
+
+// FigSMBSweep studies sensitivity to the routine-work intensity: the
+// MM/WC host-only-vs-McSD speedup at 750 MB as the SMB background link
+// load sweeps 0 → 50 %. McSD's advantage grows with cluster busyness —
+// offloaded runs touch the network only for parameters and results.
+func FigSMBSweep() (*metrics.Figure, error) {
+	fig := metrics.NewFigure("Ext. C: SMB background-load sensitivity (MM/WC, 750 MB)",
+		"SMB load", "speedup of McSD over Host-only")
+	line := fig.Line("speedup")
+	for _, load := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		cfg := sim.PairConfig{
+			Cluster:        cluster.TableI(),
+			DataCost:       workloads.WordCountCost(),
+			DataBytes:      750 * mb,
+			MatrixN:        MatrixN,
+			PartitionBytes: PartitionBytes,
+			SMBLoad:        load,
+		}
+		base, err := sim.SimulatePair(cfg, sim.ScenarioHostOnly)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := sim.SimulatePair(cfg, sim.ScenarioMcSD)
+		if err != nil {
+			return nil, err
+		}
+		if s, ok := sim.Speedup(base, opt); ok {
+			line.Add(load, s)
+		}
+	}
+	return fig, nil
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestFigMultiSDShape(t *testing.T) {
+	fig, err := FigMultiSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	if len(s.Y) != 6 {
+		t.Fatalf("%d points, want 6", len(s.Y))
+	}
+	if s.Y[0] != 1.0 {
+		t.Fatalf("k=1 speedup = %.2f, want 1", s.Y[0])
+	}
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] < s.Y[i-1] {
+			t.Fatalf("speedup not monotone at k=%d", i+1)
+		}
+	}
+	if s.Y[5] < 3 {
+		t.Fatalf("k=6 speedup = %.2f, want meaningful scaling", s.Y[5])
+	}
+}
+
+func TestFigInterconnectCrossover(t *testing.T) {
+	fig, err := FigInterconnect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("%d series, want 2 (below/above the wall)", len(fig.Series))
+	}
+	below, above := fig.Series[0], fig.Series[1]
+	// Below the wall the interconnect decides everything: a faster wire
+	// shrinks McSD's advantage monotonically, and InfiniBand flips it.
+	for i := 1; i < len(below.Y); i++ {
+		if below.Y[i] >= below.Y[i-1] {
+			t.Fatalf("below-wall speedup not decreasing with faster wire: %v", below.Y)
+		}
+	}
+	ib, _ := below.At(2)
+	if ib >= 1.0 {
+		t.Fatalf("IB below the wall: speedup %.2f, expected host-only to win (<1)", ib)
+	}
+	// Above the wall thrashing dominates: even InfiniBand leaves McSD far
+	// ahead.
+	ibAbove, _ := above.At(2)
+	if ibAbove < 10 {
+		t.Fatalf("IB above the wall: speedup %.2f, want >> 1 (thrash-dominated)", ibAbove)
+	}
+}
+
+func TestFigOffloadEconomicsProfiles(t *testing.T) {
+	fig, err := FigOffloadEconomics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("%d series, want 4 workloads", len(fig.Series))
+	}
+	byName := map[string]*seriesRef{}
+	for _, s := range fig.Series {
+		byName[s.Name] = &seriesRef{s.X, s.Y}
+	}
+	// The streaming workloads (SM, dbselect, histogram) get a steady ~2x
+	// from avoiding data movement, flat across sizes.
+	for _, name := range []string{"stringmatch", "dbselect", "histogram"} {
+		s := byName[name]
+		if s == nil {
+			t.Fatalf("missing series %q", name)
+		}
+		for i, y := range s.y {
+			if y < 1.5 || y > 2.6 {
+				t.Errorf("%s point %d = %.2f, want flat ~2x", name, i, y)
+			}
+		}
+	}
+	// Word count's memory hunger makes host-only execution collapse past
+	// the wall: its speedup must dwarf the streaming workloads at 1.25 GB.
+	wc := byName["wordcount"]
+	if wc == nil {
+		t.Fatal("missing wordcount series")
+	}
+	if last := wc.y[len(wc.y)-1]; last < 10 {
+		t.Errorf("wordcount at 1.25GB = %.2f, want memory-wall blowup", last)
+	}
+}
+
+type seriesRef struct {
+	x, y []float64
+}
+
+func TestFigSMBSweepMonotone(t *testing.T) {
+	fig, err := FigSMBSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	if len(s.Y) != 6 {
+		t.Fatalf("%d points, want 6", len(s.Y))
+	}
+	// McSD's advantage must grow with background load (host-only moves
+	// the data over an increasingly busy link).
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] <= s.Y[i-1] {
+			t.Fatalf("speedup not increasing with SMB load: %v", s.Y)
+		}
+	}
+}

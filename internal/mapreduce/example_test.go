@@ -1,0 +1,47 @@
+package mapreduce_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"mcsd/internal/mapreduce"
+)
+
+// ExampleRun implements the canonical Phoenix word count: Map emits
+// (word, 1), Reduce sums, and Less sorts the final output.
+func ExampleRun() {
+	spec := mapreduce.Spec[string, int, int]{
+		Name:  "wordcount",
+		Split: mapreduce.DelimiterSplitter(' '),
+		Map: func(chunk []byte, emit func(string, int)) error {
+			for _, w := range bytes.Fields(chunk) {
+				emit(string(w), 1)
+			}
+			return nil
+		},
+		Reduce: func(_ string, counts []int) (int, error) {
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			return total, nil
+		},
+		Less: func(a, b string) bool { return a < b },
+	}
+
+	res, err := mapreduce.Run(context.Background(),
+		mapreduce.Config{Workers: 2}, spec, []byte("to be or not to be"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, p := range res.Pairs {
+		fmt.Printf("%s=%d\n", p.Key, p.Value)
+	}
+	// Output:
+	// be=2
+	// not=1
+	// or=1
+	// to=2
+}

@@ -1,0 +1,296 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Run executes the computation described by spec over input on the node
+// described by cfg. It returns the final pairs (globally sorted when
+// spec.Less is set) together with run statistics.
+//
+// Run fails with memsim.ErrOutOfMemory (wrapped) when cfg.Memory cannot
+// admit the estimated footprint, with ctx.Err() when cancelled, and with a
+// task error when a map or reduce task keeps failing past its retry budget.
+func Run[K comparable, V any, R any](ctx context.Context, cfg Config, spec Spec[K, V, R], input []byte) (*Result[K, R], error) {
+	if spec.Map == nil || spec.Reduce == nil {
+		return nil, ErrSpecIncomplete
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+
+	// Memory admission (the native-Phoenix wall): both the input and the
+	// emitted intermediate pairs live in memory for the whole run.
+	factor := spec.FootprintFactor
+	if factor <= 0 {
+		factor = 2
+	}
+	if cfg.Memory != nil {
+		h, err := cfg.Memory.ReserveHandle(int64(float64(len(input)) * factor))
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: %q: %w", spec.Name, err)
+		}
+		defer h.Release()
+	}
+
+	res := &Result[K, R]{}
+	res.Stats.InputBytes = int64(len(input))
+
+	// Split phase.
+	start := time.Now()
+	split := spec.Split
+	if split == nil {
+		split = FixedSplitter
+	}
+	chunks := split(input, cfg.chunkSize(len(input)))
+	res.Stats.SplitTime = time.Since(start)
+	res.Stats.MapTasks = len(chunks)
+
+	workers := cfg.workers()
+	numReducers := cfg.reducers()
+
+	// Map phase: dynamic task scheduling over a shared channel; each
+	// worker emits into its own per-partition buffers (no locking on the
+	// hot path, as in Phoenix).
+	start = time.Now()
+	type workerState struct {
+		parts   []map[K][]V
+		emitted int64
+	}
+	states := make([]*workerState, workers)
+	taskCh := make(chan int)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		retryMu  sync.Mutex
+		retries  int
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	for w := 0; w < workers; w++ {
+		st := &workerState{parts: make([]map[K][]V, numReducers)}
+		for r := range st.parts {
+			st.parts[r] = make(map[K][]V)
+		}
+		states[w] = st
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Emissions are staged per attempt and flushed to the
+			// worker's partition buffers only on success, so a retried
+			// task cannot leave duplicates behind.
+			var staging []Pair[K, V]
+			emit := func(k K, v V) {
+				staging = append(staging, Pair[K, V]{Key: k, Value: v})
+			}
+			for idx := range taskCh {
+				if ctxErr(runCtx) != nil {
+					return
+				}
+				chunk := chunks[idx]
+				var err error
+				for attempt := 0; ; attempt++ {
+					staging = staging[:0]
+					err = guard(func() error { return spec.Map(chunk, emit) })
+					if err == nil {
+						break
+					}
+					if attempt >= cfg.retries() {
+						break
+					}
+					retryMu.Lock()
+					retries++
+					retryMu.Unlock()
+				}
+				if err != nil {
+					fail(&taskError{phase: "map", spec: spec.Name, err: err})
+					return
+				}
+				for _, kv := range staging {
+					p := partitionOf(kv.Key, numReducers, spec.PartitionFn)
+					st.parts[p][kv.Key] = append(st.parts[p][kv.Key], kv.Value)
+				}
+				st.emitted += int64(len(staging))
+			}
+		}()
+	}
+feed:
+	for i := range chunks {
+		select {
+		case taskCh <- i:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(taskCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+
+	// Worker-local combine (Phoenix combiner) before the shuffle.
+	if spec.Combine != nil {
+		var cwg sync.WaitGroup
+		for _, st := range states {
+			cwg.Add(1)
+			go func(st *workerState) {
+				defer cwg.Done()
+				for _, part := range st.parts {
+					for k, vs := range part {
+						part[k] = spec.Combine(k, vs)
+					}
+				}
+			}(st)
+		}
+		cwg.Wait()
+	}
+	for _, st := range states {
+		res.Stats.PairsEmitted += st.emitted
+	}
+	res.Stats.MapTime = time.Since(start)
+
+	// Reduce phase: one task per partition; each task first merges the
+	// worker-local buffers for its partition (the shuffle), then reduces
+	// every key, in key order when spec.Less is set.
+	start = time.Now()
+	partOut := make([][]Pair[K, R], numReducers)
+	uniq := make([]int, numReducers)
+	redCh := make(chan int)
+	var rwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for p := range redCh {
+				if ctxErr(runCtx) != nil {
+					return
+				}
+				merged := make(map[K][]V)
+				for _, st := range states {
+					for k, vs := range st.parts[p] {
+						merged[k] = append(merged[k], vs...)
+					}
+					st.parts[p] = nil // release as we go
+				}
+				uniq[p] = len(merged)
+				keys := make([]K, 0, len(merged))
+				for k := range merged {
+					keys = append(keys, k)
+				}
+				if spec.Less != nil {
+					sort.Slice(keys, func(i, j int) bool { return spec.Less(keys[i], keys[j]) })
+				}
+				out := make([]Pair[K, R], 0, len(keys))
+				for _, k := range keys {
+					var rv R
+					var err error
+					for attempt := 0; ; attempt++ {
+						err = guard(func() error {
+							var e error
+							rv, e = spec.Reduce(k, merged[k])
+							return e
+						})
+						if err == nil {
+							break
+						}
+						if attempt >= cfg.retries() {
+							break
+						}
+						retryMu.Lock()
+						retries++
+						retryMu.Unlock()
+					}
+					if err != nil {
+						fail(&taskError{phase: "reduce", spec: spec.Name, err: err})
+						return
+					}
+					out = append(out, Pair[K, R]{Key: k, Value: rv})
+				}
+				partOut[p] = out
+			}
+		}()
+	}
+feedReduce:
+	for p := 0; p < numReducers; p++ {
+		select {
+		case redCh <- p:
+		case <-runCtx.Done():
+			break feedReduce
+		}
+	}
+	close(redCh)
+	rwg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	res.Stats.ReduceTasks = numReducers
+	retryMu.Lock()
+	res.Stats.TaskRetries = retries
+	retryMu.Unlock()
+	for _, u := range uniq {
+		res.Stats.UniqueKeys += u
+	}
+	res.Stats.ReduceTime = time.Since(start)
+
+	// Merge phase: concatenate, or k-way merge the sorted partitions into
+	// a globally sorted result (Phoenix's final merge stage).
+	start = time.Now()
+	if spec.Less == nil {
+		total := 0
+		for _, po := range partOut {
+			total += len(po)
+		}
+		res.Pairs = make([]Pair[K, R], 0, total)
+		for _, po := range partOut {
+			res.Pairs = append(res.Pairs, po...)
+		}
+	} else {
+		res.Pairs = mergeSorted(partOut, spec.Less)
+	}
+	res.Stats.MergeTime = time.Since(start)
+	return res, nil
+}
+
+// mergeSorted k-way merges sorted runs into one sorted slice using a simple
+// tournament over run heads (k is small — the number of reduce partitions).
+func mergeSorted[K comparable, R any](runs [][]Pair[K, R], less func(a, b K) bool) []Pair[K, R] {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]Pair[K, R], 0, total)
+	idx := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if idx[i] >= len(r) {
+				continue
+			}
+			if best < 0 || less(r[idx[i]].Key, runs[best][idx[best]].Key) {
+				best = i
+			}
+		}
+		out = append(out, runs[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package mapreduce
+
+// FixedSplitter cuts data into chunks of exactly chunkSize bytes (the last
+// chunk may be shorter). Records spanning a boundary are torn; use
+// DelimiterSplitter when that matters.
+func FixedSplitter(data []byte, chunkSize int) [][]byte {
+	if chunkSize <= 0 {
+		chunkSize = len(data)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	chunks := make([][]byte, 0, len(data)/chunkSize+1)
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunks = append(chunks, data[off:end])
+	}
+	return chunks
+}
+
+// DelimiterSplitter returns a splitter that extends each chunk forward to
+// the next occurrence of any delimiter byte, so no record is torn across
+// map tasks. This mirrors the integrity check of the paper's partition
+// function (Fig. 7) applied at map-task granularity: scan from the draft
+// boundary until a delimiter (space, newline, or a programmer-defined
+// symbol) is found.
+func DelimiterSplitter(delims ...byte) func(data []byte, chunkSize int) [][]byte {
+	isDelim := make([]bool, 256)
+	for _, d := range delims {
+		isDelim[d] = true
+	}
+	if len(delims) == 0 {
+		isDelim[' '], isDelim['\n'], isDelim['\r'], isDelim['\t'] = true, true, true, true
+	}
+	return func(data []byte, chunkSize int) [][]byte {
+		if chunkSize <= 0 {
+			chunkSize = len(data)
+		}
+		if len(data) == 0 {
+			return nil
+		}
+		var chunks [][]byte
+		off := 0
+		for off < len(data) {
+			end := off + chunkSize
+			if end >= len(data) {
+				chunks = append(chunks, data[off:])
+				break
+			}
+			// Integrity check: advance to the next delimiter so the
+			// record ends correctly.
+			for end < len(data) && !isDelim[data[end]] {
+				end++
+			}
+			if end < len(data) {
+				end++ // include the delimiter in this chunk
+			}
+			chunks = append(chunks, data[off:end])
+			off = end
+		}
+		return chunks
+	}
+}
+
+// LineSplitter cuts data into chunks aligned to newline boundaries — the
+// natural splitter for the string-match workload, where each map task
+// searches whole lines.
+func LineSplitter(data []byte, chunkSize int) [][]byte {
+	return DelimiterSplitter('\n')(data, chunkSize)
+}

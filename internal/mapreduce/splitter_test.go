@@ -1,0 +1,143 @@
+package mapreduce
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func reassemble(chunks [][]byte) []byte {
+	var out []byte
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+func TestFixedSplitterSizes(t *testing.T) {
+	data := bytes.Repeat([]byte("x"), 1000)
+	chunks := FixedSplitter(data, 300)
+	if len(chunks) != 4 {
+		t.Fatalf("got %d chunks, want 4", len(chunks))
+	}
+	for i, c := range chunks[:3] {
+		if len(c) != 300 {
+			t.Fatalf("chunk %d has %d bytes, want 300", i, len(c))
+		}
+	}
+	if len(chunks[3]) != 100 {
+		t.Fatalf("last chunk has %d bytes, want 100", len(chunks[3]))
+	}
+}
+
+func TestFixedSplitterEmptyInput(t *testing.T) {
+	if got := FixedSplitter(nil, 100); got != nil {
+		t.Fatalf("empty input produced %d chunks", len(got))
+	}
+}
+
+func TestFixedSplitterZeroChunkSize(t *testing.T) {
+	data := []byte("hello")
+	chunks := FixedSplitter(data, 0)
+	if len(chunks) != 1 || !bytes.Equal(chunks[0], data) {
+		t.Fatalf("zero chunk size should yield one whole chunk, got %d", len(chunks))
+	}
+}
+
+func TestFixedSplitterReassembles(t *testing.T) {
+	prop := func(data []byte, size uint8) bool {
+		chunks := FixedSplitter(data, int(size))
+		return bytes.Equal(reassemble(chunks), data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelimiterSplitterNoTornWords(t *testing.T) {
+	data := []byte("alpha beta gamma delta epsilon zeta eta theta")
+	split := DelimiterSplitter(' ')
+	chunks := split(data, 10)
+	for i, c := range chunks[:len(chunks)-1] {
+		if len(c) == 0 || c[len(c)-1] != ' ' {
+			t.Fatalf("chunk %d %q does not end at a delimiter", i, c)
+		}
+	}
+	if !bytes.Equal(reassemble(chunks), data) {
+		t.Fatal("chunks do not reassemble to input")
+	}
+}
+
+func TestDelimiterSplitterDefaultWhitespace(t *testing.T) {
+	data := []byte("one\ttwo\nthree four")
+	split := DelimiterSplitter()
+	chunks := split(data, 5)
+	if !bytes.Equal(reassemble(chunks), data) {
+		t.Fatal("chunks do not reassemble to input")
+	}
+	for i, c := range chunks[:len(chunks)-1] {
+		last := c[len(c)-1]
+		if last != ' ' && last != '\n' && last != '\t' && last != '\r' {
+			t.Fatalf("chunk %d ends with %q, not whitespace", i, last)
+		}
+	}
+}
+
+func TestDelimiterSplitterNoDelimiterInData(t *testing.T) {
+	// A chunk with no delimiter ahead must extend to EOF, producing one
+	// giant chunk rather than tearing the record.
+	data := bytes.Repeat([]byte("a"), 100)
+	chunks := DelimiterSplitter(' ')(data, 10)
+	if len(chunks) != 1 || len(chunks[0]) != 100 {
+		t.Fatalf("got %d chunks, want 1 chunk of all 100 bytes", len(chunks))
+	}
+}
+
+// Property: for any input and chunk size, delimiter-aligned chunks
+// reassemble exactly, and every chunk boundary falls just after a delimiter.
+func TestDelimiterSplitterProperty(t *testing.T) {
+	split := DelimiterSplitter(' ', '\n')
+	prop := func(words []string, size uint8) bool {
+		var data []byte
+		for _, w := range words {
+			for _, ch := range []byte(w) {
+				if ch != ' ' && ch != '\n' {
+					data = append(data, ch)
+				}
+			}
+			data = append(data, ' ')
+		}
+		chunks := split(data, int(size)%64+1)
+		if !bytes.Equal(reassemble(chunks), data) {
+			return false
+		}
+		for i, c := range chunks {
+			if i == len(chunks)-1 {
+				continue
+			}
+			if len(c) == 0 {
+				return false
+			}
+			if last := c[len(c)-1]; last != ' ' && last != '\n' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineSplitterAlignsToNewlines(t *testing.T) {
+	data := []byte("line one\nline two\nline three\nline four\n")
+	chunks := LineSplitter(data, 12)
+	for i, c := range chunks {
+		if c[len(c)-1] != '\n' && i != len(chunks)-1 {
+			t.Fatalf("chunk %d %q does not end with newline", i, c)
+		}
+	}
+	if !bytes.Equal(reassemble(chunks), data) {
+		t.Fatal("chunks do not reassemble to input")
+	}
+}

@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// Throttle wraps a net.Conn so that reads and writes are paced by the given
+// limiters. Passing the same limiter for several connections models a shared
+// link. Either limiter may be nil to leave that direction unthrottled.
+func Throttle(c net.Conn, read, write *Limiter) net.Conn {
+	return &throttledConn{Conn: c, read: read, write: write}
+}
+
+type throttledConn struct {
+	net.Conn
+	read  *Limiter
+	write *Limiter
+}
+
+func (t *throttledConn) Read(p []byte) (int, error) {
+	n, err := t.Conn.Read(p)
+	if n > 0 && t.read != nil {
+		if werr := t.read.WaitN(context.Background(), n); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return n, err
+}
+
+func (t *throttledConn) Write(p []byte) (int, error) {
+	if t.write != nil {
+		if err := t.write.WaitN(context.Background(), len(p)); err != nil {
+			return 0, err
+		}
+	}
+	return t.Conn.Write(p)
+}
+
+// Listener wraps a net.Listener so every accepted connection is throttled by
+// the shared limiters.
+func Listener(l net.Listener, read, write *Limiter) net.Listener {
+	return &throttledListener{Listener: l, read: read, write: write}
+}
+
+type throttledListener struct {
+	net.Listener
+	read  *Limiter
+	write *Limiter
+}
+
+func (l *throttledListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Throttle(c, l.read, l.write), nil
+}
+
+// Link is a shared full-duplex medium between two stations, built from one
+// limiter per direction at the profile's bandwidth. It is the real-engine
+// analogue of the switch port an SD node hangs off.
+type Link struct {
+	Profile Profile
+	// AtoB paces traffic from station A to station B; BtoA the reverse.
+	AtoB *Limiter
+	BtoA *Limiter
+}
+
+// NewLink builds a link for the given profile. Burst is one jumbo window
+// (256 KiB) so short messages are not over-delayed.
+func NewLink(p Profile) *Link {
+	const burst = 256 << 10
+	ab, err := NewLimiter(p.BandwidthBps, burst)
+	if err != nil {
+		panic("netsim: profile has non-positive bandwidth: " + p.Name)
+	}
+	ba, _ := NewLimiter(p.BandwidthBps, burst)
+	return &Link{Profile: p, AtoB: ab, BtoA: ba}
+}
+
+// DialThrottled dials the address and throttles the resulting connection as
+// station A of the link.
+func (l *Link) DialThrottled(network, addr string, timeout time.Duration) (net.Conn, error) {
+	c, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return Throttle(c, l.BtoA, l.AtoB), nil
+}

@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Limiter is a token-bucket rate limiter measured in bytes per second.
+// Tokens accrue continuously up to Burst; WaitN blocks until n tokens are
+// available. It is safe for concurrent use, which makes one Limiter usable
+// as a shared medium: several connections throttled by the same Limiter
+// contend for the same modelled link, the way NFS traffic and SMB
+// background traffic shared the testbed's switch.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // test hook
+	sleep  func(time.Duration)
+}
+
+// ErrLimiterRate reports a non-positive rate passed to NewLimiter.
+var ErrLimiterRate = errors.New("netsim: limiter rate must be positive")
+
+// NewLimiter returns a limiter that admits rate bytes per second with the
+// given burst allowance. A burst below 1 is raised to 1 so progress is
+// always possible.
+func NewLimiter(rate float64, burst float64) (*Limiter, error) {
+	if rate <= 0 {
+		return nil, ErrLimiterRate
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{
+		rate:   rate,
+		burst:  burst,
+		tokens: burst,
+		last:   time.Now(),
+		now:    time.Now,
+		sleep:  time.Sleep,
+	}, nil
+}
+
+// advance refreshes the token count to the current time. Callers must hold mu.
+func (l *Limiter) advance() {
+	now := l.now()
+	elapsed := now.Sub(l.last).Seconds()
+	if elapsed > 0 {
+		l.tokens += elapsed * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		l.last = now
+	}
+}
+
+// WaitN blocks until n tokens are available or ctx is done. Requests larger
+// than the burst are admitted in burst-sized slices, so arbitrarily large
+// transfers still pace at the configured rate.
+func (l *Limiter) WaitN(ctx context.Context, n int) error {
+	for n > 0 {
+		slice := n
+		if float64(slice) > l.burst {
+			slice = int(l.burst)
+		}
+		if err := l.waitSlice(ctx, slice); err != nil {
+			return err
+		}
+		n -= slice
+	}
+	return nil
+}
+
+func (l *Limiter) waitSlice(ctx context.Context, n int) error {
+	for {
+		l.mu.Lock()
+		l.advance()
+		if l.tokens >= float64(n) {
+			l.tokens -= float64(n)
+			l.mu.Unlock()
+			return nil
+		}
+		need := float64(n) - l.tokens
+		wait := time.Duration(need / l.rate * float64(time.Second))
+		l.mu.Unlock()
+		if wait < 50*time.Microsecond {
+			wait = 50 * time.Microsecond
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		l.sleep(wait)
+	}
+}
+
+// AllowN reports whether n tokens are immediately available, consuming them
+// if so. It never blocks.
+func (l *Limiter) AllowN(n int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.advance()
+	if l.tokens >= float64(n) {
+		l.tokens -= float64(n)
+		return true
+	}
+	return false
+}
+
+// Rate returns the configured rate in bytes per second.
+func (l *Limiter) Rate() float64 { return l.rate }

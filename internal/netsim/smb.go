@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// SMB emulates the Sandia Micro Benchmark traffic the paper runs on every
+// node except the SD node "to emulate the routine work" (§V-A). It drives a
+// configurable fraction of the link bandwidth with a message-pattern mix of
+// point-to-point ping-pongs and all-to-all bursts.
+//
+// For the real engine, Run consumes tokens from the link limiters so that
+// foreground NFS/smartFAM traffic experiences a loaded switch. For the
+// analytic simulator, Load() is fed to Profile.TransferTimeLoaded.
+type SMB struct {
+	// Load is the fraction of link bandwidth occupied by background
+	// traffic, in [0, 1).
+	Load float64
+	// MessageSize is the size of each emulated message in bytes.
+	MessageSize int
+	// PingPongRatio is the fraction of traffic sent as ping-pongs (the
+	// rest is all-to-all bursts). It only affects the pacing granularity.
+	PingPongRatio float64
+
+	mu   sync.Mutex
+	sent int64
+}
+
+// NewSMB returns an SMB emulator with the paper-like defaults: 10% link
+// load, 8 KiB messages, half ping-pong half all-to-all.
+func NewSMB(load float64) *SMB {
+	if load < 0 {
+		load = 0
+	}
+	if load > 0.95 {
+		load = 0.95
+	}
+	return &SMB{Load: load, MessageSize: 8 << 10, PingPongRatio: 0.5}
+}
+
+// BytesSent reports the total number of background bytes injected so far.
+func (s *SMB) BytesSent() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent
+}
+
+// Run injects background traffic into both directions of the link until ctx
+// is cancelled. It blocks; run it in its own goroutine.
+func (s *SMB) Run(ctx context.Context, link *Link) error {
+	if s.Load <= 0 {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	// Target byte rate per direction.
+	target := link.Profile.BandwidthBps * s.Load
+	interval := time.Duration(float64(s.MessageSize) / target * float64(time.Second))
+	if interval < 200*time.Microsecond {
+		// Batch messages so the pacing loop does not spin.
+		interval = 200 * time.Microsecond
+	}
+	batch := int(target * interval.Seconds())
+	if batch < 1 {
+		batch = 1
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			// Ping-pong traffic occupies both directions; all-to-all
+			// bursts are modelled as the same byte volume.
+			if err := link.AtoB.WaitN(ctx, batch); err != nil {
+				return err
+			}
+			if err := link.BtoA.WaitN(ctx, batch); err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.sent += int64(2 * batch)
+			s.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package nfs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"mcsd/internal/netsim"
+	"mcsd/internal/smartfam"
+)
+
+// Client is the host-node side of the share: it implements smartfam.FS so
+// the smartFAM client runs unchanged over the network, plus whole-file
+// helpers for staging workload data onto (and results off) the SD node.
+//
+// A Client multiplexes all operations over one connection, mirroring one
+// NFS mount. It is safe for concurrent use.
+type Client struct {
+	mu    sync.Mutex
+	codec *codec
+	conn  net.Conn
+}
+
+// Dial connects to an NFS server at addr.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("nfs: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// DialThrottled connects through a modelled link, so all share traffic pays
+// the interconnect's cost (the testbed's 1 GbE switch).
+func DialThrottled(addr string, timeout time.Duration, link *netsim.Link) (*Client, error) {
+	conn, err := link.DialThrottled("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("nfs: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (possibly already throttled).
+func NewClient(conn net.Conn) *Client {
+	return &Client{codec: newCodec(conn), conn: conn}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one RPC round trip.
+func (c *Client) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.codec.writeRequest(req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.codec.readResponse(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		if resp.NotExist {
+			return nil, fmt.Errorf("%w: %s: %s", smartfam.ErrNotExist, req.Name, resp.Err)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err)
+	}
+	return &resp, nil
+}
+
+// Ping round-trips an empty request, verifying the mount.
+func (c *Client) Ping() error {
+	_, err := c.call(&Request{Op: OpPing})
+	return err
+}
+
+// Create makes (or truncates) a file on the share.
+func (c *Client) Create(name string) error {
+	_, err := c.call(&Request{Op: OpCreate, Name: name})
+	return err
+}
+
+// Append atomically appends data, chunking large payloads.
+func (c *Client) Append(name string, data []byte) error {
+	for len(data) > 0 {
+		n := len(data)
+		if n > MaxChunk {
+			n = MaxChunk
+		}
+		if _, err := c.call(&Request{Op: OpAppend, Name: name, Data: data[:n]}); err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// ReadAt implements smartfam.FS.
+func (c *Client) ReadAt(name string, p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		want := len(p) - total
+		if want > MaxChunk {
+			want = MaxChunk
+		}
+		resp, err := c.call(&Request{Op: OpReadAt, Name: name, Off: off + int64(total), N: want})
+		if err != nil {
+			return total, err
+		}
+		n := copy(p[total:], resp.Data)
+		total += n
+		if resp.EOF || n == 0 {
+			if total < len(p) {
+				return total, io.EOF
+			}
+			break
+		}
+	}
+	return total, nil
+}
+
+// Stat implements smartfam.FS.
+func (c *Client) Stat(name string) (int64, time.Time, error) {
+	resp, err := c.call(&Request{Op: OpStat, Name: name})
+	if err != nil {
+		return 0, time.Time{}, err
+	}
+	return resp.Size, time.Unix(0, resp.MTimeNs), nil
+}
+
+// List implements smartfam.FS (share root).
+func (c *Client) List() ([]string, error) {
+	resp, err := c.call(&Request{Op: OpList})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// ListDir lists a subdirectory of the share.
+func (c *Client) ListDir(dir string) ([]string, error) {
+	resp, err := c.call(&Request{Op: OpList, Name: dir})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// Remove implements smartfam.FS.
+func (c *Client) Remove(name string) error {
+	_, err := c.call(&Request{Op: OpRemove, Name: name})
+	return err
+}
+
+// WriteFile replaces a file's contents, chunking large payloads through
+// Create+Append.
+func (c *Client) WriteFile(name string, data []byte) error {
+	if len(data) <= MaxChunk {
+		_, err := c.call(&Request{Op: OpWrite, Name: name, Data: data})
+		return err
+	}
+	if err := c.Create(name); err != nil {
+		return err
+	}
+	return c.Append(name, data)
+}
+
+// ReadFile fetches a whole file.
+func (c *Client) ReadFile(name string) ([]byte, error) {
+	size, _, err := c.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	n, err := c.ReadAt(name, buf, 0)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// CopyTo streams a whole remote file into w without holding it in memory.
+func (c *Client) CopyTo(w io.Writer, name string) (int64, error) {
+	var off int64
+	for {
+		resp, err := c.call(&Request{Op: OpReadAt, Name: name, Off: off, N: MaxChunk})
+		if err != nil {
+			return off, err
+		}
+		if len(resp.Data) > 0 {
+			if _, werr := w.Write(resp.Data); werr != nil {
+				return off, fmt.Errorf("nfs: copying %s: %w", name, werr)
+			}
+			off += int64(len(resp.Data))
+		}
+		if resp.EOF || len(resp.Data) == 0 {
+			return off, nil
+		}
+	}
+}
+
+// OpenReader returns a streaming reader over a remote file. Reads page
+// through MaxChunk-sized RPCs, so arbitrarily large files stream without
+// being resident on either side.
+func (c *Client) OpenReader(name string) (io.ReadCloser, error) {
+	// Validate existence up front so callers get ErrNotExist at open time.
+	if _, _, err := c.Stat(name); err != nil {
+		return nil, err
+	}
+	return &remoteReader{c: c, name: name}, nil
+}
+
+type remoteReader struct {
+	c      *Client
+	name   string
+	off    int64
+	buf    []byte
+	eof    bool
+	closed bool
+}
+
+func (r *remoteReader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, fmt.Errorf("nfs: read from closed reader for %s", r.name)
+	}
+	if len(r.buf) == 0 {
+		if r.eof {
+			return 0, io.EOF
+		}
+		resp, err := r.c.call(&Request{Op: OpReadAt, Name: r.name, Off: r.off, N: MaxChunk})
+		if err != nil {
+			return 0, err
+		}
+		r.buf = resp.Data
+		r.off += int64(len(resp.Data))
+		r.eof = resp.EOF || len(resp.Data) == 0
+		if len(r.buf) == 0 {
+			return 0, io.EOF
+		}
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}
+
+func (r *remoteReader) Close() error {
+	r.closed = true
+	r.buf = nil
+	return nil
+}
+
+var _ smartfam.FS = (*Client)(nil)

@@ -1,0 +1,123 @@
+package nfs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"mcsd/internal/netsim"
+	"mcsd/internal/smartfam"
+)
+
+// Pool multiplexes share operations over several connections to one
+// server. A single Client serializes RPCs on its one connection (an NFS
+// mount with one slot); a Pool gives concurrent module invocations,
+// watcher polls and bulk transfers independent slots, the way a real NFS
+// client runs many RPC slots per mount.
+//
+// Pool implements the same surface as Client (including smartfam.FS) by
+// delegating each call round-robin.
+type Pool struct {
+	clients []*Client
+	next    atomic.Uint64
+}
+
+// DialPool opens n connections to addr. n < 1 is raised to 1.
+func DialPool(addr string, timeout time.Duration, n int) (*Pool, error) {
+	return dialPool(n, func() (*Client, error) { return Dial(addr, timeout) })
+}
+
+// DialPoolThrottled opens n connections through a shared modelled link, so
+// the pool's combined traffic still honours the link's bandwidth.
+func DialPoolThrottled(addr string, timeout time.Duration, n int, link *netsim.Link) (*Pool, error) {
+	return dialPool(n, func() (*Client, error) { return DialThrottled(addr, timeout, link) })
+}
+
+func dialPool(n int, dial func() (*Client, error)) (*Pool, error) {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{clients: make([]*Client, 0, n)}
+	for i := 0; i < n; i++ {
+		c, err := dial()
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("nfs: pool connection %d: %w", i, err)
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// NewPool wraps already-established connections.
+func NewPool(conns []net.Conn) *Pool {
+	p := &Pool{clients: make([]*Client, len(conns))}
+	for i, c := range conns {
+		p.clients[i] = NewClient(c)
+	}
+	return p
+}
+
+// Size reports the number of pooled connections.
+func (p *Pool) Size() int { return len(p.clients) }
+
+// Close tears down every connection; the first error wins.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.clients {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (p *Pool) pick() *Client {
+	return p.clients[p.next.Add(1)%uint64(len(p.clients))]
+}
+
+// Create implements smartfam.FS.
+func (p *Pool) Create(name string) error { return p.pick().Create(name) }
+
+// Append implements smartfam.FS.
+func (p *Pool) Append(name string, data []byte) error { return p.pick().Append(name, data) }
+
+// ReadAt implements smartfam.FS.
+func (p *Pool) ReadAt(name string, b []byte, off int64) (int, error) {
+	return p.pick().ReadAt(name, b, off)
+}
+
+// Stat implements smartfam.FS.
+func (p *Pool) Stat(name string) (int64, time.Time, error) { return p.pick().Stat(name) }
+
+// List implements smartfam.FS.
+func (p *Pool) List() ([]string, error) { return p.pick().List() }
+
+// Remove implements smartfam.FS.
+func (p *Pool) Remove(name string) error { return p.pick().Remove(name) }
+
+// Ping verifies every pooled connection.
+func (p *Pool) Ping() error {
+	for i, c := range p.clients {
+		if err := c.Ping(); err != nil {
+			return fmt.Errorf("nfs: pool connection %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteFile stages a whole file through one slot.
+func (p *Pool) WriteFile(name string, data []byte) error { return p.pick().WriteFile(name, data) }
+
+// ReadFile fetches a whole file through one slot.
+func (p *Pool) ReadFile(name string) ([]byte, error) { return p.pick().ReadFile(name) }
+
+// OpenReader streams a remote file through one slot.
+func (p *Pool) OpenReader(name string) (io.ReadCloser, error) { return p.pick().OpenReader(name) }
+
+var _ smartfam.FS = (*Pool)(nil)

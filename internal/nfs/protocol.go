@@ -1,0 +1,115 @@
+// Package nfs is the networked file service that stands in for the NFS
+// share of the paper's testbed (§III-B): the McSD node exports a directory;
+// the host mounts it and reads/writes files — data files and smartFAM log
+// files — so that every byte of host-side access to SD-resident data
+// crosses the network, exactly the data movement McSD exists to avoid.
+//
+// The protocol is a simple length-delimited gob RPC over one TCP
+// connection per client. Wrap the connection (or the listener) with
+// netsim.Throttle to make the traffic pay Gigabit-Ethernet costs.
+package nfs
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+)
+
+// Op codes.
+const (
+	OpCreate = "create"
+	OpAppend = "append"
+	OpReadAt = "readat"
+	OpStat   = "stat"
+	OpList   = "list"
+	OpRemove = "remove"
+	OpWrite  = "write" // whole-file write (truncate + create dirs)
+	OpPing   = "ping"
+)
+
+// Request is one client->server message.
+type Request struct {
+	Op   string
+	Name string
+	Data []byte
+	Off  int64
+	N    int
+}
+
+// Response is one server->client message.
+type Response struct {
+	Data     []byte
+	Size     int64
+	MTimeNs  int64
+	Names    []string
+	Err      string
+	NotExist bool
+	EOF      bool
+}
+
+// MaxChunk bounds one ReadAt/Append payload so a single RPC cannot pin
+// unbounded memory; larger operations are chunked by the client.
+const MaxChunk = 1 << 20
+
+// ErrRemote wraps a server-side failure.
+var ErrRemote = errors.New("nfs: remote error")
+
+// cleanName validates a share-relative path: non-empty, slash-separated,
+// no "." or ".." components, no leading slash.
+func cleanName(name string) (string, error) {
+	if name == "" || strings.HasPrefix(name, "/") || strings.Contains(name, `\`) {
+		return "", fmt.Errorf("nfs: invalid path %q", name)
+	}
+	for _, part := range strings.Split(name, "/") {
+		if part == "" || part == "." || part == ".." {
+			return "", fmt.Errorf("nfs: invalid path %q", name)
+		}
+	}
+	return name, nil
+}
+
+// codec pairs a gob encoder/decoder over one connection.
+type codec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+	c   net.Conn
+}
+
+func newCodec(c net.Conn) *codec {
+	return &codec{enc: gob.NewEncoder(c), dec: gob.NewDecoder(c), c: c}
+}
+
+func (c *codec) writeRequest(r *Request) error {
+	if err := c.enc.Encode(r); err != nil {
+		return fmt.Errorf("nfs: encoding request: %w", err)
+	}
+	return nil
+}
+
+func (c *codec) readRequest(r *Request) error {
+	err := c.dec.Decode(r)
+	if err == io.EOF || errors.Is(err, net.ErrClosed) {
+		return io.EOF
+	}
+	if err != nil {
+		return fmt.Errorf("nfs: decoding request: %w", err)
+	}
+	return nil
+}
+
+func (c *codec) writeResponse(r *Response) error {
+	if err := c.enc.Encode(r); err != nil {
+		return fmt.Errorf("nfs: encoding response: %w", err)
+	}
+	return nil
+}
+
+func (c *codec) readResponse(r *Response) error {
+	if err := c.dec.Decode(r); err != nil {
+		return fmt.Errorf("nfs: decoding response: %w", err)
+	}
+	return nil
+}

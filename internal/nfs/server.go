@@ -1,0 +1,254 @@
+package nfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"mcsd/internal/metrics"
+)
+
+// Server exports a local directory over the wire — the SD node's NFS-server
+// role in the testbed ("the McSD node is configured as an NFS server",
+// §III-B).
+type Server struct {
+	root    string
+	metrics *metrics.Registry
+
+	mu      sync.Mutex
+	applock sync.Mutex // serializes appends for cross-client atomicity
+	conns   map[net.Conn]struct{}
+	closed  bool
+}
+
+// NewServer returns a server exporting root.
+func NewServer(root string) *Server {
+	return &Server{
+		root:    root,
+		metrics: metrics.NewRegistry(),
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Metrics returns the server's metrics registry (bytes served, ops).
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// Serve accepts connections on ln until ln is closed or Shutdown is called.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("nfs: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown closes every live connection. The caller closes the listener.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	c := newCodec(conn)
+	for {
+		var req Request
+		if err := c.readRequest(&req); err != nil {
+			return // io.EOF on clean close; anything else also ends the conn
+		}
+		resp := s.handle(&req)
+		if err := c.writeResponse(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) path(name string) (string, error) {
+	clean, err := cleanName(name)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(s.root, filepath.FromSlash(clean)), nil
+}
+
+func fail(err error) *Response {
+	return &Response{Err: err.Error(), NotExist: errors.Is(err, os.ErrNotExist)}
+}
+
+func (s *Server) handle(req *Request) *Response {
+	s.metrics.Counter("nfs.ops." + req.Op).Inc()
+	switch req.Op {
+	case OpPing:
+		return &Response{}
+	case OpCreate:
+		return s.handleCreate(req)
+	case OpAppend:
+		return s.handleAppend(req)
+	case OpReadAt:
+		return s.handleReadAt(req)
+	case OpStat:
+		return s.handleStat(req)
+	case OpList:
+		return s.handleList(req)
+	case OpRemove:
+		return s.handleRemove(req)
+	case OpWrite:
+		return s.handleWrite(req)
+	default:
+		return &Response{Err: fmt.Sprintf("nfs: unknown op %q", req.Op)}
+	}
+}
+
+func (s *Server) handleCreate(req *Request) *Response {
+	p, err := s.path(req.Name)
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fail(err)
+	}
+	f, err := os.Create(p)
+	if err != nil {
+		return fail(err)
+	}
+	f.Close()
+	return &Response{}
+}
+
+func (s *Server) handleAppend(req *Request) *Response {
+	if len(req.Data) > MaxChunk {
+		return &Response{Err: "nfs: append exceeds MaxChunk"}
+	}
+	p, err := s.path(req.Name)
+	if err != nil {
+		return fail(err)
+	}
+	// Cross-connection append atomicity for smartFAM logs.
+	s.applock.Lock()
+	defer s.applock.Unlock()
+	f, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fail(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(req.Data); err != nil {
+		return fail(err)
+	}
+	s.metrics.Counter("nfs.bytes.written").Add(int64(len(req.Data)))
+	return &Response{}
+}
+
+func (s *Server) handleReadAt(req *Request) *Response {
+	p, err := s.path(req.Name)
+	if err != nil {
+		return fail(err)
+	}
+	n := req.N
+	if n <= 0 || n > MaxChunk {
+		n = MaxChunk
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return fail(err)
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	read, err := f.ReadAt(buf, req.Off)
+	resp := &Response{Data: buf[:read], EOF: err == io.EOF}
+	if err != nil && err != io.EOF {
+		return fail(err)
+	}
+	s.metrics.Counter("nfs.bytes.read").Add(int64(read))
+	return resp
+}
+
+func (s *Server) handleStat(req *Request) *Response {
+	p, err := s.path(req.Name)
+	if err != nil {
+		return fail(err)
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		return fail(err)
+	}
+	return &Response{Size: fi.Size(), MTimeNs: fi.ModTime().UnixNano()}
+}
+
+func (s *Server) handleList(req *Request) *Response {
+	dir := s.root
+	if req.Name != "" {
+		p, err := s.path(req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		dir = p
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fail(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return &Response{Names: names}
+}
+
+func (s *Server) handleRemove(req *Request) *Response {
+	p, err := s.path(req.Name)
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.Remove(p); err != nil {
+		return fail(err)
+	}
+	return &Response{}
+}
+
+func (s *Server) handleWrite(req *Request) *Response {
+	if len(req.Data) > MaxChunk {
+		return &Response{Err: "nfs: write exceeds MaxChunk; use Create+Append"}
+	}
+	p, err := s.path(req.Name)
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fail(err)
+	}
+	if err := os.WriteFile(p, req.Data, 0o644); err != nil {
+		return fail(err)
+	}
+	s.metrics.Counter("nfs.bytes.written").Add(int64(len(req.Data)))
+	return &Response{}
+}

@@ -1,0 +1,122 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"mcsd/internal/mapreduce"
+	"mcsd/internal/memsim"
+)
+
+// Result is the merged output of a partitioned run.
+type Result[K comparable, R any] struct {
+	// Pairs holds the merged final pairs, sorted when the spec had Less.
+	Pairs []mapreduce.Pair[K, R]
+	// Fragments is how many fragments were processed.
+	Fragments int
+	// Stats aggregates per-fragment engine statistics (times summed,
+	// UniqueKeys is the merged key count).
+	Stats mapreduce.Stats
+}
+
+// Map returns the merged results as a map.
+func (r *Result[K, R]) Map() map[K]R {
+	m := make(map[K]R, len(r.Pairs))
+	for _, p := range r.Pairs {
+		m[p.Key] = p.Value
+	}
+	return m
+}
+
+// Run executes spec over the stream input in fragments of opts.FragmentSize
+// (extended by the integrity check), merging per-fragment outputs with
+// merge. This is the extended two-stage Phoenix workflow of Fig. 6:
+//
+//	Partition -> [ Split -> Map -> Sort -> Reduce -> Merge ]* -> Merge
+//
+// Only one fragment's footprint is resident at a time, so a data set much
+// larger than cfg.Memory still runs — and runs faster than a thrashing
+// native execution.
+func Run[K comparable, V any, R any](
+	ctx context.Context,
+	cfg mapreduce.Config,
+	spec mapreduce.Spec[K, V, R],
+	input io.Reader,
+	opts Options,
+	merge MergeFunc[R],
+) (*Result[K, R], error) {
+	if merge == nil {
+		return nil, fmt.Errorf("partition: %q: merge function is required", spec.Name)
+	}
+	sc := NewScanner(input, opts)
+	acc := make(map[K]R)
+	res := &Result[K, R]{}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		frag, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		fragRes, err := mapreduce.Run(ctx, cfg, spec, frag)
+		if err != nil {
+			return nil, fmt.Errorf("partition: fragment %d: %w", res.Fragments+1, err)
+		}
+		res.Fragments++
+		accumulateStats(&res.Stats, fragRes.Stats)
+		for _, p := range fragRes.Pairs {
+			if prev, ok := acc[p.Key]; ok {
+				acc[p.Key] = merge(prev, p.Value)
+			} else {
+				acc[p.Key] = p.Value
+			}
+		}
+	}
+
+	res.Pairs = make([]mapreduce.Pair[K, R], 0, len(acc))
+	for k, v := range acc {
+		res.Pairs = append(res.Pairs, mapreduce.Pair[K, R]{Key: k, Value: v})
+	}
+	if spec.Less != nil {
+		sort.Slice(res.Pairs, func(i, j int) bool {
+			return spec.Less(res.Pairs[i].Key, res.Pairs[j].Key)
+		})
+	}
+	res.Stats.UniqueKeys = len(res.Pairs)
+	return res, nil
+}
+
+func accumulateStats(dst *mapreduce.Stats, s mapreduce.Stats) {
+	dst.MapTasks += s.MapTasks
+	dst.ReduceTasks += s.ReduceTasks
+	dst.PairsEmitted += s.PairsEmitted
+	dst.TaskRetries += s.TaskRetries
+	dst.InputBytes += s.InputBytes
+	dst.SplitTime += s.SplitTime
+	dst.MapTime += s.MapTime
+	dst.ReduceTime += s.ReduceTime
+	dst.MergeTime += s.MergeTime
+}
+
+// AutoFragmentSize picks a fragment size for a node's memory configuration
+// and a workload's footprint factor — the "automatically determined by the
+// runtime system" path of §IV-C. It targets half of usable RAM for the
+// whole fragment footprint, leaving headroom for the runtime itself.
+func AutoFragmentSize(mem memsim.Config, footprintFactor float64) int64 {
+	if footprintFactor < 1 {
+		footprintFactor = 2
+	}
+	frag := int64(float64(mem.Usable()) / (2 * footprintFactor))
+	// Floor against pathological fragment counts; 4 KiB still lets
+	// deliberately tiny test nodes partition meaningfully.
+	if frag < 4<<10 {
+		frag = 4 << 10
+	}
+	return frag
+}

@@ -1,0 +1,248 @@
+package partition
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mcsd/internal/mapreduce"
+	"mcsd/internal/memsim"
+)
+
+func wcSpec() mapreduce.Spec[string, int, int] {
+	return mapreduce.Spec[string, int, int]{
+		Name:  "wc",
+		Split: mapreduce.DelimiterSplitter(' ', '\n'),
+		Map: func(chunk []byte, emit func(string, int)) error {
+			for _, w := range bytes.Fields(chunk) {
+				emit(string(w), 1)
+			}
+			return nil
+		},
+		Reduce: func(_ string, vs []int) (int, error) {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			return sum, nil
+		},
+		FootprintFactor: 3,
+	}
+}
+
+func TestRunPartitionedWordCount(t *testing.T) {
+	text := strings.Repeat("to be or not to be ", 50)
+	res, err := Run(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
+		strings.NewReader(text), Options{FragmentSize: 64}, SumMerge[int])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fragments < 5 {
+		t.Fatalf("Fragments = %d, want many at 64-byte fragments", res.Fragments)
+	}
+	m := res.Map()
+	if m["to"] != 100 || m["be"] != 100 || m["or"] != 50 {
+		t.Fatalf("counts wrong: %v", m)
+	}
+}
+
+func TestRunRequiresMerge(t *testing.T) {
+	_, err := Run[string, int, int](context.Background(), mapreduce.Config{}, wcSpec(),
+		strings.NewReader("a"), Options{}, nil)
+	if err == nil {
+		t.Fatal("nil merge accepted")
+	}
+}
+
+func TestRunPartitionedBeatsMemoryWall(t *testing.T) {
+	// The paper's headline: an input whose 3x footprint exceeds the node's
+	// memory limit fails natively but succeeds partitioned.
+	acct := memsim.NewAccountant(memsim.Config{CapacityBytes: 4096, UsableFraction: 1.0, SwapBytes: 0})
+	cfg := mapreduce.Config{Workers: 2, Memory: acct}
+	text := strings.Repeat("word soup here ", 200) // 3000 bytes, 9000 footprint
+
+	_, err := mapreduce.Run(context.Background(), cfg, wcSpec(), []byte(text))
+	if !errors.Is(err, memsim.ErrOutOfMemory) {
+		t.Fatalf("native run err = %v, want ErrOutOfMemory", err)
+	}
+
+	res, err := Run(context.Background(), cfg, wcSpec(),
+		strings.NewReader(text), Options{FragmentSize: 1000}, SumMerge[int])
+	if err != nil {
+		t.Fatalf("partitioned run failed: %v", err)
+	}
+	if got := res.Map()["word"]; got != 200 {
+		t.Fatalf("word = %d, want 200", got)
+	}
+	if acct.Footprint() != 0 {
+		t.Fatalf("run leaked %d bytes", acct.Footprint())
+	}
+	if acct.Peak() > 4096 {
+		t.Fatalf("peak footprint %d exceeded node memory", acct.Peak())
+	}
+}
+
+func TestRunPartitionedFragmentTooLargeStillOOMs(t *testing.T) {
+	acct := memsim.NewAccountant(memsim.Config{CapacityBytes: 1024, UsableFraction: 1.0})
+	cfg := mapreduce.Config{Workers: 1, Memory: acct}
+	text := strings.Repeat("abc ", 500)
+	_, err := Run(context.Background(), cfg, wcSpec(),
+		strings.NewReader(text), Options{FragmentSize: 1500}, SumMerge[int])
+	if !errors.Is(err, memsim.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory for oversized fragments", err)
+	}
+}
+
+func TestRunSortedMergedOutput(t *testing.T) {
+	spec := wcSpec()
+	spec.Less = func(a, b string) bool { return a < b }
+	text := "delta alpha charlie bravo alpha delta "
+	res, err := Run(context.Background(), mapreduce.Config{Workers: 2}, spec,
+		strings.NewReader(strings.Repeat(text, 10)), Options{FragmentSize: 30}, SumMerge[int])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Pairs); i++ {
+		if res.Pairs[i-1].Key >= res.Pairs[i].Key {
+			t.Fatalf("merged output not sorted at %d: %q >= %q",
+				i, res.Pairs[i-1].Key, res.Pairs[i].Key)
+		}
+	}
+	if got := res.Map()["alpha"]; got != 20 {
+		t.Fatalf("alpha = %d, want 20", got)
+	}
+}
+
+func TestRunConcatMergeStringMatchStyle(t *testing.T) {
+	// String-match-like: emit matching lines under a single key.
+	spec := mapreduce.Spec[string, string, []string]{
+		Name:  "sm",
+		Split: mapreduce.LineSplitter,
+		Map: func(chunk []byte, emit func(string, string)) error {
+			for _, line := range bytes.Split(chunk, []byte{'\n'}) {
+				if bytes.Contains(line, []byte("needle")) {
+					emit("match", string(line))
+				}
+			}
+			return nil
+		},
+		Reduce: func(_ string, vs []string) ([]string, error) { return vs, nil },
+	}
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		if i%10 == 0 {
+			sb.WriteString("here is a needle line\n")
+		} else {
+			sb.WriteString("plain hay line\n")
+		}
+	}
+	res, err := Run(context.Background(), mapreduce.Config{Workers: 2}, spec,
+		strings.NewReader(sb.String()), Options{FragmentSize: 100, Delimiters: []byte{'\n'}},
+		ConcatMerge[string])
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := res.Map()["match"]
+	if len(matches) != 10 {
+		t.Fatalf("got %d matches, want 10", len(matches))
+	}
+}
+
+func TestRunStatsAggregation(t *testing.T) {
+	text := strings.Repeat("k v ", 100)
+	res, err := Run(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
+		strings.NewReader(text), Options{FragmentSize: 50}, SumMerge[int])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.InputBytes != int64(len(text)) {
+		t.Fatalf("InputBytes = %d, want %d", res.Stats.InputBytes, len(text))
+	}
+	if res.Stats.PairsEmitted != 200 {
+		t.Fatalf("PairsEmitted = %d, want 200", res.Stats.PairsEmitted)
+	}
+	if res.Stats.UniqueKeys != 2 {
+		t.Fatalf("UniqueKeys = %d, want 2", res.Stats.UniqueKeys)
+	}
+	if res.Fragments < 2 {
+		t.Fatalf("Fragments = %d, want > 1", res.Fragments)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, mapreduce.Config{}, wcSpec(),
+		strings.NewReader("a b c"), Options{FragmentSize: 2}, SumMerge[int])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// Property: partitioned word count equals unpartitioned word count for any
+// fragment size — partitioning is semantically invisible (Fig. 6 yields
+// "Output" identical to the native workflow).
+func TestPartitionedEqualsNativeProperty(t *testing.T) {
+	prop := func(words []string, fragSize uint8) bool {
+		text := strings.Join(words, " ") + " "
+		native, err := mapreduce.Run(context.Background(), mapreduce.Config{Workers: 2},
+			wcSpec(), []byte(text))
+		if err != nil {
+			return false
+		}
+		part, err := Run(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
+			strings.NewReader(text), Options{FragmentSize: int64(fragSize)%60 + 1},
+			SumMerge[int])
+		if err != nil {
+			return false
+		}
+		nm, pm := native.Map(), part.Map()
+		if len(nm) != len(pm) {
+			return false
+		}
+		for k, v := range nm {
+			if pm[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoFragmentSize(t *testing.T) {
+	mem := memsim.DefaultConfig() // 2 GB, 90% usable
+	frag := AutoFragmentSize(mem, 3)
+	// Fragment footprint (3x) must fit in half of usable RAM.
+	if float64(frag)*3 > float64(mem.Usable())/2+1 {
+		t.Fatalf("auto fragment %d x3 exceeds half of usable %d", frag, mem.Usable())
+	}
+	if frag < 4<<10 {
+		t.Fatalf("auto fragment %d below the 4 KiB floor", frag)
+	}
+	// Degenerate factor falls back to 2.
+	if got := AutoFragmentSize(mem, 0); got <= 0 {
+		t.Fatalf("auto fragment with zero factor = %d", got)
+	}
+}
+
+func TestMergeHelpers(t *testing.T) {
+	if SumMerge(2, 3) != 5 {
+		t.Fatal("SumMerge broken")
+	}
+	if MaxMerge(2, 3) != 3 || MaxMerge(5, 1) != 5 {
+		t.Fatal("MaxMerge broken")
+	}
+	if KeepFirstMerge("a", "b") != "a" {
+		t.Fatal("KeepFirstMerge broken")
+	}
+	got := ConcatMerge([]int{1}, []int{2, 3})
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatal("ConcatMerge broken")
+	}
+}

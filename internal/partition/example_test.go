@@ -1,0 +1,65 @@
+package partition_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+
+	"mcsd/internal/mapreduce"
+	"mcsd/internal/partition"
+)
+
+// ExampleRun counts words out-of-core: the input streams through in
+// 16-byte fragments (extended to word boundaries by the Fig. 7 integrity
+// check) and per-fragment counts are folded by SumMerge.
+func ExampleRun() {
+	spec := mapreduce.Spec[string, int, int]{
+		Name:  "wordcount",
+		Split: mapreduce.DelimiterSplitter(' '),
+		Map: func(chunk []byte, emit func(string, int)) error {
+			for _, w := range bytes.Fields(chunk) {
+				emit(string(w), 1)
+			}
+			return nil
+		},
+		Reduce: func(_ string, counts []int) (int, error) {
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			return total, nil
+		},
+		Less: func(a, b string) bool { return a < b },
+	}
+	input := strings.NewReader("the quick brown fox jumps over the lazy dog the end")
+
+	res, err := partition.Run(context.Background(), mapreduce.Config{Workers: 2},
+		spec, input, partition.Options{FragmentSize: 16}, partition.SumMerge[int])
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("fragments:", res.Fragments)
+	fmt.Println("the =", res.Map()["the"])
+	// Output:
+	// fragments: 3
+	// the = 3
+}
+
+// ExampleSplit shows the integrity check in action: no fragment boundary
+// ever tears a word.
+func ExampleSplit() {
+	frags, err := partition.Split([]byte("alpha beta gamma"), partition.Options{FragmentSize: 4})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, f := range frags {
+		fmt.Printf("%q\n", f)
+	}
+	// Output:
+	// "alpha "
+	// "beta "
+	// "gamma"
+}

@@ -1,0 +1,72 @@
+package partition
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSplit asserts the partitioner's contract on arbitrary inputs: no
+// panic, fragments reassemble exactly, no empty fragments, and every
+// non-final fragment ends at a delimiter.
+func FuzzSplit(f *testing.F) {
+	f.Add([]byte("hello world foo bar"), int64(5))
+	f.Add([]byte(""), int64(3))
+	f.Add([]byte("nodershere"), int64(2))
+	f.Add([]byte(" \n\t\r "), int64(1))
+	f.Add(bytes.Repeat([]byte("a b "), 100), int64(7))
+
+	f.Fuzz(func(t *testing.T, data []byte, fragSize int64) {
+		if fragSize > int64(len(data))+10 {
+			fragSize = int64(len(data)) + 10
+		}
+		frags, err := Split(data, Options{FragmentSize: fragSize})
+		if err != nil {
+			return // only ErrScanLimit-style failures, none configured here
+		}
+		var joined []byte
+		for i, fr := range frags {
+			if len(fr) == 0 {
+				t.Fatalf("fragment %d is empty", i)
+			}
+			joined = append(joined, fr...)
+		}
+		if !bytes.Equal(joined, data) {
+			t.Fatalf("fragments do not reassemble: %d bytes vs %d", len(joined), len(data))
+		}
+		if fragSize > 0 {
+			for i, fr := range frags {
+				if i == len(frags)-1 {
+					continue
+				}
+				last := fr[len(fr)-1]
+				if last != ' ' && last != '\n' && last != '\r' && last != '\t' {
+					t.Fatalf("fragment %d ends mid-record with %q", i, last)
+				}
+			}
+		}
+	})
+}
+
+// FuzzIntegrityDisplacement asserts the Fig. 7 pure function never panics
+// and the returned displacement lands one past a delimiter (or EOF).
+func FuzzIntegrityDisplacement(f *testing.F) {
+	f.Add([]byte("hello world"), 3)
+	f.Add([]byte(""), 0)
+	f.Add([]byte("x"), 5)
+	f.Fuzz(func(t *testing.T, data []byte, pos int) {
+		extra, ok := IntegrityDisplacement(data, pos, nil)
+		if extra < 0 {
+			t.Fatalf("negative displacement %d", extra)
+		}
+		if ok && pos > 0 && pos < len(data) && extra > 0 {
+			end := pos + extra
+			if end > len(data) {
+				t.Fatalf("displacement %d runs past EOF", extra)
+			}
+			b := data[end-1]
+			if b != ' ' && b != '\n' && b != '\r' && b != '\t' {
+				t.Fatalf("displacement lands on %q, not a delimiter", b)
+			}
+		}
+	})
+}

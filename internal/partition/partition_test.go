@@ -1,0 +1,238 @@
+package partition
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func joinFrags(frags [][]byte) []byte {
+	var out []byte
+	for _, f := range frags {
+		out = append(out, f...)
+	}
+	return out
+}
+
+func TestSplitBasic(t *testing.T) {
+	data := []byte("alpha beta gamma delta epsilon")
+	frags, err := Split(data, Options{FragmentSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 2 {
+		t.Fatalf("got %d fragments, want several", len(frags))
+	}
+	if !bytes.Equal(joinFrags(frags), data) {
+		t.Fatal("fragments do not reassemble to input")
+	}
+	for i, f := range frags[:len(frags)-1] {
+		if f[len(f)-1] != ' ' {
+			t.Fatalf("fragment %d %q does not end at a delimiter", i, f)
+		}
+		if len(f) < 8 {
+			t.Fatalf("fragment %d shorter than draft size: %d", i, len(f))
+		}
+	}
+}
+
+func TestSplitNativeMode(t *testing.T) {
+	data := []byte("whole input as one fragment")
+	for _, size := range []int64{0, -1} {
+		frags, err := Split(data, Options{FragmentSize: size})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frags) != 1 || !bytes.Equal(frags[0], data) {
+			t.Fatalf("native mode with size %d gave %d fragments", size, len(frags))
+		}
+	}
+}
+
+func TestSplitEmptyInput(t *testing.T) {
+	for _, size := range []int64{0, 8} {
+		frags, err := Split(nil, Options{FragmentSize: size})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frags) != 0 {
+			t.Fatalf("empty input gave %d fragments", len(frags))
+		}
+	}
+}
+
+func TestSplitExactMultiple(t *testing.T) {
+	// Input ends exactly at a fragment boundary on a delimiter.
+	data := []byte("ab cd ef ") // 9 bytes
+	frags, err := Split(data, Options{FragmentSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 3 {
+		t.Fatalf("got %d fragments, want 3", len(frags))
+	}
+	if !bytes.Equal(joinFrags(frags), data) {
+		t.Fatal("fragments do not reassemble")
+	}
+}
+
+func TestSplitNoDelimiterExtendsToEOF(t *testing.T) {
+	data := bytes.Repeat([]byte("x"), 100)
+	frags, err := Split(data, Options{FragmentSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || len(frags[0]) != 100 {
+		t.Fatalf("undelimited input: got %d fragments (first %d bytes), want 1 of 100",
+			len(frags), len(frags[0]))
+	}
+}
+
+func TestSplitMaxScanEnforced(t *testing.T) {
+	data := bytes.Repeat([]byte("x"), 1000)
+	_, err := Split(data, Options{FragmentSize: 10, MaxScan: 50})
+	if !errors.Is(err, ErrScanLimit) {
+		t.Fatalf("err = %v, want ErrScanLimit", err)
+	}
+}
+
+func TestSplitCustomDelimiter(t *testing.T) {
+	// "the symbol defined by the programmer" (Fig. 7).
+	data := []byte("rec1;rec2;rec3;rec4;")
+	frags, err := Split(data, Options{FragmentSize: 6, Delimiters: []byte{';'}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frags[:len(frags)-1] {
+		if f[len(f)-1] != ';' {
+			t.Fatalf("fragment %d %q does not end at ';'", i, f)
+		}
+	}
+	if !bytes.Equal(joinFrags(frags), data) {
+		t.Fatal("fragments do not reassemble")
+	}
+}
+
+func TestScannerFragmentsCount(t *testing.T) {
+	sc := NewScanner(strings.NewReader("aa bb cc dd"), Options{FragmentSize: 4})
+	n := 0
+	for {
+		_, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if sc.Fragments() != n {
+		t.Fatalf("Fragments() = %d, want %d", sc.Fragments(), n)
+	}
+	// Next after EOF keeps returning EOF.
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next err = %v, want io.EOF", err)
+	}
+}
+
+func TestIntegrityDisplacement(t *testing.T) {
+	data := []byte("hello world")
+	// Boundary at 3 (inside "hello"): scan h-e-l-l-o -> space at index 5;
+	// extra displacement = 3 (indices 3,4,5).
+	extra, ok := IntegrityDisplacement(data, 3, nil)
+	if !ok || extra != 3 {
+		t.Fatalf("displacement = (%d,%v), want (3,true)", extra, ok)
+	}
+	// Boundary right after the space: record already ended.
+	extra, ok = IntegrityDisplacement(data, 6, nil)
+	if !ok || extra != 0 {
+		t.Fatalf("displacement at clean boundary = (%d,%v), want (0,true)", extra, ok)
+	}
+	// Boundary inside the final word: no delimiter before EOF.
+	extra, ok = IntegrityDisplacement(data, 8, nil)
+	if ok || extra != 3 {
+		t.Fatalf("displacement near EOF = (%d,%v), want (3,false)", extra, ok)
+	}
+	// Boundary exactly at EOF.
+	if _, ok := IntegrityDisplacement(data, len(data), nil); !ok {
+		t.Fatal("boundary at EOF should be ok")
+	}
+}
+
+// Property: for any word soup and any fragment size, fragments reassemble
+// exactly and every non-final fragment ends at a delimiter — "the content
+// of the source data file could be broken in shatters" never happens.
+func TestSplitNeverTearsWordsProperty(t *testing.T) {
+	prop := func(words []string, size uint8) bool {
+		var b bytes.Buffer
+		for _, w := range words {
+			for _, ch := range []byte(w) {
+				if ch != ' ' && ch != '\n' && ch != '\r' && ch != '\t' {
+					b.WriteByte(ch)
+				}
+			}
+			b.WriteByte(' ')
+		}
+		data := b.Bytes()
+		frags, err := Split(data, Options{FragmentSize: int64(size)%50 + 1})
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(joinFrags(frags), data) {
+			return false
+		}
+		for i, f := range frags {
+			if len(f) == 0 {
+				return false
+			}
+			if i == len(frags)-1 {
+				continue
+			}
+			last := f[len(f)-1]
+			if last != ' ' && last != '\n' && last != '\r' && last != '\t' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: word multiset is preserved — counting words per fragment and
+// summing equals counting over the whole input.
+func TestSplitPreservesWordMultisetProperty(t *testing.T) {
+	prop := func(seed []string, size uint8) bool {
+		text := strings.Join(seed, " ") + " "
+		frags, err := Split([]byte(text), Options{FragmentSize: int64(size)%40 + 1})
+		if err != nil {
+			return false
+		}
+		whole := make(map[string]int)
+		for _, w := range strings.Fields(text) {
+			whole[w]++
+		}
+		parts := make(map[string]int)
+		for _, f := range frags {
+			for _, w := range strings.Fields(string(f)) {
+				parts[w]++
+			}
+		}
+		if len(whole) != len(parts) {
+			return false
+		}
+		for k, v := range whole {
+			if parts[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcsd/internal/mapreduce"
+	"mcsd/internal/memsim"
+)
+
+func TestRunPipelinedWordCount(t *testing.T) {
+	text := strings.Repeat("lorem ipsum dolor ", 200)
+	res, err := RunPipelined(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
+		strings.NewReader(text), Options{FragmentSize: 128}, SumMerge[int])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Map()
+	if m["lorem"] != 200 || m["ipsum"] != 200 || m["dolor"] != 200 {
+		t.Fatalf("counts wrong: %v", m)
+	}
+	if res.Fragments < 5 {
+		t.Fatalf("Fragments = %d, want many", res.Fragments)
+	}
+}
+
+func TestRunPipelinedRequiresMerge(t *testing.T) {
+	_, err := RunPipelined[string, int, int](context.Background(), mapreduce.Config{}, wcSpec(),
+		strings.NewReader("a"), Options{}, nil)
+	if err == nil {
+		t.Fatal("nil merge accepted")
+	}
+}
+
+// Property: pipelined and sequential drivers are observationally identical.
+func TestPipelinedEqualsSequentialProperty(t *testing.T) {
+	prop := func(words []string, fragSize uint8) bool {
+		text := strings.Join(words, " ") + " "
+		opts := Options{FragmentSize: int64(fragSize)%60 + 1}
+		seq, err := Run(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
+			strings.NewReader(text), opts, SumMerge[int])
+		if err != nil {
+			return false
+		}
+		pip, err := RunPipelined(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
+			strings.NewReader(text), opts, SumMerge[int])
+		if err != nil {
+			return false
+		}
+		if seq.Fragments != pip.Fragments {
+			return false
+		}
+		sm, pm := seq.Map(), pip.Map()
+		if len(sm) != len(pm) {
+			return false
+		}
+		for k, v := range sm {
+			if pm[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPipelinedScanErrorPropagates(t *testing.T) {
+	data := strings.Repeat("x", 5000) // no delimiters
+	_, err := RunPipelined(context.Background(), mapreduce.Config{}, wcSpec(),
+		strings.NewReader(data), Options{FragmentSize: 10, MaxScan: 50}, SumMerge[int])
+	if !errors.Is(err, ErrScanLimit) {
+		t.Fatalf("err = %v, want ErrScanLimit", err)
+	}
+}
+
+func TestRunPipelinedOOMPropagates(t *testing.T) {
+	acct := memsim.NewAccountant(memsim.Config{CapacityBytes: 512, UsableFraction: 1.0})
+	cfg := mapreduce.Config{Workers: 1, Memory: acct}
+	_, err := RunPipelined(context.Background(), cfg, wcSpec(),
+		strings.NewReader(strings.Repeat("abc ", 500)), Options{FragmentSize: 1000}, SumMerge[int])
+	if !errors.Is(err, memsim.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestRunPipelinedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunPipelined(ctx, mapreduce.Config{}, wcSpec(),
+		strings.NewReader("a b c d"), Options{FragmentSize: 2}, SumMerge[int])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunPipelinedProducerStopsOnConsumerExit(t *testing.T) {
+	// A slow, endless reader: when the consumer dies early (OOM), the
+	// producer goroutine must stop promptly rather than leak.
+	acct := memsim.NewAccountant(memsim.Config{CapacityBytes: 128, UsableFraction: 1.0})
+	cfg := mapreduce.Config{Workers: 1, Memory: acct}
+	r := &infiniteWords{}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunPipelined(context.Background(), cfg, wcSpec(), r,
+			Options{FragmentSize: 4096}, SumMerge[int])
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, memsim.ErrOutOfMemory) {
+			t.Fatalf("err = %v, want ErrOutOfMemory", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipelined run wedged on an infinite input")
+	}
+}
+
+// infiniteWords yields "aa bb aa bb ..." forever.
+type infiniteWords struct{}
+
+func (i *infiniteWords) Read(p []byte) (int, error) {
+	for j := range p {
+		if j%3 == 2 {
+			p[j] = ' '
+		} else {
+			p[j] = 'a'
+		}
+	}
+	return len(p), nil
+}
+
+var _ io.Reader = (*infiniteWords)(nil)

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// MultiSDOutcome reports a data-intensive run striped across several smart
+// storage nodes — the "parallelisms among multiple McSD smart disks" the
+// paper's §VI names as its most exciting future work.
+type MultiSDOutcome struct {
+	Nodes     int
+	Elapsed   time.Duration
+	ShardTime time.Duration
+	// MergeTime is host-side folding of the per-node partial results.
+	MergeTime time.Duration
+	// ReturnTime is the serialized return of all partial results over the
+	// host's link.
+	ReturnTime time.Duration
+}
+
+// SimulateMultiSD stripes size bytes of a partitionable data-intensive app
+// across k identical SD nodes (each one a Table I duo-core node holding
+// size/k locally), runs all shards concurrently, returns the partial
+// results over the shared link, and folds them on the host.
+//
+// The scaling limiters are real: per-shard invocation overhead, the
+// serialized result return on the host's single link, and the host-side
+// merge, which grows with the number of partials.
+func SimulateMultiSD(cfg PairConfig, k int) (MultiSDOutcome, error) {
+	out := MultiSDOutcome{Nodes: k}
+	if k <= 0 {
+		return out, fmt.Errorf("sim: need at least one SD node, got %d", k)
+	}
+	sd := cfg.Cluster.SD()
+	host := cfg.Cluster.Host()
+	if sd == nil || host == nil {
+		return out, errors.New("sim: cluster must have host and SD nodes")
+	}
+	shardBytes := (cfg.DataBytes + int64(k) - 1) / int64(k)
+	exec := Exec{Node: *sd, PartitionBytes: cfg.PartitionBytes}
+	shard, err := DataAppTime(cfg.DataCost, shardBytes, exec)
+	if err != nil {
+		return out, err
+	}
+	out.ShardTime = shard.Elapsed
+
+	net := cfg.Cluster.Network
+	resultBytes := int64(cfg.DataCost.OutputRatio * float64(shardBytes))
+	// All k shards start together (one invocation each) and run fully in
+	// parallel on their own nodes; the k result transfers serialize on
+	// the host's link; the host folds k partials.
+	invoke := NewTask("smartfam.invoke", InvocationOverhead(net, cfg.SMBLoad))
+	shards := make([]*Task, k)
+	for i := range shards {
+		shards[i] = NewTask(fmt.Sprintf("sd%d.shard", i), shard.Elapsed).After(invoke)
+	}
+	barrier := Join("shards-done", shards...)
+	perReturn := StageTime(net, resultBytes, cfg.SMBLoad)
+	out.ReturnTime = time.Duration(k) * perReturn
+	returns := NewTask("net.results", out.ReturnTime).After(barrier)
+	// Host-side merge: fold k partial tables at the host's word-grade
+	// processing rate.
+	mergeRate := cfg.DataCost.MapRateBps * host.CPU.CoreSpeed()
+	out.MergeTime = secs(float64(resultBytes) * float64(k) / mergeRate)
+	merge := NewTask("host.merge", out.MergeTime).After(returns)
+	elapsed, err := FinishTime(merge)
+	if err != nil {
+		return out, err
+	}
+	out.Elapsed = elapsed
+	return out, nil
+}
+
+// MultiSDSpeedup returns the elapsed-time ratio of the single-node run to
+// the k-node run for the given configuration.
+func MultiSDSpeedup(cfg PairConfig, k int) (float64, error) {
+	one, err := SimulateMultiSD(cfg, 1)
+	if err != nil {
+		return 0, err
+	}
+	kth, err := SimulateMultiSD(cfg, k)
+	if err != nil {
+		return 0, err
+	}
+	if kth.Elapsed <= 0 {
+		return 0, errors.New("sim: non-positive elapsed")
+	}
+	return float64(one.Elapsed) / float64(kth.Elapsed), nil
+}

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"testing"
+
+	"mcsd/internal/cluster"
+	"mcsd/internal/workloads"
+)
+
+func wcPair(dataBytes int64) PairConfig {
+	return PairConfig{
+		Cluster:        cluster.TableI(),
+		DataCost:       workloads.WordCountCost(),
+		DataBytes:      dataBytes,
+		MatrixN:        1024,
+		PartitionBytes: 600 << 20,
+		SMBLoad:        0.1,
+	}
+}
+
+func smPair(dataBytes int64) PairConfig {
+	cfg := wcPair(dataBytes)
+	cfg.DataCost = workloads.StringMatchCost()
+	return cfg
+}
+
+func speedupOf(t *testing.T, cfg PairConfig, scen Scenario) float64 {
+	t.Helper()
+	base, err := SimulatePair(cfg, scen)
+	if err != nil {
+		t.Fatalf("%v: %v", scen, err)
+	}
+	opt, err := SimulatePair(cfg, ScenarioMcSD)
+	if err != nil {
+		t.Fatalf("McSD: %v", err)
+	}
+	s, ok := Speedup(base, opt)
+	if !ok {
+		t.Fatalf("%v at %d bytes: no finite speedup (OOM base=%v opt=%v)",
+			scen, cfg.DataBytes, base.OOM, opt.OOM)
+	}
+	return s
+}
+
+// Fig. 9 shape: "compared with the traditional (single-core processor
+// equipped) SD, the McSD ... averagely improves the overall performance by
+// 2X" — flat across sizes.
+func TestMMWCTradSDSpeedupAboutTwo(t *testing.T) {
+	for _, size := range []int64{500 << 20, 750 << 20, gb, 5 * gb / 4} {
+		s := speedupOf(t, wcPair(size), ScenarioTradSD)
+		if s < 1.5 || s > 2.6 {
+			t.Errorf("Trad-SD speedup at %d MB = %.2f, want ~2", size>>20, s)
+		}
+	}
+}
+
+// Fig. 9 shape: non-partitioned approaches blow up past the memory
+// threshold — "the speedups averagely achieve 6.8X and 17.4X".
+func TestMMWCNonPartitionedBlowupPastThreshold(t *testing.T) {
+	// Below threshold: only slight improvement.
+	if s := speedupOf(t, wcPair(500<<20), ScenarioMcSDNoPartition); s < 0.85 || s > 1.8 {
+		t.Errorf("McSD-nopart speedup at 500MB = %.2f, want ~1 (below threshold)", s)
+	}
+	// Past threshold: large.
+	s1g := speedupOf(t, wcPair(gb), ScenarioMcSDNoPartition)
+	if s1g < 2.5 {
+		t.Errorf("McSD-nopart speedup at 1GB = %.2f, want >= 2.5", s1g)
+	}
+	s125 := speedupOf(t, wcPair(5*gb/4), ScenarioMcSDNoPartition)
+	if s125 < 5 || s125 > 12 {
+		t.Errorf("McSD-nopart speedup at 1.25GB = %.2f, want ~6.8", s125)
+	}
+	if s125 <= s1g {
+		t.Errorf("speedup must grow with size past threshold: %.2f <= %.2f", s125, s1g)
+	}
+}
+
+func TestMMWCHostOnlyWorstPastThreshold(t *testing.T) {
+	if s := speedupOf(t, wcPair(500<<20), ScenarioHostOnly); s < 0.7 || s > 2.5 {
+		t.Errorf("Host-only speedup at 500MB = %.2f, want ~1 (slight)", s)
+	}
+	s125 := speedupOf(t, wcPair(5*gb/4), ScenarioHostOnly)
+	if s125 < 13 || s125 > 23 {
+		t.Errorf("Host-only speedup at 1.25GB = %.2f, want ~17.4", s125)
+	}
+	// Host-only (NFS-backed, contended swap) must be worse than the
+	// SD-local non-partitioned run, as in the paper (17.4X vs 6.8X).
+	nopart := speedupOf(t, wcPair(5*gb/4), ScenarioMcSDNoPartition)
+	if s125 <= nopart {
+		t.Errorf("Host-only (%.2f) should exceed McSD-nopart (%.2f) at 1.25GB", s125, nopart)
+	}
+}
+
+// Fig. 10 shape: the MM/SM pair shows moderate, flat speedups (~1.5-2.5x)
+// with no blowup — SM is "less data-intensive".
+func TestMMSMSpeedupsModerateNoBlowup(t *testing.T) {
+	for _, size := range []int64{500 << 20, 750 << 20, gb, 5 * gb / 4} {
+		trad := speedupOf(t, smPair(size), ScenarioTradSD)
+		if trad < 1.3 || trad > 2.6 {
+			t.Errorf("SM Trad-SD speedup at %dMB = %.2f, want ~1.5-2", size>>20, trad)
+		}
+		host := speedupOf(t, smPair(size), ScenarioHostOnly)
+		if host < 0.9 || host > 3.5 {
+			t.Errorf("SM Host-only speedup at %dMB = %.2f, want ~2-2.5 (no blowup)", size>>20, host)
+		}
+		nopart := speedupOf(t, smPair(size), ScenarioMcSDNoPartition)
+		if nopart < 0.85 || nopart > 3 {
+			t.Errorf("SM McSD-nopart speedup at %dMB = %.2f, want ~1-2 (no blowup)", size>>20, nopart)
+		}
+	}
+}
+
+func TestPairOOMPastWall(t *testing.T) {
+	// At 1.5 GB WC the non-partitioned scenarios hit the wall; McSD does
+	// not.
+	cfg := wcPair(3 * gb / 2)
+	nopart, err := SimulatePair(cfg, ScenarioMcSDNoPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nopart.OOM {
+		t.Fatal("1.5GB native WC should OOM")
+	}
+	hostOnly, err := SimulatePair(cfg, ScenarioHostOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hostOnly.OOM {
+		t.Fatal("1.5GB host-only native WC should OOM")
+	}
+	mcsd, err := SimulatePair(cfg, ScenarioMcSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcsd.OOM {
+		t.Fatal("partitioned McSD must survive 1.5GB")
+	}
+	if _, ok := Speedup(nopart, mcsd); ok {
+		t.Fatal("Speedup over an OOM baseline must not be finite")
+	}
+}
+
+func TestSimulatePairRejectsBadCluster(t *testing.T) {
+	cfg := wcPair(gb)
+	cfg.Cluster = cluster.Cluster{}
+	if _, err := SimulatePair(cfg, ScenarioMcSD); err == nil {
+		t.Fatal("cluster without host/SD accepted")
+	}
+	cfg = wcPair(gb)
+	if _, err := SimulatePair(cfg, Scenario(99)); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestScenarioStrings(t *testing.T) {
+	want := map[Scenario]string{
+		ScenarioMcSD:            "McSD",
+		ScenarioHostOnly:        "Host-only",
+		ScenarioTradSD:          "Trad-SD",
+		ScenarioMcSDNoPartition: "McSD-nopart",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), name)
+		}
+	}
+}
+
+// Fig. 8(a) shape: partition-enabled parallel vs sequential achieves ~2x on
+// the duo and up to ~3.5-4.5x on the quad (warm-cache compute-bound runs).
+func TestSingleAppSpeedupVsSequential(t *testing.T) {
+	duo, quad := sdNode(), hostNode()
+	for _, tc := range []struct {
+		name     string
+		cost     workloads.CostModel
+		node     cluster.Node
+		min, max float64
+	}{
+		{"duo-wc", workloads.WordCountCost(), duo, 1.7, 2.1},
+		{"quad-wc", workloads.WordCountCost(), quad, 3.0, 4.5},
+		{"duo-sm", workloads.StringMatchCost(), duo, 1.7, 2.1},
+		{"quad-sm", workloads.StringMatchCost(), quad, 3.0, 4.5},
+	} {
+		seq, err := SimulateSingle(tc.cost, 500<<20, tc.node, SingleSequential, 600<<20, true)
+		if err != nil {
+			t.Fatalf("%s seq: %v", tc.name, err)
+		}
+		par, err := SimulateSingle(tc.cost, 500<<20, tc.node, SingleParallelPartitioned, 600<<20, true)
+		if err != nil {
+			t.Fatalf("%s par: %v", tc.name, err)
+		}
+		s := float64(seq.Elapsed) / float64(par.Elapsed)
+		if s < tc.min || s > tc.max {
+			t.Errorf("%s speedup = %.2f, want [%.1f, %.1f]", tc.name, s, tc.min, tc.max)
+		}
+	}
+}
+
+// §V-B text: "the elapsed time of Partition-enabled approach is only 1/6 of
+// the traditional one" for WC at huge sizes.
+func TestSingleAppPartitionedVsNativeAtHugeSize(t *testing.T) {
+	native, err := SimulateSingle(workloads.WordCountCost(), 5*gb/4, sdNode(), SingleParallelNative, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := SimulateSingle(workloads.WordCountCost(), 5*gb/4, sdNode(), SingleParallelPartitioned, 600<<20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(native.Elapsed) / float64(part.Elapsed)
+	if ratio < 4 || ratio > 12 {
+		t.Errorf("native/partitioned at 1.25GB = %.2f, want ~6", ratio)
+	}
+}
+
+// Fig. 8(b,c) shape: partition-enabled growth is near-linear and quad stays
+// below duo.
+func TestGrowthCurvesLinearAndOrdered(t *testing.T) {
+	sizes := []int64{500 << 20, gb, 3 * gb / 2, 2 * gb}
+	var duoT, quadT []float64
+	for _, size := range sizes {
+		d, err := SimulateSingle(workloads.WordCountCost(), size, sdNode(), SingleParallelPartitioned, 600<<20, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := SimulateSingle(workloads.WordCountCost(), size, hostNode(), SingleParallelPartitioned, 600<<20, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Elapsed >= d.Elapsed {
+			t.Errorf("quad (%v) not faster than duo (%v) at %dMB", q.Elapsed, d.Elapsed, size>>20)
+		}
+		duoT = append(duoT, d.Elapsed.Seconds())
+		quadT = append(quadT, q.Elapsed.Seconds())
+	}
+	// Linearity: time per byte roughly constant (within 40%).
+	for _, ts := range [][]float64{duoT, quadT} {
+		first := ts[0] / float64(sizes[0])
+		last := ts[len(ts)-1] / float64(sizes[len(sizes)-1])
+		if last > first*1.4 || last < first*0.6 {
+			t.Errorf("growth not near-linear: %.3g s/B -> %.3g s/B", first, last)
+		}
+	}
+}

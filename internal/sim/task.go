@@ -1,0 +1,125 @@
+// Package sim is the performance model that regenerates the paper's
+// figures at testbed scale (500 MB – 2 GB inputs, duo/quad cores, 2 GB
+// RAM, 1 GbE) on a machine that has none of those. It combines:
+//
+//   - a task-graph evaluator (tasks with durations and dependencies;
+//     elapsed time is the critical path), which captures the overlap
+//     structure of the McSD framework — the host's computation-intensive
+//     function runs concurrently with the SD node's data-intensive one;
+//   - an analytic per-task cost model: map/reduce byte rates scaled by
+//     core count and per-core speed (internal/cluster), memory-thrash
+//     multipliers (internal/memsim), and network transfer times
+//     (internal/netsim).
+//
+// The absolute constants are calibrated to Table I-era hardware and can be
+// re-anchored to the real engine with Calibrate; the figures' shapes —
+// who wins, where the memory wall sits, the size of the blowups — come
+// from the same mechanisms the paper credits.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Task is one unit of simulated work with explicit dependencies. A task
+// starts when all dependencies have finished; elapsed time of a graph is
+// the critical path to its sink.
+type Task struct {
+	Name     string
+	Duration time.Duration
+	Deps     []*Task
+
+	// memo for evaluation
+	state  evalState
+	finish time.Duration
+}
+
+type evalState int
+
+const (
+	unvisited evalState = iota
+	visiting
+	done
+)
+
+// ErrCycle reports a dependency cycle.
+var ErrCycle = errors.New("sim: task graph has a cycle")
+
+// After declares deps as prerequisites of t and returns t for chaining.
+func (t *Task) After(deps ...*Task) *Task {
+	t.Deps = append(t.Deps, deps...)
+	return t
+}
+
+// NewTask creates a task.
+func NewTask(name string, d time.Duration) *Task {
+	if d < 0 {
+		d = 0
+	}
+	return &Task{Name: name, Duration: d}
+}
+
+// FinishTime returns when t completes, assuming every task starts as soon
+// as its dependencies allow (infinite resources between tasks — resource
+// contention is priced inside task durations by the cost model).
+func FinishTime(t *Task) (time.Duration, error) {
+	reset(t, make(map[*Task]bool))
+	return finishTime(t)
+}
+
+func reset(t *Task, seen map[*Task]bool) {
+	if seen[t] {
+		return
+	}
+	seen[t] = true
+	t.state = unvisited
+	t.finish = 0
+	for _, d := range t.Deps {
+		reset(d, seen)
+	}
+}
+
+func finishTime(t *Task) (time.Duration, error) {
+	switch t.state {
+	case done:
+		return t.finish, nil
+	case visiting:
+		return 0, fmt.Errorf("%w: via %q", ErrCycle, t.Name)
+	}
+	t.state = visiting
+	var start time.Duration
+	for _, d := range t.Deps {
+		f, err := finishTime(d)
+		if err != nil {
+			return 0, err
+		}
+		if f > start {
+			start = f
+		}
+	}
+	t.state = done
+	t.finish = start + t.Duration
+	return t.finish, nil
+}
+
+// Chain links tasks sequentially (each after the previous) and returns the
+// last one. It models serial execution on one resource.
+func Chain(tasks ...*Task) *Task {
+	for i := 1; i < len(tasks); i++ {
+		tasks[i].After(tasks[i-1])
+	}
+	if len(tasks) == 0 {
+		return NewTask("empty", 0)
+	}
+	return tasks[len(tasks)-1]
+}
+
+// Join returns a zero-duration task that finishes when all of tasks have —
+// a barrier.
+func Join(name string, tasks ...*Task) *Task {
+	j := NewTask(name, 0)
+	j.After(tasks...)
+	return j
+}

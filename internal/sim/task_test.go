@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFinishTimeSingleTask(t *testing.T) {
+	got, err := FinishTime(NewTask("a", 5*time.Second))
+	if err != nil || got != 5*time.Second {
+		t.Fatalf("FinishTime = (%v, %v), want 5s", got, err)
+	}
+}
+
+func TestFinishTimeChainSums(t *testing.T) {
+	last := Chain(
+		NewTask("a", time.Second),
+		NewTask("b", 2*time.Second),
+		NewTask("c", 3*time.Second),
+	)
+	got, err := FinishTime(last)
+	if err != nil || got != 6*time.Second {
+		t.Fatalf("chain = (%v, %v), want 6s", got, err)
+	}
+}
+
+func TestFinishTimeJoinTakesMax(t *testing.T) {
+	a := NewTask("a", 10*time.Second)
+	b := NewTask("b", 3*time.Second)
+	j := Join("barrier", a, b)
+	got, err := FinishTime(j)
+	if err != nil || got != 10*time.Second {
+		t.Fatalf("join = (%v, %v), want 10s", got, err)
+	}
+}
+
+func TestFinishTimeDiamondCriticalPath(t *testing.T) {
+	// src -> {left(2s), right(7s)} -> sink(1s): critical path 8s.
+	src := NewTask("src", 0)
+	left := NewTask("left", 2*time.Second).After(src)
+	right := NewTask("right", 7*time.Second).After(src)
+	sink := NewTask("sink", time.Second).After(left, right)
+	got, err := FinishTime(sink)
+	if err != nil || got != 8*time.Second {
+		t.Fatalf("diamond = (%v, %v), want 8s", got, err)
+	}
+}
+
+func TestFinishTimeOverlapModelsOffload(t *testing.T) {
+	// The McSD shape: a long SD-side run overlapping a short host-side
+	// run; elapsed is the longer branch plus the result return.
+	invoke := NewTask("invoke", 10*time.Millisecond)
+	sdRun := NewTask("sd", 20*time.Second).After(invoke)
+	ret := NewTask("ret", 500*time.Millisecond).After(sdRun)
+	mm := NewTask("mm", 2*time.Second)
+	sink := Join("done", ret, mm)
+	got, err := FinishTime(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10*time.Millisecond + 20*time.Second + 500*time.Millisecond
+	if got != want {
+		t.Fatalf("overlap = %v, want %v", got, want)
+	}
+}
+
+func TestFinishTimeDetectsCycle(t *testing.T) {
+	a := NewTask("a", time.Second)
+	b := NewTask("b", time.Second).After(a)
+	a.After(b)
+	if _, err := FinishTime(b); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestFinishTimeReusableAfterEvaluation(t *testing.T) {
+	a := NewTask("a", time.Second)
+	b := NewTask("b", time.Second).After(a)
+	if _, err := FinishTime(b); err != nil {
+		t.Fatal(err)
+	}
+	// Re-evaluating the same graph must reset memoization.
+	got, err := FinishTime(b)
+	if err != nil || got != 2*time.Second {
+		t.Fatalf("second evaluation = (%v, %v), want 2s", got, err)
+	}
+}
+
+// Property: on random layered DAGs, every task's finish time is at least
+// its duration plus the max of its dependencies' finish times, and the
+// sink's finish is at least the longest single task and at most the sum of
+// all durations.
+func TestFinishTimePropertyRandomDAGs(t *testing.T) {
+	prop := func(durs []uint16, edges []uint16) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 24 {
+			durs = durs[:24]
+		}
+		tasks := make([]*Task, len(durs))
+		var sum time.Duration
+		var longest time.Duration
+		for i, d := range durs {
+			dur := time.Duration(d) * time.Millisecond
+			tasks[i] = NewTask(fmt.Sprintf("t%d", i), dur)
+			sum += dur
+			if dur > longest {
+				longest = dur
+			}
+		}
+		// Edges only go forward (j -> i with j < i): guaranteed acyclic.
+		for k, e := range edges {
+			if len(tasks) < 2 {
+				break
+			}
+			i := 1 + int(e)%(len(tasks)-1)
+			j := int(uint(k)*2654435761) % i
+			tasks[i].After(tasks[j])
+		}
+		sink := Join("sink", tasks...)
+		finish, err := FinishTime(sink)
+		if err != nil {
+			return false
+		}
+		if finish < longest || finish > sum {
+			return false
+		}
+		// Local consistency: every task finishes no earlier than each dep
+		// plus its own duration... equivalently finish >= dep.finish.
+		for _, tk := range tasks {
+			for _, dep := range tk.Deps {
+				if tk.finish < dep.finish {
+					return false
+				}
+				if tk.finish < dep.finish+tk.Duration {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTaskClampsNegativeDuration(t *testing.T) {
+	if d := NewTask("n", -time.Second).Duration; d != 0 {
+		t.Fatalf("negative duration kept: %v", d)
+	}
+}
+
+func TestChainEmpty(t *testing.T) {
+	got, err := FinishTime(Chain())
+	if err != nil || got != 0 {
+		t.Fatalf("empty chain = (%v, %v), want 0", got, err)
+	}
+}

@@ -1,0 +1,115 @@
+package smartfam
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Client is the host-node side of smartFAM: it writes input parameters into
+// a module's log file on the share (step 1 of Fig. 5) and watches the log
+// for the module's results (steps 2-4 of result return).
+type Client struct {
+	fs       FS
+	interval time.Duration
+}
+
+// NewClient returns a client over the shared folder fsys, polling for
+// responses at the given interval (DefaultPollInterval when <= 0).
+func NewClient(fsys FS, interval time.Duration) *Client {
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	return &Client{fs: fsys, interval: interval}
+}
+
+// ModuleError is a module-side failure relayed through the log file.
+type ModuleError struct {
+	Module string
+	Msg    string
+}
+
+func (e *ModuleError) Error() string {
+	return fmt.Sprintf("smartfam: module %q failed: %s", e.Module, e.Msg)
+}
+
+// Modules lists the modules available on the SD node, discovered from the
+// log files present on the share.
+func (c *Client) Modules() ([]string, error) {
+	names, err := c.fs.List()
+	if err != nil {
+		return nil, err
+	}
+	var mods []string
+	for _, n := range names {
+		if m, ok := ModuleFromLog(n); ok {
+			mods = append(mods, m)
+		}
+	}
+	return mods, nil
+}
+
+// Invoke calls the named module with params and blocks until its results
+// arrive or ctx is done. A missing log file means the module is not loaded
+// (ErrUnknownModule).
+func (c *Client) Invoke(ctx context.Context, module string, params []byte) ([]byte, error) {
+	logName := LogName(module)
+	// The log file is created at preload time; its absence means the
+	// module does not exist on the SD node.
+	off, _, err := c.fs.Stat(logName)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownModule, module)
+		}
+		return nil, err
+	}
+
+	id := NewID()
+	req := Record{Kind: KindRequest, ID: id, Payload: params}
+	line, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.fs.Append(logName, line); err != nil {
+		return nil, fmt.Errorf("smartfam: sending request to %q: %w", module, err)
+	}
+
+	// Watch the log from just before our own request; our request record
+	// is skipped by kind, and the daemon's response is matched by ID.
+	gen := ReadGeneration(c.fs, module)
+	ticker := time.NewTicker(c.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ticker.C:
+			// Tolerate a compacted/recreated log: restart from the top
+			// (our pending request survives compaction by design).
+			if g := ReadGeneration(c.fs, module); g != gen {
+				gen, off = g, 0
+			} else if size, _, err := c.fs.Stat(logName); err == nil && size < off {
+				off = 0
+			}
+			data, err := ReadFrom(c.fs, logName, off)
+			if err != nil || len(data) == 0 {
+				continue
+			}
+			recs, consumed, err := ParseRecords(data)
+			if err != nil {
+				return nil, err
+			}
+			off += int64(consumed)
+			for _, rec := range recs {
+				if rec.Kind != KindResponse || rec.ID != id {
+					continue
+				}
+				if rec.Status == StatusError {
+					return nil, &ModuleError{Module: module, Msg: string(rec.Payload)}
+				}
+				return rec.Payload, nil
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package smartfam
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mcsd/internal/metrics"
+)
+
+// Daemon is the SD-node side of smartFAM (Fig. 5, steps 2-4 of parameter
+// passing): it watches every module log file on the share, and when the
+// host appends a request, it retrieves the parameters, invokes the module,
+// and appends the results as a response record.
+type Daemon struct {
+	fs        FS
+	reg       *Registry
+	interval  time.Duration
+	heartbeat time.Duration
+	workers   int
+	metrics   *metrics.Registry
+
+	mu        sync.Mutex
+	offsets   map[string]int64 // consumed bytes per log file
+	gens      map[string]int64 // observed compaction generation per log
+	responded map[string]struct{}
+}
+
+// DaemonOption configures a Daemon.
+type DaemonOption func(*Daemon)
+
+// WithPollInterval sets the watcher poll interval.
+func WithPollInterval(d time.Duration) DaemonOption {
+	return func(dm *Daemon) { dm.interval = d }
+}
+
+// WithWorkers bounds concurrent module invocations — the number of cores
+// the SD node dedicates to data-intensive modules.
+func WithWorkers(n int) DaemonOption {
+	return func(dm *Daemon) {
+		if n > 0 {
+			dm.workers = n
+		}
+	}
+}
+
+// WithMetrics attaches a metrics registry.
+func WithMetrics(m *metrics.Registry) DaemonOption {
+	return func(dm *Daemon) { dm.metrics = m }
+}
+
+// WithHeartbeat sets the liveness-stamp refresh interval; a negative value
+// disables the heartbeat entirely.
+func WithHeartbeat(d time.Duration) DaemonOption {
+	return func(dm *Daemon) { dm.heartbeat = d }
+}
+
+// NewDaemon returns a daemon serving the modules of reg over the share
+// fsys.
+func NewDaemon(fsys FS, reg *Registry, opts ...DaemonOption) *Daemon {
+	d := &Daemon{
+		fs:        fsys,
+		reg:       reg,
+		interval:  DefaultPollInterval,
+		heartbeat: DefaultHeartbeatInterval,
+		workers:   2,
+		metrics:   metrics.NewRegistry(),
+		offsets:   make(map[string]int64),
+		gens:      make(map[string]int64),
+		responded: make(map[string]struct{}),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Metrics returns the daemon's metrics registry.
+func (d *Daemon) Metrics() *metrics.Registry { return d.metrics }
+
+// Run serves until ctx is done. It always returns ctx.Err().
+func (d *Daemon) Run(ctx context.Context) error {
+	w := NewWatcher(d.fs, d.interval)
+	w.AddAll()
+	go w.Run(ctx) //nolint:errcheck // terminates with ctx
+	if d.heartbeat >= 0 {
+		go RunHeartbeat(ctx, d.fs, d.heartbeat) //nolint:errcheck // terminates with ctx
+	}
+
+	sem := make(chan struct{}, d.workers)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	dispatch := func(logName string) error {
+		module, ok := ModuleFromLog(logName)
+		if !ok {
+			return nil
+		}
+		for _, req := range d.drainRequests(logName) {
+			req := req
+			wg.Add(1)
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				wg.Done()
+				return ctx.Err()
+			}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				d.serve(ctx, module, req)
+			}()
+		}
+		return nil
+	}
+
+	// Change notifications are the fast path; the rescan sweep is the
+	// safety net that recovers requests whose event was dropped (watcher
+	// backlog) or whose drain hit a transient share error.
+	rescanEvery := 50 * d.interval
+	if rescanEvery < 20*time.Millisecond {
+		rescanEvery = 20 * time.Millisecond
+	}
+	rescan := time.NewTicker(rescanEvery)
+	defer rescan.Stop()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case ev := <-w.Events():
+			if err := dispatch(ev.Name); err != nil {
+				return err
+			}
+		case <-rescan.C:
+			names, err := d.fs.List()
+			if err != nil {
+				continue // transient; the next sweep retries
+			}
+			for _, name := range names {
+				if err := dispatch(name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// drainRequests reads new records from the log and returns the unanswered
+// requests. Responses (including our own) advance the offset and mark IDs
+// answered, so restarts and echoes are harmless.
+func (d *Daemon) drainRequests(logName string) []Record {
+	module, _ := ModuleFromLog(logName)
+	d.mu.Lock()
+	off := d.offsets[logName]
+	lastGen := d.gens[logName]
+	d.mu.Unlock()
+
+	// A changed compaction generation (or a log smaller than our offset)
+	// means the saved offset points into a different file image: restart
+	// from the top. The responded set keeps replayed requests idempotent.
+	gen := ReadGeneration(d.fs, module)
+	size, _, statErr := d.fs.Stat(logName)
+	if gen != lastGen || (statErr == nil && size < off) {
+		off = 0
+		d.mu.Lock()
+		d.offsets[logName] = 0
+		d.gens[logName] = gen
+		d.mu.Unlock()
+	}
+
+	data, err := ReadFrom(d.fs, logName, off)
+	if err != nil || len(data) == 0 {
+		return nil
+	}
+	recs, consumed, err := ParseRecords(data)
+	if err != nil {
+		d.metrics.Counter("smartfam.daemon.parse_errors").Inc()
+		// Skip the poisoned region to avoid wedging on one bad line.
+		d.mu.Lock()
+		d.offsets[logName] = off + int64(len(data))
+		d.mu.Unlock()
+		return nil
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.offsets[logName] = off + int64(consumed)
+	var reqs []Record
+	for _, rec := range recs {
+		switch rec.Kind {
+		case KindResponse:
+			d.responded[rec.ID] = struct{}{}
+		case KindRequest:
+			if _, done := d.responded[rec.ID]; !done {
+				reqs = append(reqs, rec)
+			}
+		}
+	}
+	return reqs
+}
+
+// serve runs one module invocation and appends the response record
+// (steps 3-4 of Fig. 5's parameter passing, step 1 of result return).
+func (d *Daemon) serve(ctx context.Context, module string, req Record) {
+	d.metrics.Counter("smartfam.daemon.requests").Inc()
+	timer := d.metrics.Timer("smartfam.daemon.invoke")
+	start := time.Now()
+
+	var (
+		payload []byte
+		status  = StatusOK
+	)
+	m, err := d.reg.Lookup(module)
+	if err == nil {
+		payload, err = runGuarded(ctx, m, req.Payload)
+	}
+	if err != nil {
+		status = StatusError
+		payload = []byte(err.Error())
+		d.metrics.Counter("smartfam.daemon.errors").Inc()
+	}
+	timer.Observe(time.Since(start))
+
+	res := Record{Kind: KindResponse, ID: req.ID, Status: status, Payload: payload}
+	line, err := res.Marshal()
+	if err != nil {
+		d.metrics.Counter("smartfam.daemon.marshal_errors").Inc()
+		return
+	}
+	d.mu.Lock()
+	d.responded[req.ID] = struct{}{}
+	d.mu.Unlock()
+	if err := d.fs.Append(LogName(module), line); err != nil {
+		d.metrics.Counter("smartfam.daemon.append_errors").Inc()
+	}
+}
+
+// runGuarded converts module panics into errors so one bad invocation
+// cannot kill the daemon.
+func runGuarded(ctx context.Context, m Module, params []byte) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("smartfam: module %q panicked: %v", m.Name(), r)
+		}
+	}()
+	return m.Run(ctx, params)
+}

@@ -1,0 +1,53 @@
+package smartfam_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"mcsd/internal/smartfam"
+)
+
+// Example_invocation wires up the full Fig. 5 mechanism in one process: a
+// module registered on an SD node's share, the daemon watching its log
+// file, and a host-side client invoking it by writing parameters into that
+// log.
+func Example_invocation() {
+	dir, err := os.MkdirTemp("", "smartfam-example-*")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	share := smartfam.DirFS(dir)
+
+	// SD node side: register a module (this creates its log file) and
+	// serve it.
+	registry := smartfam.NewRegistry(share)
+	err = registry.Register(smartfam.ModuleFunc{
+		ModuleName: "greet",
+		Fn: func(_ context.Context, params []byte) ([]byte, error) {
+			return []byte("hello, " + string(params)), nil
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	daemon := smartfam.NewDaemon(share, registry)
+	go daemon.Run(ctx) //nolint:errcheck
+
+	// Host side: invoke through the shared folder.
+	client := smartfam.NewClient(share, time.Millisecond)
+	result, err := client.Invoke(ctx, "greet", []byte("storage node"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(string(result))
+	// Output:
+	// hello, storage node
+}

@@ -1,0 +1,164 @@
+package smartfam
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// faultFS wraps an FS and fails selected operations — transient-NFS-error
+// injection for robustness tests.
+type faultFS struct {
+	FS
+	mu       sync.Mutex
+	failOps  map[string]int // op -> remaining failures
+	injected int
+}
+
+var errInjected = errors.New("injected fault")
+
+func newFaultFS(inner FS) *faultFS {
+	return &faultFS{FS: inner, failOps: make(map[string]int)}
+}
+
+func (f *faultFS) failNext(op string, n int) {
+	f.mu.Lock()
+	f.failOps[op] = n
+	f.mu.Unlock()
+}
+
+func (f *faultFS) maybeFail(op string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failOps[op] > 0 {
+		f.failOps[op]--
+		f.injected++
+		return errInjected
+	}
+	return nil
+}
+
+func (f *faultFS) Append(name string, data []byte) error {
+	if err := f.maybeFail("append"); err != nil {
+		return err
+	}
+	return f.FS.Append(name, data)
+}
+
+func (f *faultFS) Stat(name string) (int64, time.Time, error) {
+	if err := f.maybeFail("stat"); err != nil {
+		return 0, time.Time{}, err
+	}
+	return f.FS.Stat(name)
+}
+
+func (f *faultFS) ReadAt(name string, p []byte, off int64) (int, error) {
+	if err := f.maybeFail("read"); err != nil {
+		return 0, err
+	}
+	return f.FS.ReadAt(name, p, off)
+}
+
+func (f *faultFS) List() ([]string, error) {
+	if err := f.maybeFail("list"); err != nil {
+		return nil, err
+	}
+	return f.FS.List()
+}
+
+func TestDaemonSurvivesTransientFaults(t *testing.T) {
+	inner := DirFS(t.TempDir())
+	ffs := newFaultFS(inner)
+	reg := NewRegistry(inner) // registry writes go direct (setup)
+	if err := reg.Register(echoModule()); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDaemon(ffs, reg, WithPollInterval(time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.Run(ctx) //nolint:errcheck
+
+	// Inject a burst of stat/read/list failures; the daemon must keep
+	// polling through them and serve the request that follows.
+	ffs.failNext("stat", 5)
+	ffs.failNext("read", 3)
+	ffs.failNext("list", 2)
+
+	c := NewClient(inner, time.Millisecond)
+	ictx, icancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer icancel()
+	got, err := c.Invoke(ictx, "echo", []byte("despite faults"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "echo:despite faults" {
+		t.Fatalf("result = %q", got)
+	}
+	ffs.mu.Lock()
+	injected := ffs.injected
+	ffs.mu.Unlock()
+	if injected == 0 {
+		t.Fatal("no faults were actually injected; test proves nothing")
+	}
+}
+
+func TestDaemonCountsFailedResponseAppends(t *testing.T) {
+	inner := DirFS(t.TempDir())
+	ffs := newFaultFS(inner)
+	reg := NewRegistry(inner)
+	if err := reg.Register(echoModule()); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDaemon(ffs, reg) // not running; drive by hand
+	req := Record{Kind: KindRequest, ID: "r1", Payload: []byte("p")}
+	line, _ := req.Marshal()
+	if err := inner.Append(LogName("echo"), line); err != nil {
+		t.Fatal(err)
+	}
+	reqs := d.drainRequests(LogName("echo"))
+	if len(reqs) != 1 {
+		t.Fatalf("drained %d requests", len(reqs))
+	}
+	ffs.failNext("append", 1)
+	d.serve(context.Background(), "echo", reqs[0])
+	if d.Metrics().Counter("smartfam.daemon.append_errors").Value() != 1 {
+		t.Fatal("failed response append not counted")
+	}
+}
+
+func TestClientSurfacesAppendFault(t *testing.T) {
+	inner := DirFS(t.TempDir())
+	if err := inner.Create(LogName("echo")); err != nil {
+		t.Fatal(err)
+	}
+	ffs := newFaultFS(inner)
+	ffs.failNext("append", 1)
+	c := NewClient(ffs, time.Millisecond)
+	_, err := c.Invoke(context.Background(), "echo", []byte("x"))
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected fault surfaced", err)
+	}
+}
+
+func TestWatcherToleratesStatFaults(t *testing.T) {
+	inner := DirFS(t.TempDir())
+	ffs := newFaultFS(inner)
+	if err := inner.Append("mod.log", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatcher(ffs, time.Hour)
+	w.Add("mod.log")
+	ffs.failNext("stat", 1)
+	w.Poll() // stat fails: treated as absent, no crash
+	w.Poll() // recovers: change event fires
+	select {
+	case ev := <-w.Events():
+		if ev.Name != "mod.log" {
+			t.Fatalf("event = %+v", ev)
+		}
+	default:
+		t.Fatal("watcher never recovered from stat fault")
+	}
+}

@@ -1,0 +1,61 @@
+package smartfam
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HeartbeatName is the share file the SD daemon refreshes to advertise
+// liveness. It is not a module log (no ".log" suffix), so module discovery
+// ignores it; the host runtime reads it to skip dead nodes without waiting
+// for an invocation timeout.
+const HeartbeatName = ".heartbeat"
+
+// DefaultHeartbeatInterval is how often the daemon refreshes its
+// heartbeat.
+const DefaultHeartbeatInterval = 250 * time.Millisecond
+
+// WriteHeartbeat stamps the share with the current time.
+func WriteHeartbeat(fsys FS, now time.Time) error {
+	if err := fsys.Create(HeartbeatName); err != nil {
+		return err
+	}
+	return fsys.Append(HeartbeatName, []byte(strconv.FormatInt(now.UnixNano(), 10)))
+}
+
+// ReadHeartbeat returns the last stamped time. ok is false when the share
+// has no heartbeat (an old daemon, or none yet) — callers should then fall
+// back to timeout-based detection rather than declaring the node dead.
+func ReadHeartbeat(fsys FS) (time.Time, bool) {
+	data, err := ReadFrom(fsys, HeartbeatName, 0)
+	if err != nil || len(data) == 0 {
+		return time.Time{}, false
+	}
+	ns, err := strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
+
+// RunHeartbeat refreshes the heartbeat every interval until ctx is done.
+// The daemon runs it alongside its serving loop.
+func RunHeartbeat(ctx context.Context, fsys FS, interval time.Duration) error {
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	// Stamp immediately so a freshly started node is visible at once.
+	_ = WriteHeartbeat(fsys, time.Now())
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			_ = WriteHeartbeat(fsys, time.Now())
+		}
+	}
+}

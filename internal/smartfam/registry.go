@@ -1,0 +1,109 @@
+package smartfam
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Module is one data-intensive processing module preloaded into (or
+// uploaded to) a McSD node. Run receives the raw parameter payload from the
+// host and returns the raw result payload.
+type Module interface {
+	Name() string
+	Run(ctx context.Context, params []byte) ([]byte, error)
+}
+
+// ModuleFunc adapts a function to the Module interface.
+type ModuleFunc struct {
+	ModuleName string
+	Fn         func(ctx context.Context, params []byte) ([]byte, error)
+}
+
+// Name returns the module name.
+func (m ModuleFunc) Name() string { return m.ModuleName }
+
+// Run invokes the function.
+func (m ModuleFunc) Run(ctx context.Context, params []byte) ([]byte, error) {
+	return m.Fn(ctx, params)
+}
+
+// ErrUnknownModule reports an invocation of a module that is not loaded.
+var ErrUnknownModule = errors.New("smartfam: unknown module")
+
+// Registry holds the modules loaded on one SD node. Registering a module
+// creates its log file on the share ("when a new data-intensive module is
+// preloaded to the McSD node, a corresponding log-file is created", §IV-A),
+// which is also how the host discovers what it can call. The paper's §VI
+// names module extensibility as future work; Register at runtime provides
+// it. Safe for concurrent use.
+type Registry struct {
+	fs      FS
+	mu      sync.Mutex
+	modules map[string]Module
+}
+
+// NewRegistry returns an empty registry whose log files live on fsys.
+func NewRegistry(fsys FS) *Registry {
+	return &Registry{fs: fsys, modules: make(map[string]Module)}
+}
+
+// Register loads a module and creates (truncates) its log file.
+func (r *Registry) Register(m Module) error {
+	name := m.Name()
+	if name == "" {
+		return errors.New("smartfam: module must have a name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.modules[name]; dup {
+		return fmt.Errorf("smartfam: module %q already registered", name)
+	}
+	if err := r.fs.Create(LogName(name)); err != nil {
+		return fmt.Errorf("smartfam: creating log for %q: %w", name, err)
+	}
+	r.modules[name] = m
+	return nil
+}
+
+// Unregister removes a module and deletes its log file.
+func (r *Registry) Unregister(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.modules[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownModule, name)
+	}
+	delete(r.modules, name)
+	if err := r.fs.Remove(LogName(name)); err != nil && !errors.Is(err, ErrNotExist) {
+		return fmt.Errorf("smartfam: removing log for %q: %w", name, err)
+	}
+	if err := r.fs.Remove(GenName(name)); err != nil && !errors.Is(err, ErrNotExist) {
+		return fmt.Errorf("smartfam: removing generation file for %q: %w", name, err)
+	}
+	return nil
+}
+
+// Lookup returns the named module.
+func (r *Registry) Lookup(name string) (Module, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.modules[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModule, name)
+	}
+	return m, nil
+}
+
+// Names returns the registered module names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.modules))
+	for n := range r.modules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,121 @@
+package smartfam
+
+import (
+	"context"
+	"time"
+)
+
+// Event reports that a watched file changed: it grew, shrank, or its mtime
+// moved.
+type Event struct {
+	Name  string
+	Size  int64
+	MTime time.Time
+}
+
+// Watcher is the stdlib substitute for the paper's inotify subsystem: it
+// polls Stat on watched files at a fixed interval and delivers an Event
+// whenever a file's (size, mtime) changes. Polling preserves inotify's
+// semantics — change notification on the module log files — with bounded
+// latency, and unlike inotify it also works across the NFS share, where
+// the paper equally relied on attribute refresh.
+type Watcher struct {
+	fs       FS
+	interval time.Duration
+	events   chan Event
+	watch    map[string]struct{}
+	known    map[string]fileState
+	watchAll bool
+}
+
+type fileState struct {
+	size  int64
+	mtime time.Time
+}
+
+// DefaultPollInterval is the watcher's default polling period. 2 ms keeps
+// invocation latency well under the network round-trip it accompanies.
+const DefaultPollInterval = 2 * time.Millisecond
+
+// NewWatcher returns a watcher over fsys polling at the given interval
+// (DefaultPollInterval when interval <= 0).
+func NewWatcher(fsys FS, interval time.Duration) *Watcher {
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	return &Watcher{
+		fs:       fsys,
+		interval: interval,
+		events:   make(chan Event, 64),
+		watch:    make(map[string]struct{}),
+		known:    make(map[string]fileState),
+	}
+}
+
+// Add registers a file to watch. Watching a file that does not exist yet is
+// allowed; an event fires when it appears.
+func (w *Watcher) Add(name string) { w.watch[name] = struct{}{} }
+
+// AddAll watches every file in the share, including files created later —
+// the daemon's mode ("the inotify program in the McSD node monitors all the
+// log files").
+func (w *Watcher) AddAll() { w.watchAll = true }
+
+// Events returns the event channel. Events are dropped, not blocked on,
+// when the consumer lags behind (the consumer re-reads the log from its own
+// offset, so a dropped event is only a latency hiccup, never data loss).
+func (w *Watcher) Events() <-chan Event { return w.events }
+
+// Run polls until ctx is done. It always returns ctx.Err().
+func (w *Watcher) Run(ctx context.Context) error {
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			w.poll()
+		}
+	}
+}
+
+// Poll performs one polling pass synchronously. Exposed for deterministic
+// tests and for callers that embed the watcher in their own loop.
+func (w *Watcher) Poll() { w.poll() }
+
+func (w *Watcher) poll() {
+	names := make([]string, 0, len(w.watch))
+	if w.watchAll {
+		listed, err := w.fs.List()
+		if err == nil {
+			names = append(names, listed...)
+		}
+	}
+	for n := range w.watch {
+		names = append(names, n)
+	}
+	seen := make(map[string]struct{}, len(names))
+	for _, name := range names {
+		if _, dup := seen[name]; dup {
+			continue
+		}
+		seen[name] = struct{}{}
+		size, mtime, err := w.fs.Stat(name)
+		if err != nil {
+			// Deleted or not yet created: forget it so reappearance fires.
+			delete(w.known, name)
+			continue
+		}
+		prev, ok := w.known[name]
+		if ok && prev.size == size && prev.mtime.Equal(mtime) {
+			continue
+		}
+		w.known[name] = fileState{size: size, mtime: mtime}
+		select {
+		case w.events <- Event{Name: name, Size: size, MTime: mtime}:
+		default:
+			// Consumer lagging; drop (see Events).
+		}
+	}
+}

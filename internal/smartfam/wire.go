@@ -1,0 +1,140 @@
+package smartfam
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Record is one entry in a module's log file: either a request carrying
+// input parameters from the host (Step 1 of "passing input parameters",
+// §IV-A) or a response carrying results or an error back (Step 1 of
+// "returning results").
+type Record struct {
+	// Kind is KindRequest or KindResponse.
+	Kind string
+	// ID correlates a response with its request.
+	ID string
+	// Status is StatusOK or StatusError on responses; empty on requests.
+	Status string
+	// Payload is the parameters (request) or results / error text
+	// (response).
+	Payload []byte
+}
+
+// Record kinds and statuses.
+const (
+	KindRequest  = "REQ"
+	KindResponse = "RES"
+	StatusOK     = "ok"
+	StatusError  = "error"
+)
+
+// NewID returns a fresh correlation ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("smartfam: crypto/rand failed: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Marshal encodes the record as one log line:
+//
+//	REQ <id> - <base64-payload>\n
+//	RES <id> <status> <base64-payload>\n
+//
+// Line-oriented text keeps the log greppable on the share, as the paper's
+// debugging workflow expects, while base64 keeps arbitrary payloads safe.
+func (r Record) Marshal() ([]byte, error) {
+	if r.Kind != KindRequest && r.Kind != KindResponse {
+		return nil, fmt.Errorf("smartfam: bad record kind %q", r.Kind)
+	}
+	if r.ID == "" || strings.ContainsAny(r.ID, " \n") {
+		return nil, fmt.Errorf("smartfam: bad record id %q", r.ID)
+	}
+	status := r.Status
+	if r.Kind == KindRequest {
+		status = "-"
+	} else if status != StatusOK && status != StatusError {
+		return nil, fmt.Errorf("smartfam: bad response status %q", r.Status)
+	}
+	payload := base64.StdEncoding.EncodeToString(r.Payload)
+	if payload == "" {
+		payload = "-" // sentinel keeping the 4-field line shape
+	}
+	var b bytes.Buffer
+	b.Grow(len(payload) + len(r.ID) + 16)
+	fmt.Fprintf(&b, "%s %s %s %s\n", r.Kind, r.ID, status, payload)
+	return b.Bytes(), nil
+}
+
+// ParseRecords decodes every complete record line in data, skipping a
+// trailing partial line (the watcher may observe a log mid-append). It
+// returns the records and the number of bytes consumed.
+func ParseRecords(data []byte) (recs []Record, consumed int, err error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	off := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineLen := len(line) + 1 // +1 for the newline Scan consumed
+		if off+lineLen > len(data) {
+			// Partial final line without newline: leave for next poll.
+			break
+		}
+		off += lineLen
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		rec, perr := parseLine(line)
+		if perr != nil {
+			return recs, off, perr
+		}
+		recs = append(recs, rec)
+	}
+	if serr := sc.Err(); serr != nil {
+		return recs, off, fmt.Errorf("smartfam: scanning log: %w", serr)
+	}
+	return recs, off, nil
+}
+
+func parseLine(line []byte) (Record, error) {
+	fields := strings.Fields(string(line))
+	if len(fields) != 4 {
+		return Record{}, fmt.Errorf("smartfam: malformed log line %q", line)
+	}
+	rec := Record{Kind: fields[0], ID: fields[1]}
+	if rec.Kind != KindRequest && rec.Kind != KindResponse {
+		return Record{}, fmt.Errorf("smartfam: unknown record kind %q", rec.Kind)
+	}
+	if rec.Kind == KindResponse {
+		rec.Status = fields[2]
+		if rec.Status != StatusOK && rec.Status != StatusError {
+			return Record{}, fmt.Errorf("smartfam: unknown response status %q", rec.Status)
+		}
+	}
+	if fields[3] != "-" {
+		payload, err := base64.StdEncoding.DecodeString(fields[3])
+		if err != nil {
+			return Record{}, fmt.Errorf("smartfam: bad payload encoding: %w", err)
+		}
+		rec.Payload = payload
+	}
+	return rec, nil
+}
+
+// LogName returns the log-file name owned by a module on the share.
+func LogName(module string) string { return module + ".log" }
+
+// ModuleFromLog inverts LogName; ok is false for non-log files.
+func ModuleFromLog(name string) (string, bool) {
+	if !strings.HasSuffix(name, ".log") || len(name) <= 4 {
+		return "", false
+	}
+	return strings.TrimSuffix(name, ".log"), true
+}

@@ -1,0 +1,151 @@
+package smartfam
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordMarshalParseRoundtrip(t *testing.T) {
+	recs := []Record{
+		{Kind: KindRequest, ID: "abc123", Payload: []byte("params here")},
+		{Kind: KindResponse, ID: "abc123", Status: StatusOK, Payload: []byte{0, 1, 2, 255}},
+		{Kind: KindResponse, ID: "def", Status: StatusError, Payload: []byte("it broke")},
+	}
+	var log []byte
+	for _, r := range recs {
+		line, err := r.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		log = append(log, line...)
+	}
+	got, consumed, err := ParseRecords(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(log) {
+		t.Fatalf("consumed %d, want %d", consumed, len(log))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("parsed %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range recs {
+		g := got[i]
+		if g.Kind != r.Kind || g.ID != r.ID || !bytes.Equal(g.Payload, r.Payload) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, g, r)
+		}
+		if r.Kind == KindResponse && g.Status != r.Status {
+			t.Fatalf("record %d status %q, want %q", i, g.Status, r.Status)
+		}
+	}
+}
+
+func TestMarshalRejectsBadRecords(t *testing.T) {
+	cases := []Record{
+		{Kind: "WAT", ID: "a"},
+		{Kind: KindRequest, ID: ""},
+		{Kind: KindRequest, ID: "has space"},
+		{Kind: KindResponse, ID: "a", Status: "maybe"},
+	}
+	for _, r := range cases {
+		if _, err := r.Marshal(); err == nil {
+			t.Errorf("record %+v marshalled without error", r)
+		}
+	}
+}
+
+func TestParseRecordsSkipsPartialTrailingLine(t *testing.T) {
+	full, err := (Record{Kind: KindRequest, ID: "x1", Payload: []byte("p")}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := []byte("RES x1 ok aGVsbG8") // no trailing newline
+	data := append(append([]byte{}, full...), partial...)
+	recs, consumed, err := ParseRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("parsed %d records, want 1 (partial line must wait)", len(recs))
+	}
+	if consumed != len(full) {
+		t.Fatalf("consumed %d, want %d", consumed, len(full))
+	}
+}
+
+func TestParseRecordsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"REQ onlythree fields\n",
+		"BOGUS id - aGk=\n",
+		"RES id wat aGk=\n",
+		"REQ id - not-base64!!\n",
+	} {
+		if _, _, err := ParseRecords([]byte(bad)); err == nil {
+			t.Errorf("malformed line %q parsed without error", strings.TrimSpace(bad))
+		}
+	}
+}
+
+func TestParseRecordsSkipsBlankLines(t *testing.T) {
+	line, _ := (Record{Kind: KindRequest, ID: "a", Payload: nil}).Marshal()
+	data := append([]byte("\n\n"), line...)
+	recs, _, err := ParseRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("parsed %d records, want 1", len(recs))
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatalf("duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestLogNameRoundtrip(t *testing.T) {
+	if LogName("wordcount") != "wordcount.log" {
+		t.Fatal("LogName wrong")
+	}
+	m, ok := ModuleFromLog("wordcount.log")
+	if !ok || m != "wordcount" {
+		t.Fatalf("ModuleFromLog = (%q,%v)", m, ok)
+	}
+	if _, ok := ModuleFromLog("notalog.txt"); ok {
+		t.Fatal("non-log file accepted")
+	}
+	if _, ok := ModuleFromLog(".log"); ok {
+		t.Fatal("empty module name accepted")
+	}
+}
+
+// Property: any payload survives the log-line encoding, including newlines
+// and binary.
+func TestRecordPayloadRoundtripProperty(t *testing.T) {
+	prop := func(payload []byte, isReq bool) bool {
+		rec := Record{Kind: KindResponse, ID: NewID(), Status: StatusOK, Payload: payload}
+		if isReq {
+			rec = Record{Kind: KindRequest, ID: NewID(), Payload: payload}
+		}
+		line, err := rec.Marshal()
+		if err != nil {
+			return false
+		}
+		got, consumed, err := ParseRecords(line)
+		if err != nil || consumed != len(line) || len(got) != 1 {
+			return false
+		}
+		return bytes.Equal(got[0].Payload, payload) && got[0].ID == rec.ID
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

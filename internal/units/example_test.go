@@ -1,0 +1,25 @@
+package units_test
+
+import (
+	"fmt"
+
+	"mcsd/internal/units"
+)
+
+func ExampleParseBytes() {
+	n, _ := units.ParseBytes("600M")
+	fmt.Println(n)
+	n, _ = units.ParseBytes("1.25G")
+	fmt.Println(n)
+	// Output:
+	// 629145600
+	// 1342177280
+}
+
+func ExampleFormatBytes() {
+	fmt.Println(units.FormatBytes(600 << 20))
+	fmt.Println(units.FormatBytes(1342177280))
+	// Output:
+	// 600M
+	// 1.25G
+}

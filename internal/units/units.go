@@ -1,0 +1,85 @@
+// Package units parses and formats byte sizes for the McSD command-line
+// tools ("600M", "1.25G").
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseBytes converts strings like "512", "64K", "600M", "1.25G" to bytes.
+// Suffixes are binary (K=2^10, M=2^20, G=2^30, T=2^40) and
+// case-insensitive; an optional trailing "B"/"iB" is accepted.
+func ParseBytes(s string) (int64, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	upper := strings.ToUpper(s)
+	upper = strings.TrimSuffix(upper, "IB")
+	upper = strings.TrimSuffix(upper, "B")
+	if upper == "" {
+		return 0, fmt.Errorf("units: empty size %q", orig)
+	}
+	mult := int64(1)
+	switch upper[len(upper)-1] {
+	case 'K':
+		mult = 1 << 10
+		upper = upper[:len(upper)-1]
+	case 'M':
+		mult = 1 << 20
+		upper = upper[:len(upper)-1]
+	case 'G':
+		mult = 1 << 30
+		upper = upper[:len(upper)-1]
+	case 'T':
+		mult = 1 << 40
+		upper = upper[:len(upper)-1]
+	}
+	if upper == "" {
+		return 0, fmt.Errorf("units: missing number in %q", orig)
+	}
+	v, err := strconv.ParseFloat(upper, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad size %q: %w", orig, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("units: non-finite size %q", orig)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative size %q", orig)
+	}
+	bytes := v * float64(mult)
+	// float64(math.MaxInt64) rounds up to 2^63; reject at the boundary so
+	// the int64 conversion cannot overflow into the negatives.
+	if bytes >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("units: size %q overflows", orig)
+	}
+	return int64(bytes), nil
+}
+
+// FormatBytes renders n with a binary suffix, e.g. 1310720 -> "1.25M".
+func FormatBytes(n int64) string {
+	abs := n
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1<<40:
+		return trim(float64(n)/float64(1<<40)) + "T"
+	case abs >= 1<<30:
+		return trim(float64(n)/float64(1<<30)) + "G"
+	case abs >= 1<<20:
+		return trim(float64(n)/float64(1<<20)) + "M"
+	case abs >= 1<<10:
+		return trim(float64(n)/float64(1<<10)) + "K"
+	default:
+		return strconv.FormatInt(n, 10) + "B"
+	}
+}
+
+func trim(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,99 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"0":       0,
+		"512":     512,
+		"64K":     64 << 10,
+		"64k":     64 << 10,
+		"600M":    600 << 20,
+		"600MB":   600 << 20,
+		"600MiB":  600 << 20,
+		"1G":      1 << 30,
+		"1.25G":   5 << 28,
+		"2T":      2 << 40,
+		" 100 ":   100,
+		"1.5K":    1536,
+		"123B":    123,
+		"0.5G":    1 << 29,
+		"1000000": 1000000,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestParseBytesErrors(t *testing.T) {
+	for _, bad := range []string{"", "G", "-5M", "12X34", "abc", "B", "iB",
+		"NaN", "NaNM", "Inf", "+InfG", "9999999999T", "1e300G"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:         "0B",
+		512:       "512B",
+		1 << 10:   "1K",
+		1536:      "1.5K",
+		600 << 20: "600M",
+		5 << 28:   "1.25G",
+		1 << 40:   "1T",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: parse(format(n)) stays within rounding error of n.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(n uint32) bool {
+		v := int64(n)
+		got, err := ParseBytes(FormatBytes(v))
+		if err != nil {
+			return false
+		}
+		// Formatting keeps 2 decimals: error bounded by 1% of the unit.
+		diff := got - v
+		if diff < 0 {
+			diff = -diff
+		}
+		return float64(diff) <= 0.01*float64(v)+1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzParseBytes asserts the size parser never panics and never returns a
+// negative byte count.
+func FuzzParseBytes(f *testing.F) {
+	for _, seed := range []string{"600M", "1.25G", "-5K", "", "G", "9999999999T", "1e309", "NaNM"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseBytes(s)
+		if err != nil {
+			return
+		}
+		if n < 0 {
+			t.Fatalf("ParseBytes(%q) = %d, negative", s, n)
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package workloads
+
+// CostModel gives the discrete-event simulator what it needs to price one
+// workload on a modelled core. Rates are for the reference core (one
+// 2.0 GHz Core2 core, the SD node's E4400 of Table I); internal/cluster
+// scales them by per-node core speed.
+type CostModel struct {
+	Name string
+	// MapRateBps is how many input bytes one reference core maps per
+	// second (the dominant term for the data-intensive workloads).
+	MapRateBps float64
+	// ReduceFraction is reduce+merge time as a fraction of map time.
+	ReduceFraction float64
+	// FootprintFactor is peak memory as a multiple of input size — the
+	// admission-control number (§V-C: 3x for WC, 2x for SM).
+	FootprintFactor float64
+	// ResidentFactor is the hot working set as a multiple of input size —
+	// what actually sweeps RAM and drives swap thrashing. For word count
+	// the whole footprint stays hot (input + keyed intermediates); for
+	// string match the intermediates are tiny and only the streamed input
+	// plus match lists are resident. Zero means FootprintFactor.
+	ResidentFactor float64
+	// OutputRatio is result bytes per input byte (what must cross the
+	// network back to the caller).
+	OutputRatio float64
+	// Partitionable reports whether the paper's Partition function
+	// applies ("only applicable for data-intensive applications whose
+	// input data can be partitioned", §IV-B).
+	Partitionable bool
+}
+
+// The per-byte rates below are calibrated to the Phoenix-era hardware of
+// Table I: word count keys every word (hashing + allocation heavy), string
+// match streams lines against a small key set (cheaper per byte, no reduce
+// stage). They reproduce the paper's relative elapsed-time magnitudes;
+// internal/sim recalibrates the absolute scale against the real engine when
+// asked (sim.CalibrateFromEngine).
+var (
+	wordCountCost = CostModel{
+		Name:            "wordcount",
+		MapRateBps:      28e6,
+		ReduceFraction:  0.35,
+		FootprintFactor: WordCountFootprint,
+		ResidentFactor:  WordCountFootprint,
+		OutputRatio:     0.05,
+		Partitionable:   true,
+	}
+	stringMatchCost = CostModel{
+		Name:            "stringmatch",
+		MapRateBps:      55e6,
+		ReduceFraction:  0.05,
+		FootprintFactor: StringMatchFootprint,
+		ResidentFactor:  1.6,
+		OutputRatio:     0.01,
+		Partitionable:   true,
+	}
+)
+
+// WordCountCost returns the simulator cost model for word count.
+func WordCountCost() CostModel { return wordCountCost }
+
+// StringMatchCost returns the simulator cost model for string match.
+func StringMatchCost() CostModel { return stringMatchCost }
+
+// MatMulFlops returns the floating-point operation count of an n x n by
+// n x n multiplication (2 n^3: one multiply and one add per term).
+func MatMulFlops(n int) float64 { return 2 * float64(n) * float64(n) * float64(n) }
+
+// MatMulCost describes matrix multiplication for the simulator. It is
+// compute-bound, so it is priced in flops rather than input bytes.
+type MatMulCostModel struct {
+	Name string
+	// FlopsPerSec is the dense-matmul rate of one reference core.
+	FlopsPerSec float64
+	// N is the matrix dimension of the scenario.
+	N int
+}
+
+// MatMulCost returns the cost model for an n x n matrix multiplication.
+// 400 Mflop/s per reference core matches an unblocked triple loop on a
+// Core2-class machine.
+func MatMulCost(n int) MatMulCostModel {
+	return MatMulCostModel{Name: "matmul", FlopsPerSec: 400e6, N: n}
+}
+
+// Seconds returns the single-core compute time of the multiplication.
+func (m MatMulCostModel) Seconds() float64 {
+	return MatMulFlops(m.N) / m.FlopsPerSec
+}
+
+// HistogramCost returns the simulator cost model for the histogram
+// application: trivially cheap per byte (a few array increments), so an
+// offloaded run is bounded by the SD node's disk and a host-only run by
+// the wire — the purest data-movement case.
+func HistogramCost() CostModel {
+	return CostModel{
+		Name:            "histogram",
+		MapRateBps:      500e6,
+		ReduceFraction:  0.01,
+		FootprintFactor: 1.05,
+		ResidentFactor:  1.05,
+		OutputRatio:     0.00001,
+		Partitionable:   true,
+	}
+}

@@ -1,0 +1,202 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"mcsd/internal/mapreduce"
+)
+
+// The paper's §VI names "database operations ... preloaded into McSD
+// smart-disk nodes" as the extensibility direction, following the
+// decision-support workloads of the smart-disk lineage (SmartSTOR, active
+// disks). DBSelect is that operation: a selection + group-by aggregation
+// over a sales table stored on the SD node, returning only the small
+// aggregate — the classic argument for computing at the storage.
+
+// SalesRecord is one row of the generated table.
+type SalesRecord struct {
+	Region   string
+	Product  string
+	Quantity int
+	Price    float64
+}
+
+// Revenue returns quantity x price.
+func (r SalesRecord) Revenue() float64 { return float64(r.Quantity) * r.Price }
+
+// Dimension values used by the generator.
+var (
+	salesRegions  = []string{"north", "south", "east", "west", "central"}
+	salesProducts = []string{"disk", "nic", "cpu", "ram", "board", "psu", "fan", "case"}
+)
+
+// GenerateSalesFile writes ~size bytes of CSV sales rows
+// ("region,product,quantity,price\n"), deterministically for a seed.
+func GenerateSalesFile(w io.Writer, size int64, seed int64) (int64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	bw := &countingWriter{w: w}
+	line := make([]byte, 0, 64)
+	for bw.n < size {
+		line = line[:0]
+		line = append(line, salesRegions[rng.Intn(len(salesRegions))]...)
+		line = append(line, ',')
+		line = append(line, salesProducts[rng.Intn(len(salesProducts))]...)
+		line = append(line, ',')
+		line = strconv.AppendInt(line, int64(rng.Intn(99)+1), 10)
+		line = append(line, ',')
+		line = strconv.AppendFloat(line, float64(rng.Intn(100000))/100+0.01, 'f', 2, 64)
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return bw.n, err
+		}
+	}
+	return bw.n, nil
+}
+
+// GenerateSalesBytes is GenerateSalesFile into memory.
+func GenerateSalesBytes(size int64, seed int64) []byte {
+	var b bytes.Buffer
+	b.Grow(int(size) + 64)
+	if _, err := GenerateSalesFile(&b, size, seed); err != nil {
+		panic("workloads: in-memory generation cannot fail: " + err.Error())
+	}
+	return b.Bytes()
+}
+
+// DBQuery describes one selection + aggregation:
+//
+//	SELECT group, SUM(quantity*price) FROM sales
+//	WHERE price >= MinPrice GROUP BY <GroupBy>
+type DBQuery struct {
+	// GroupBy is "region" or "product".
+	GroupBy string
+	// MinPrice filters rows (0 keeps everything).
+	MinPrice float64
+}
+
+// Validate checks the query shape.
+func (q DBQuery) Validate() error {
+	if q.GroupBy != "region" && q.GroupBy != "product" {
+		return fmt.Errorf("workloads: group_by must be region or product, got %q", q.GroupBy)
+	}
+	if q.MinPrice < 0 {
+		return fmt.Errorf("workloads: negative min_price %v", q.MinPrice)
+	}
+	return nil
+}
+
+// ParseSalesLine parses one CSV row.
+func ParseSalesLine(line []byte) (SalesRecord, error) {
+	var rec SalesRecord
+	fields := bytes.Split(line, []byte{','})
+	if len(fields) != 4 {
+		return rec, fmt.Errorf("workloads: malformed sales row %q", line)
+	}
+	rec.Region = string(fields[0])
+	rec.Product = string(fields[1])
+	q, err := strconv.Atoi(string(fields[2]))
+	if err != nil {
+		return rec, fmt.Errorf("workloads: bad quantity in %q: %w", line, err)
+	}
+	rec.Quantity = q
+	p, err := strconv.ParseFloat(string(fields[3]), 64)
+	if err != nil {
+		return rec, fmt.Errorf("workloads: bad price in %q: %w", line, err)
+	}
+	rec.Price = p
+	return rec, nil
+}
+
+// DBSelectSpec returns the MapReduce form of the query: Map parses and
+// filters rows, emitting (group, revenue); Combine and Reduce sum.
+func DBSelectSpec(q DBQuery) mapreduce.Spec[string, float64, float64] {
+	sum := func(vs []float64) float64 {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		return s
+	}
+	return mapreduce.Spec[string, float64, float64]{
+		Name:  "dbselect",
+		Split: mapreduce.LineSplitter,
+		Map: func(chunk []byte, emit func(string, float64)) error {
+			start := 0
+			for pos := 0; pos <= len(chunk); pos++ {
+				if pos != len(chunk) && chunk[pos] != '\n' {
+					continue
+				}
+				line := chunk[start:pos]
+				start = pos + 1
+				if len(line) == 0 {
+					continue
+				}
+				rec, err := ParseSalesLine(line)
+				if err != nil {
+					return err
+				}
+				if rec.Price < q.MinPrice {
+					continue
+				}
+				group := rec.Region
+				if q.GroupBy == "product" {
+					group = rec.Product
+				}
+				emit(group, rec.Revenue())
+			}
+			return nil
+		},
+		Combine: func(_ string, vs []float64) []float64 { return []float64{sum(vs)} },
+		Reduce:  func(_ string, vs []float64) (float64, error) { return sum(vs), nil },
+		Less:    func(a, b string) bool { return a < b },
+		// Aggregation state is tiny; the input dominates the footprint.
+		FootprintFactor: 1.5,
+	}
+}
+
+// DBSelectMerge folds per-fragment partial aggregates.
+func DBSelectMerge(acc, next float64) float64 { return acc + next }
+
+// DBSelectSeq is the sequential baseline.
+func DBSelectSeq(data []byte, q DBQuery) (map[string]float64, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := ParseSalesLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Price < q.MinPrice {
+			continue
+		}
+		group := rec.Region
+		if q.GroupBy == "product" {
+			group = rec.Product
+		}
+		out[group] += rec.Revenue()
+	}
+	return out, nil
+}
+
+// DBSelectCost is the simulator cost model for the dbselect module:
+// CSV parsing per byte, negligible reduce, streaming residency.
+func DBSelectCost() CostModel {
+	return CostModel{
+		Name:            "dbselect",
+		MapRateBps:      45e6,
+		ReduceFraction:  0.02,
+		FootprintFactor: 1.5,
+		ResidentFactor:  1.1,
+		OutputRatio:     0.0001,
+		Partitionable:   true,
+	}
+}

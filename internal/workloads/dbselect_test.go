@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mcsd/internal/mapreduce"
+	"mcsd/internal/partition"
+)
+
+func TestGenerateSalesFileWellFormed(t *testing.T) {
+	data := GenerateSalesBytes(20_000, 5)
+	lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte{'\n'})
+	if len(lines) < 100 {
+		t.Fatalf("only %d rows generated", len(lines))
+	}
+	for _, line := range lines {
+		rec, err := ParseSalesLine(line)
+		if err != nil {
+			t.Fatalf("bad row %q: %v", line, err)
+		}
+		if rec.Quantity < 1 || rec.Quantity > 99 || rec.Price <= 0 {
+			t.Fatalf("row out of range: %+v", rec)
+		}
+	}
+	// Deterministic.
+	if !bytes.Equal(data, GenerateSalesBytes(20_000, 5)) {
+		t.Fatal("same seed produced different sales data")
+	}
+}
+
+func TestParseSalesLineErrors(t *testing.T) {
+	for _, bad := range []string{"a,b,c", "r,p,notanint,1.5", "r,p,3,notafloat", ""} {
+		if _, err := ParseSalesLine([]byte(bad)); err == nil {
+			t.Errorf("row %q accepted", bad)
+		}
+	}
+}
+
+func TestDBQueryValidate(t *testing.T) {
+	if err := (DBQuery{GroupBy: "region"}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (DBQuery{GroupBy: "color"}).Validate(); err == nil {
+		t.Fatal("bad group_by accepted")
+	}
+	if err := (DBQuery{GroupBy: "region", MinPrice: -1}).Validate(); err == nil {
+		t.Fatal("negative min_price accepted")
+	}
+}
+
+func TestDBSelectSpecMatchesSeq(t *testing.T) {
+	data := GenerateSalesBytes(40_000, 9)
+	for _, q := range []DBQuery{
+		{GroupBy: "region"},
+		{GroupBy: "product"},
+		{GroupBy: "region", MinPrice: 500},
+	} {
+		want, err := DBSelectSeq(data, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mapreduce.Run(context.Background(), mapreduce.Config{Workers: 3},
+			DBSelectSpec(q), data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Map()
+		if len(got) != len(want) {
+			t.Fatalf("query %+v: %d groups, want %d", q, len(got), len(want))
+		}
+		for g, v := range want {
+			if math.Abs(got[g]-v) > 1e-6 {
+				t.Fatalf("query %+v: revenue[%s] = %v, want %v", q, g, got[g], v)
+			}
+		}
+	}
+}
+
+func TestDBSelectSpecRejectsGarbageRows(t *testing.T) {
+	_, err := mapreduce.Run(context.Background(),
+		mapreduce.Config{Workers: 1, MaxTaskRetries: 1},
+		DBSelectSpec(DBQuery{GroupBy: "region"}), []byte("not,a,valid\n"))
+	if err == nil {
+		t.Fatal("garbage row accepted")
+	}
+}
+
+// Property: partitioned aggregation equals whole-input aggregation —
+// revenue sums are merge-associative across any fragmentation.
+func TestDBSelectPartitionedEquivalenceProperty(t *testing.T) {
+	prop := func(seed int64, fragSize uint16) bool {
+		data := GenerateSalesBytes(8_000, seed)
+		q := DBQuery{GroupBy: "product"}
+		want, err := DBSelectSeq(data, q)
+		if err != nil {
+			return false
+		}
+		res, err := partition.Run(context.Background(), mapreduce.Config{Workers: 2},
+			DBSelectSpec(q), bytes.NewReader(data),
+			partition.Options{FragmentSize: int64(fragSize)%2000 + 50, Delimiters: []byte{'\n'}},
+			DBSelectMerge)
+		if err != nil {
+			return false
+		}
+		got := res.Map()
+		if len(got) != len(want) {
+			return false
+		}
+		for g, v := range want {
+			if math.Abs(got[g]-v) > 1e-6*math.Abs(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBSelectFilterReducesRevenue(t *testing.T) {
+	data := GenerateSalesBytes(20_000, 3)
+	all, err := DBSelectSeq(data, DBQuery{GroupBy: "region"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := DBSelectSeq(data, DBQuery{GroupBy: "region", MinPrice: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumAll, sumFiltered float64
+	for _, v := range all {
+		sumAll += v
+	}
+	for _, v := range filtered {
+		sumFiltered += v
+	}
+	if sumFiltered >= sumAll {
+		t.Fatalf("filter did not reduce revenue: %v >= %v", sumFiltered, sumAll)
+	}
+	if sumFiltered == 0 {
+		t.Fatal("filter removed everything; generator range wrong")
+	}
+}
+
+func TestDBSelectCostModel(t *testing.T) {
+	c := DBSelectCost()
+	if !c.Partitionable || c.OutputRatio >= 0.01 {
+		t.Fatalf("dbselect must be partitionable with tiny output: %+v", c)
+	}
+	if c.ResidentFactor >= StringMatchCost().ResidentFactor {
+		t.Fatal("streaming aggregation should have the smallest hot set")
+	}
+	if !strings.Contains(c.Name, "dbselect") {
+		t.Fatal("cost model name wrong")
+	}
+}

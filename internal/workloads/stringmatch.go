@@ -1,0 +1,77 @@
+package workloads
+
+import (
+	"bytes"
+
+	"mcsd/internal/mapreduce"
+)
+
+// StringMatchFootprint is the memory footprint of string match as a
+// multiple of its input: "the memory footprint of String-Match is around
+// two times of the input data size" (§V-C).
+const StringMatchFootprint = 2.0
+
+// Match records one hit: which key matched which line.
+type Match struct {
+	Key  string
+	Line string
+}
+
+// StringMatchSpec returns the String Match application of §V-A: "Each Map
+// searches one line in the 'encrypt' file to check whether the target
+// string from a 'keys' file is in the line. Neither sort or the reduce
+// stage is required" — Reduce is the identity and no key ordering is set.
+// Map emits one (key, line) pair per hit.
+func StringMatchSpec(keys []string) mapreduce.Spec[string, string, []string] {
+	targets := make([][]byte, len(keys))
+	for i, k := range keys {
+		targets[i] = []byte(k)
+	}
+	return mapreduce.Spec[string, string, []string]{
+		Name:  "stringmatch",
+		Split: mapreduce.LineSplitter,
+		Map: func(chunk []byte, emit func(string, string)) error {
+			for len(chunk) > 0 {
+				nl := bytes.IndexByte(chunk, '\n')
+				var line []byte
+				if nl < 0 {
+					line, chunk = chunk, nil
+				} else {
+					line, chunk = chunk[:nl], chunk[nl+1:]
+				}
+				if len(line) == 0 {
+					continue
+				}
+				for i, tgt := range targets {
+					if bytes.Contains(line, tgt) {
+						emit(keys[i], string(line))
+					}
+				}
+			}
+			return nil
+		},
+		// Identity reduce: values for a key are simply its matching lines.
+		Reduce:          func(_ string, lines []string) ([]string, error) { return lines, nil },
+		FootprintFactor: StringMatchFootprint,
+	}
+}
+
+// StringMatchMerge folds per-fragment match lists: concatenation.
+func StringMatchMerge(acc, next []string) []string { return append(acc, next...) }
+
+// StringMatchSeq is the sequential baseline: scan every line against every
+// key. It returns hits in input order.
+func StringMatchSeq(data []byte, keys []string) []Match {
+	var out []Match
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		for _, k := range keys {
+			if bytes.Contains(line, []byte(k)) {
+				out = append(out, Match{Key: k, Line: string(line)})
+			}
+		}
+	}
+	return out
+}

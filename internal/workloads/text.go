@@ -1,0 +1,157 @@
+// Package workloads implements the paper's three benchmark applications —
+// Word Count, String Match and Matrix Multiplication (§V-A) — both as
+// MapReduce specs for the Phoenix-style runtime and as sequential baselines,
+// together with deterministic input generators and the per-workload cost
+// models the discrete-event simulator consumes.
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// vocabulary size for generated text; word frequencies are Zipf-distributed
+// so the generated corpora have realistic key skew for word count.
+const vocabSize = 10000
+
+func buildVocab(rng *rand.Rand) []string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	vocab := make([]string, vocabSize)
+	seen := make(map[string]bool, vocabSize)
+	for i := range vocab {
+		for {
+			n := rng.Intn(8) + 2
+			b := make([]byte, n)
+			for j := range b {
+				b[j] = letters[rng.Intn(len(letters))]
+			}
+			w := string(b)
+			if !seen[w] {
+				seen[w] = true
+				vocab[i] = w
+				break
+			}
+		}
+	}
+	return vocab
+}
+
+// GenerateText writes approximately size bytes of Zipf-distributed words to
+// w, deterministically for a given seed. Lines are broken around 80
+// columns. It returns the number of bytes written.
+func GenerateText(w io.Writer, size int64, seed int64) (int64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := buildVocab(rng)
+	zipf := rand.NewZipf(rng, 1.2, 1.0, vocabSize-1)
+
+	bw := &countingWriter{w: w}
+	buf := bytes.NewBuffer(make([]byte, 0, 1<<16))
+	col := 0
+	for bw.n+int64(buf.Len()) < size {
+		word := vocab[zipf.Uint64()]
+		buf.WriteString(word)
+		col += len(word) + 1
+		if col >= 80 {
+			buf.WriteByte('\n')
+			col = 0
+		} else {
+			buf.WriteByte(' ')
+		}
+		if buf.Len() >= 1<<16 {
+			if _, err := bw.Write(buf.Bytes()); err != nil {
+				return bw.n, err
+			}
+			buf.Reset()
+		}
+	}
+	if buf.Len() > 0 {
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return bw.n, err
+		}
+	}
+	return bw.n, nil
+}
+
+// GenerateTextBytes is GenerateText into memory.
+func GenerateTextBytes(size int64, seed int64) []byte {
+	var b bytes.Buffer
+	b.Grow(int(size) + 128)
+	if _, err := GenerateText(&b, size, seed); err != nil {
+		panic("workloads: in-memory text generation cannot fail: " + err.Error())
+	}
+	return b.Bytes()
+}
+
+// GenerateEncryptFile writes the string-match "encrypt" file: size bytes of
+// newline-terminated lines of pseudo-random lowercase text, a fraction of
+// which (hitRate) contain one of keys embedded at a random column.
+func GenerateEncryptFile(w io.Writer, size int64, seed int64, keys []string, hitRate float64) (int64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	const letters = "abcdefghijklmnopqrstuvwxyz0123456789"
+	bw := &countingWriter{w: w}
+	line := make([]byte, 0, 128)
+	for bw.n < size {
+		line = line[:0]
+		lineLen := 40 + rng.Intn(60)
+		for len(line) < lineLen {
+			line = append(line, letters[rng.Intn(len(letters))])
+		}
+		if len(keys) > 0 && rng.Float64() < hitRate {
+			k := keys[rng.Intn(len(keys))]
+			pos := rng.Intn(len(line))
+			line = append(line[:pos], append([]byte(k), line[pos:]...)...)
+		}
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return bw.n, err
+		}
+	}
+	return bw.n, nil
+}
+
+// GenerateEncryptBytes is GenerateEncryptFile into memory.
+func GenerateEncryptBytes(size int64, seed int64, keys []string, hitRate float64) []byte {
+	var b bytes.Buffer
+	b.Grow(int(size) + 256)
+	if _, err := GenerateEncryptFile(&b, size, seed, keys, hitRate); err != nil {
+		panic("workloads: in-memory generation cannot fail: " + err.Error())
+	}
+	return b.Bytes()
+}
+
+// GenerateKeys produces n distinct target strings for string match — the
+// contents of the "keys" file.
+func GenerateKeys(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	keys := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for len(keys) < n {
+		b := make([]byte, 6+rng.Intn(6))
+		for i := range b {
+			b[i] = letters[rng.Intn(len(letters))]
+		}
+		k := string(b)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	if err != nil {
+		return n, fmt.Errorf("workloads: generator write: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"bytes"
+	"sort"
+
+	"mcsd/internal/mapreduce"
+	"mcsd/internal/partition"
+)
+
+// WordCountFootprint is the memory footprint of word count as a multiple of
+// its input: "the memory footprint of Word-Count is around three times of
+// the input data size" (§V-C).
+const WordCountFootprint = 3.0
+
+// WordCountSpec returns the Word Count application of §V-A: Map emits
+// (word, 1) per word of its chunk; Reduce sums; the final output is sorted
+// so it can be "printed out in accordance with the frequency" — the spec
+// sorts by key, and TopWords re-sorts by count for the report.
+func WordCountSpec() mapreduce.Spec[string, int, int] {
+	return mapreduce.Spec[string, int, int]{
+		Name:  "wordcount",
+		Split: mapreduce.DelimiterSplitter(' ', '\n', '\r', '\t'),
+		Map: func(chunk []byte, emit func(string, int)) error {
+			for _, w := range bytes.Fields(chunk) {
+				emit(string(w), 1)
+			}
+			return nil
+		},
+		Combine: func(_ string, values []int) []int {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			return []int{sum}
+		},
+		Reduce: func(_ string, values []int) (int, error) {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			return sum, nil
+		},
+		Less:            func(a, b string) bool { return a < b },
+		FootprintFactor: WordCountFootprint,
+	}
+}
+
+// WordCountMerge folds per-fragment counts: partial counts add.
+func WordCountMerge(acc, next int) int { return partition.SumMerge(acc, next) }
+
+// WordCountSeq is the sequential baseline: a single pass with a hash map.
+func WordCountSeq(data []byte) map[string]int {
+	counts := make(map[string]int)
+	for _, w := range bytes.Fields(data) {
+		counts[string(w)]++
+	}
+	return counts
+}
+
+// TopWords returns the n most frequent words in decreasing count order
+// (ties broken alphabetically) — the paper's final word-count output format.
+func TopWords(counts map[string]int, n int) []mapreduce.Pair[string, int] {
+	pairs := make([]mapreduce.Pair[string, int], 0, len(counts))
+	for w, c := range counts {
+		pairs = append(pairs, mapreduce.Pair[string, int]{Key: w, Value: c})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Value != pairs[j].Value {
+			return pairs[i].Value > pairs[j].Value
+		}
+		return pairs[i].Key < pairs[j].Key
+	})
+	if n > 0 && len(pairs) > n {
+		pairs = pairs[:n]
+	}
+	return pairs
+}
