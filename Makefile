@@ -1,0 +1,34 @@
+# Standard development entry points. `make check` is what CI (and the
+# pre-commit habit) should run: vet, build, full test suite under the race
+# detector, and a short-mode smoke of the engine benchmarks.
+
+GO ?= go
+
+.PHONY: all vet build test race bench-smoke bench-json check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke runs every benchmark for a single iteration in short mode —
+# it catches bit-rotted benchmark code without paying for real measurement.
+bench-smoke:
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-json regenerates BENCH_mapreduce.json: the before/after numbers
+# for the shuffle/merge hot path (streaming combine vs staged emit,
+# heap k-way merge vs linear tournament, pipelined vs sequential driver).
+bench-json:
+	$(GO) run ./cmd/mcsd-bench -engine -engine-out BENCH_mapreduce.json
+
+check: vet build race bench-smoke

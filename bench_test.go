@@ -11,6 +11,7 @@ package mcsd_test
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net"
 	"os"
 	"path/filepath"
@@ -510,4 +511,62 @@ func formatMB(n int64) string {
 		n /= 10
 	}
 	return string(buf[i:]) + "MB"
+}
+
+// --- Shuffle/merge hot-path overhaul -------------------------------------
+
+// BenchmarkMergeSorted compares the heap-based k-way merge against the old
+// linear tournament across run counts. At k=2 the two are close (the heap
+// path degenerates to a two-pointer merge); at k=64 the heap's O(n log k)
+// pulls away from the tournament's O(n·k).
+func BenchmarkMergeSorted(b *testing.B) {
+	const total = 1 << 17
+	for _, k := range []int{2, 8, 64} {
+		runs := make([][]mapreduce.Pair[int, int], k)
+		for i := 0; i < total; i++ {
+			runs[i%k] = append(runs[i%k], mapreduce.Pair[int, int]{Key: i, Value: i})
+		}
+		less := func(a, c int) bool { return a < c }
+		b.Run(fmt.Sprintf("loser-tree/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mapreduce.MergeSorted(runs, less)
+			}
+		})
+		b.Run(fmt.Sprintf("linear/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mapreduce.MergeSortedLinear(runs, less)
+			}
+		})
+	}
+}
+
+// BenchmarkRunWordcount isolates what the streaming combine buys: the same
+// corpus through the full engine with and without a combiner. The combine
+// variant must allocate strictly fewer bytes per op — raw pairs never hit
+// the staging buffers.
+func BenchmarkRunWordcount(b *testing.B) {
+	input := benchEngineInput(b)
+	withCombine := workloads.WordCountSpec()
+	noCombine := workloads.WordCountSpec()
+	noCombine.Combine = nil
+	for _, v := range []struct {
+		name string
+		spec mapreduce.Spec[string, int, int]
+	}{
+		{"with-combine", withCombine},
+		{"no-combine", noCombine},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(input)))
+			for i := 0; i < b.N; i++ {
+				if _, err := mapreduce.Run(context.Background(), mapreduce.Config{},
+					v.spec, input); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

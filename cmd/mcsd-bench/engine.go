@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"mcsd/internal/mapreduce"
+	"mcsd/internal/metrics"
+	"mcsd/internal/partition"
+	"mcsd/internal/workloads"
+)
+
+// engineCorpusBytes sizes the corpus the engine microbenchmarks chew on —
+// big enough that per-run constant overheads disappear, small enough that
+// the whole suite stays in seconds.
+const engineCorpusBytes = 4 << 20
+
+// engineBenchResult is one row of the BENCH_mapreduce.json report.
+type engineBenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+// engineBenchReport is the BENCH_mapreduce.json schema: the measured
+// before/after numbers for the shuffle/merge hot-path overhaul.
+type engineBenchReport struct {
+	GeneratedBy string              `json:"generated_by"`
+	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	CorpusBytes int                 `json:"corpus_bytes"`
+	Benchmarks  []engineBenchResult `json:"benchmarks"`
+}
+
+// runEngineBench measures the real engine's hot paths — the streaming
+// combine against the staged emit path, the loser-tree k-way merge against
+// the linear tournament, and the pipelined against the sequential
+// partition driver — prints the results, and records them in outPath.
+func runEngineBench(outPath string) error {
+	rep := engineBenchReport{
+		GeneratedBy: "mcsd-bench -engine",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		CorpusBytes: engineCorpusBytes,
+	}
+	add := func(name string, setBytes int64, r testing.BenchmarkResult) {
+		row := engineBenchResult{
+			Name:        name,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if setBytes > 0 && r.NsPerOp() > 0 {
+			row.MBPerSec = float64(setBytes) / 1e6 * 1e9 / float64(r.NsPerOp())
+		}
+		rep.Benchmarks = append(rep.Benchmarks, row)
+		fmt.Printf("  %-32s %12d ns/op %12d B/op %9d allocs/op\n",
+			name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+
+	fmt.Println("Engine hot-path benchmarks (this machine):")
+	input := workloads.GenerateTextBytes(engineCorpusBytes, 1)
+	ctx := context.Background()
+
+	// Streaming combine vs the staged raw-pair path.
+	withCombine := workloads.WordCountSpec()
+	noCombine := workloads.WordCountSpec()
+	noCombine.Combine = nil
+	add("wordcount/with-combine", int64(len(input)), testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mapreduce.Run(ctx, mapreduce.Config{}, withCombine, input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add("wordcount/no-combine", int64(len(input)), testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mapreduce.Run(ctx, mapreduce.Config{}, noCombine, input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Loser-tree/heap k-way merge vs the linear tournament.
+	const mergeTotal = 1 << 17
+	for _, k := range []int{2, 8, 64} {
+		runs := sortedRuns(mergeTotal, k)
+		less := func(a, b int) bool { return a < b }
+		add(fmt.Sprintf("merge/loser-tree/k=%d", k), 0, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mapreduce.MergeSorted(runs, less)
+			}
+		}))
+		add(fmt.Sprintf("merge/linear/k=%d", k), 0, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mapreduce.MergeSortedLinear(runs, less)
+			}
+		}))
+	}
+
+	// Three-stage pipelined driver vs the sequential out-of-core driver.
+	opts := partition.Options{FragmentSize: 512 << 10}
+	add("partition/sequential-driver", int64(len(input)), testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := partition.Run(ctx, mapreduce.Config{}, workloads.WordCountSpec(),
+				bytes.NewReader(input), opts, workloads.WordCountMerge); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add("partition/pipelined-driver", int64(len(input)), testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := partition.RunPipelined(ctx, mapreduce.Config{}, workloads.WordCountSpec(),
+				bytes.NewReader(input), opts, workloads.WordCountMerge); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// One instrumented run: where does the wall clock go?
+	res, err := mapreduce.Run(ctx, mapreduce.Config{}, workloads.WordCountSpec(), input)
+	if err != nil {
+		return err
+	}
+	s := res.Stats
+	fmt.Println()
+	tbl := metrics.PhaseTable("Word count 4 MiB: engine phase breakdown",
+		[]metrics.Phase{
+			{Name: "split", D: s.SplitTime},
+			{Name: "map+combine", D: s.MapTime},
+			{Name: "reduce", D: s.ReduceTime},
+			{Name: "merge", D: s.MergeTime},
+		},
+		metrics.Phase{Name: "shuffle, summed over reduce tasks", D: s.ShuffleTime},
+	)
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	if err := emitCSV(tbl.Title, tbl.CSV()); err != nil {
+		return err
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (%d benchmarks)\n", outPath, len(rep.Benchmarks))
+	return nil
+}
+
+// sortedRuns deals `total` keys into k sorted runs, mimicking the engine's
+// per-partition reduce outputs.
+func sortedRuns(total, k int) [][]mapreduce.Pair[int, int] {
+	runs := make([][]mapreduce.Pair[int, int], k)
+	for i := range runs {
+		runs[i] = make([]mapreduce.Pair[int, int], 0, total/k+1)
+	}
+	for i := 0; i < total; i++ {
+		runs[i%k] = append(runs[i%k], mapreduce.Pair[int, int]{Key: i, Value: i})
+	}
+	return runs
+}

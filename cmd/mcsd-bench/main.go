@@ -69,11 +69,13 @@ func main() {
 		ext    = flag.Bool("ext", false, "extension studies: multi-SD, interconnect, SMB sweep")
 		scale  = flag.Bool("scale", false, "measured scale model: real engine + throttled TCP (slow; excluded from default)")
 		calib  = flag.Bool("calibrate", false, "measure the real engine on this machine and print the model scale factor")
+		engine = flag.Bool("engine", false, "engine hot-path benchmarks: combine/merge/pipeline before-vs-after (slow; excluded from default)")
+		engOut = flag.String("engine-out", "BENCH_mapreduce.json", "where -engine writes its JSON report")
 		csvDir = flag.String("csv", "", "also write each table/figure as CSV into this directory")
 	)
 	flag.Parse()
 	outDir = *csvDir
-	all := !(*table1 || *fig8a || *fig8b || *fig8c || *fig9 || *fig10 || *claims || *ext || *scale || *calib)
+	all := !(*table1 || *fig8a || *fig8b || *fig8c || *fig9 || *fig10 || *claims || *ext || *scale || *calib || *engine)
 
 	if err := run(all, *table1, *fig8a, *fig8b, *fig8c, *fig9, *fig10, *claims, *ext); err != nil {
 		log.Fatalf("mcsd-bench: %v", err)
@@ -86,6 +88,11 @@ func main() {
 	if *calib {
 		if err := runCalibrate(); err != nil {
 			log.Fatalf("mcsd-bench: calibration: %v", err)
+		}
+	}
+	if *engine {
+		if err := runEngineBench(*engOut); err != nil {
+			log.Fatalf("mcsd-bench: engine benchmarks: %v", err)
 		}
 	}
 }

@@ -25,8 +25,13 @@ type WordCountParams struct {
 	Workers int `json:"workers,omitempty"`
 	// TopN bounds the returned frequency table (0 = 100).
 	TopN int `json:"top_n,omitempty"`
-	// Pipelined overlaps fragment reads with compute (partition.RunPipelined)
-	// at the cost of up to one extra resident fragment of raw input.
+	// Sequential opts out of the default three-stage pipelined driver
+	// (partition.RunPipelined) and processes fragments strictly one at a
+	// time — the choice when the node's memory budget cannot spare the
+	// pipeline's extra resident fragment and in-flight fragment output.
+	Sequential bool `json:"sequential,omitempty"`
+	// Pipelined is accepted for backward compatibility; the pipelined
+	// driver is now the default, so the field has no effect.
 	Pipelined bool `json:"pipelined,omitempty"`
 }
 
@@ -42,7 +47,15 @@ type WordCountOutput struct {
 	UniqueWords int        `json:"unique_words"`
 	Top         []WordFreq `json:"top"`
 	Fragments   int        `json:"fragments"`
-	ElapsedMs   int64      `json:"elapsed_ms"`
+	// FragmentKeys is the per-fragment unique-word sum; the gap to
+	// UniqueWords is the dedup work the fragment merge stage did.
+	FragmentKeys int   `json:"fragment_keys,omitempty"`
+	ElapsedMs    int64 `json:"elapsed_ms"`
+	// ShuffleMs and MergeMs break the engine time down: the summed
+	// reduce-task shuffle time and the final-merge wall time across
+	// fragments (see mapreduce.Stats).
+	ShuffleMs int64 `json:"shuffle_ms,omitempty"`
+	MergeMs   int64 `json:"merge_ms,omitempty"`
 }
 
 // StringMatchParams parametrizes the stringmatch module: the "encrypt"
@@ -55,7 +68,10 @@ type StringMatchParams struct {
 	// SampleLines bounds how many matching lines are returned verbatim
 	// (counts are always complete). 0 = 10.
 	SampleLines int `json:"sample_lines,omitempty"`
-	// Pipelined overlaps fragment reads with compute.
+	// Sequential opts out of the default pipelined driver.
+	Sequential bool `json:"sequential,omitempty"`
+	// Pipelined is accepted for backward compatibility; it has no effect
+	// now that the pipelined driver is the default.
 	Pipelined bool `json:"pipelined,omitempty"`
 }
 

@@ -25,7 +25,11 @@ type DBSelectParams struct {
 	MinPrice       float64 `json:"min_price,omitempty"`
 	PartitionBytes int64   `json:"partition_bytes,omitempty"`
 	Workers        int     `json:"workers,omitempty"`
-	Pipelined      bool    `json:"pipelined,omitempty"`
+	// Sequential opts out of the default pipelined driver.
+	Sequential bool `json:"sequential,omitempty"`
+	// Pipelined is accepted for backward compatibility; it has no effect
+	// now that the pipelined driver is the default.
+	Pipelined bool `json:"pipelined,omitempty"`
 }
 
 // DBSelectOutput is the dbselect module's result.
@@ -60,9 +64,9 @@ func DBSelectModule(cfg ModuleConfig) smartfam.Module {
 			defer f.Close()
 
 			start := time.Now()
-			driver := partition.Run[string, float64, float64]
-			if p.Pipelined {
-				driver = partition.RunPipelined[string, float64, float64]
+			driver := partition.RunPipelined[string, float64, float64]
+			if p.Sequential {
+				driver = partition.Run[string, float64, float64]
 			}
 			res, err := driver(ctx, cfg.mrConfig(cfg.workers(p.Workers)),
 				workloads.DBSelectSpec(q), bufio.NewReaderSize(f, 1<<20),

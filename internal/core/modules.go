@@ -96,9 +96,12 @@ func WordCountModule(cfg ModuleConfig) smartfam.Module {
 			defer f.Close()
 
 			start := time.Now()
-			driver := partition.Run[string, int, int]
-			if p.Pipelined {
-				driver = partition.RunPipelined[string, int, int]
+			// The three-stage pipelined driver is the module default; the
+			// strictly-sequential driver stays available for memory-tight
+			// nodes via Sequential.
+			driver := partition.RunPipelined[string, int, int]
+			if p.Sequential {
+				driver = partition.Run[string, int, int]
 			}
 			res, err := driver(ctx, cfg.mrConfig(cfg.workers(p.Workers)),
 				workloads.WordCountSpec(), bufio.NewReaderSize(f, 1<<20),
@@ -108,9 +111,12 @@ func WordCountModule(cfg ModuleConfig) smartfam.Module {
 				return nil, err
 			}
 			out := WordCountOutput{
-				UniqueWords: len(res.Pairs),
-				Fragments:   res.Fragments,
-				ElapsedMs:   time.Since(start).Milliseconds(),
+				UniqueWords:  len(res.Pairs),
+				Fragments:    res.Fragments,
+				FragmentKeys: res.Stats.FragmentKeys,
+				ElapsedMs:    time.Since(start).Milliseconds(),
+				ShuffleMs:    res.Stats.ShuffleTime.Milliseconds(),
+				MergeMs:      res.Stats.MergeTime.Milliseconds(),
 			}
 			counts := make(map[string]int, len(res.Pairs))
 			for _, pr := range res.Pairs {
@@ -155,9 +161,9 @@ func StringMatchModule(cfg ModuleConfig) smartfam.Module {
 			defer f.Close()
 
 			start := time.Now()
-			driver := partition.Run[string, string, []string]
-			if p.Pipelined {
-				driver = partition.RunPipelined[string, string, []string]
+			driver := partition.RunPipelined[string, string, []string]
+			if p.Sequential {
+				driver = partition.Run[string, string, []string]
 			}
 			res, err := driver(ctx, cfg.mrConfig(cfg.workers(p.Workers)),
 				workloads.StringMatchSpec(keys), bufio.NewReaderSize(f, 1<<20),

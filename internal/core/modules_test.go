@@ -221,9 +221,9 @@ func TestWordCountModulePipelined(t *testing.T) {
 	writeFile(t, dir, "corpus.txt", text)
 	mod := WordCountModule(ModuleConfig{Store: store, Workers: 2})
 
-	run := func(pipelined bool) WordCountOutput {
+	run := func(sequential bool) WordCountOutput {
 		raw, err := mod.Run(context.Background(), mustEncode(t, WordCountParams{
-			DataFile: "corpus.txt", PartitionBytes: 8 << 10, Pipelined: pipelined,
+			DataFile: "corpus.txt", PartitionBytes: 8 << 10, Sequential: sequential,
 		}))
 		if err != nil {
 			t.Fatal(err)
@@ -234,10 +234,15 @@ func TestWordCountModulePipelined(t *testing.T) {
 		}
 		return out
 	}
-	seq, pip := run(false), run(true)
+	seq, pip := run(true), run(false)
 	if seq.TotalWords != pip.TotalWords || seq.UniqueWords != pip.UniqueWords ||
 		seq.Fragments != pip.Fragments {
 		t.Fatalf("pipelined output differs: %+v vs %+v", pip, seq)
+	}
+	// Both drivers must report the per-fragment key sum.
+	if pip.FragmentKeys < pip.UniqueWords || seq.FragmentKeys != pip.FragmentKeys {
+		t.Fatalf("FragmentKeys: sequential %d, pipelined %d, unique %d",
+			seq.FragmentKeys, pip.FragmentKeys, pip.UniqueWords)
 	}
 }
 

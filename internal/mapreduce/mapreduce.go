@@ -127,20 +127,40 @@ func (c Config) retries() int {
 }
 
 // Stats reports what one run did.
+//
+// When a partitioned driver (internal/partition) aggregates Stats across
+// fragments, counters and times are summed per fragment, UniqueKeys is the
+// post-merge key count of the whole run (per-fragment values would double
+// count keys that recur across fragments), and FragmentKeys preserves the
+// per-fragment sum.
 type Stats struct {
 	MapTasks     int
 	ReduceTasks  int
 	PairsEmitted int64
-	UniqueKeys   int
+	// UniqueKeys is the number of distinct keys in the final output. For a
+	// partitioned run this is the merged count, not the per-fragment sum.
+	UniqueKeys int
+	// FragmentKeys is the sum of per-fragment unique key counts. It equals
+	// UniqueKeys for a single native run and exceeds it when fragments of a
+	// partitioned run share keys — the gap is the work the fragment merge
+	// stage folded away.
+	FragmentKeys int
 	TaskRetries  int
 	InputBytes   int64
 	SplitTime    time.Duration
 	MapTime      time.Duration
-	ReduceTime   time.Duration
-	MergeTime    time.Duration
+	// ShuffleTime is the time reduce tasks spent merging worker-local
+	// buffers and sorting keys, summed across tasks. Reduce tasks run
+	// concurrently, so this is CPU-style time: it is contained in the
+	// ReduceTime wall clock and can exceed it on a multicore node. It is
+	// deliberately excluded from Total.
+	ShuffleTime time.Duration
+	ReduceTime  time.Duration
+	MergeTime   time.Duration
 }
 
-// Total returns the summed phase time.
+// Total returns the summed phase wall time. ShuffleTime is a component of
+// ReduceTime, not an additional phase, so it is not added here.
 func (s Stats) Total() time.Duration {
 	return s.SplitTime + s.MapTime + s.ReduceTime + s.MergeTime
 }

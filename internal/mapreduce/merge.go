@@ -1,0 +1,230 @@
+package mapreduce
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// parallelMergeMin is the output size below which a parallel final merge is
+// not worth the goroutine and boundary-search overhead.
+const parallelMergeMin = 1 << 16
+
+// MergeSorted k-way merges sorted runs into one sorted slice. Small inputs
+// use a two-pointer or heap merge (O(total·log k) against the O(total·k)
+// linear tournament it replaced); large outputs on a multicore node are
+// split into disjoint key ranges that merge in parallel.
+//
+// Ties between runs are broken by run index, matching the stable order of
+// the linear tournament, so output is deterministic for any input.
+func MergeSorted[K comparable, R any](runs [][]Pair[K, R], less func(a, b K) bool) []Pair[K, R] {
+	total := 0
+	live := make([][]Pair[K, R], 0, len(runs))
+	for _, r := range runs {
+		if len(r) > 0 {
+			live = append(live, r)
+			total += len(r)
+		}
+	}
+	out := make([]Pair[K, R], total)
+	switch len(live) {
+	case 0:
+		return out
+	case 1:
+		copy(out, live[0])
+		return out
+	}
+	if total >= parallelMergeMin && len(live) >= 4 && runtime.GOMAXPROCS(0) > 1 {
+		parallelMergeInto(out, live, less)
+		return out
+	}
+	mergeInto(out, live, less)
+	return out
+}
+
+// MergeSortedLinear is the pre-overhaul baseline: a linear tournament over
+// run heads, O(total·k). It is retained (and exported) so benchmarks can
+// pin the loser-tree/heap merge against it; production code paths use
+// MergeSorted.
+func MergeSortedLinear[K comparable, R any](runs [][]Pair[K, R], less func(a, b K) bool) []Pair[K, R] {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]Pair[K, R], 0, total)
+	idx := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if idx[i] >= len(r) {
+				continue
+			}
+			if best < 0 || less(r[idx[i]].Key, runs[best][idx[best]].Key) {
+				best = i
+			}
+		}
+		out = append(out, runs[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// mergeInto merges the non-empty sorted runs into dst, which must have
+// length equal to the total run length. Two runs take the two-pointer fast
+// path; more use a min-heap of run heads.
+func mergeInto[K comparable, R any](dst []Pair[K, R], runs [][]Pair[K, R], less func(a, b K) bool) {
+	if len(runs) == 2 {
+		mergeTwoInto(dst, runs[0], runs[1], less)
+		return
+	}
+	h := runHeap[K, R]{runs: runs, idx: make([]int, len(runs)), heap: make([]int, len(runs)), less: less}
+	for i := range h.heap {
+		h.heap[i] = i
+	}
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	for n := range dst {
+		top := h.heap[0]
+		dst[n] = h.runs[top][h.idx[top]]
+		h.idx[top]++
+		if h.idx[top] == len(h.runs[top]) {
+			last := len(h.heap) - 1
+			h.heap[0] = h.heap[last]
+			h.heap = h.heap[:last]
+		}
+		if len(h.heap) > 1 {
+			h.siftDown(0)
+		}
+	}
+}
+
+// mergeTwoInto is the binary merge fast path.
+func mergeTwoInto[K comparable, R any](dst []Pair[K, R], a, b []Pair[K, R], less func(x, y K) bool) {
+	i, j := 0, 0
+	for n := range dst {
+		switch {
+		case i == len(a):
+			dst[n] = b[j]
+			j++
+		case j == len(b):
+			dst[n] = a[i]
+			i++
+		case less(b[j].Key, a[i].Key):
+			dst[n] = b[j]
+			j++
+		default: // a wins ties, keeping run order stable
+			dst[n] = a[i]
+			i++
+		}
+	}
+}
+
+// runHeap is a min-heap of run indices ordered by each run's head key,
+// with run index as the tie breaker.
+type runHeap[K comparable, R any] struct {
+	runs [][]Pair[K, R]
+	idx  []int
+	heap []int
+	less func(a, b K) bool
+}
+
+// before reports whether run a's head should be emitted ahead of run b's.
+func (h *runHeap[K, R]) before(a, b int) bool {
+	ka := h.runs[a][h.idx[a]].Key
+	kb := h.runs[b][h.idx[b]].Key
+	if h.less(ka, kb) {
+		return true
+	}
+	if h.less(kb, ka) {
+		return false
+	}
+	return a < b
+}
+
+func (h *runHeap[K, R]) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.before(h.heap[l], h.heap[small]) {
+			small = l
+		}
+		if r < n && h.before(h.heap[r], h.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.heap[i], h.heap[small] = h.heap[small], h.heap[i]
+		i = small
+	}
+}
+
+// parallelMergeInto splits the key space into GOMAXPROCS-bounded disjoint
+// ranges — pivots sampled from the longest run, segment boundaries found
+// by binary search in every run — and heap-merges each range concurrently
+// into its precomputed slot of dst. One pass over the data, no locking:
+// every goroutine owns a disjoint slice of dst.
+func parallelMergeInto[K comparable, R any](dst []Pair[K, R], runs [][]Pair[K, R], less func(a, b K) bool) {
+	parts := runtime.GOMAXPROCS(0)
+	if parts > 8 {
+		parts = 8
+	}
+	longest := 0
+	for i, r := range runs {
+		if len(r) > len(runs[longest]) {
+			longest = i
+		}
+	}
+	src := runs[longest]
+	pivots := make([]K, parts-1)
+	for j := 1; j < parts; j++ {
+		pivots[j-1] = src[j*len(src)/parts].Key
+	}
+
+	// bounds[i][s] is where segment s starts in run i: the first index
+	// whose key is >= pivots[s-1]. Keys equal to a pivot land at the start
+	// of that pivot's segment in every run, so no key range is torn.
+	bounds := make([][]int, len(runs))
+	for i, r := range runs {
+		bi := make([]int, parts+1)
+		bi[parts] = len(r)
+		for j, piv := range pivots {
+			prev := bi[j]
+			bi[j+1] = prev + sort.Search(len(r)-prev, func(x int) bool {
+				return !less(r[prev+x].Key, piv)
+			})
+		}
+		bounds[i] = bi
+	}
+
+	var wg sync.WaitGroup
+	off := 0
+	for s := 0; s < parts; s++ {
+		segLen := 0
+		segRuns := make([][]Pair[K, R], 0, len(runs))
+		for i, r := range runs {
+			lo, hi := bounds[i][s], bounds[i][s+1]
+			if lo < hi {
+				segRuns = append(segRuns, r[lo:hi])
+				segLen += hi - lo
+			}
+		}
+		if segLen == 0 {
+			continue
+		}
+		seg := dst[off : off+segLen]
+		off += segLen
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if len(segRuns) == 1 {
+				copy(seg, segRuns[0])
+				return
+			}
+			mergeInto(seg, segRuns, less)
+		}()
+	}
+	wg.Wait()
+}

@@ -5,8 +5,16 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// streamFoldLen is how many values may pile up behind one key of a
+// streaming-combine buffer before the combiner folds them. Folding every
+// emission would call Combine once per pair; folding only at task flush
+// would stage every raw pair again. 64 amortizes the call without letting
+// the buffer grow meaningfully.
+const streamFoldLen = 64
 
 // Run executes the computation described by spec over input on the node
 // described by cfg. It returns the final pairs (globally sorted when
@@ -57,12 +65,6 @@ func Run[K comparable, V any, R any](ctx context.Context, cfg Config, spec Spec[
 	// worker emits into its own per-partition buffers (no locking on the
 	// hot path, as in Phoenix).
 	start = time.Now()
-	type workerState struct {
-		parts   []map[K][]V
-		emitted int64
-	}
-	states := make([]*workerState, workers)
-	taskCh := make(chan int)
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -70,8 +72,7 @@ func Run[K comparable, V any, R any](ctx context.Context, cfg Config, spec Spec[
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
-		retryMu  sync.Mutex
-		retries  int
+		retries  atomic.Int64
 	)
 	fail := func(err error) {
 		errOnce.Do(func() {
@@ -80,8 +81,24 @@ func Run[K comparable, V any, R any](ctx context.Context, cfg Config, spec Spec[
 		})
 	}
 
+	mp := &mapPhase[K, V, R]{
+		ctx:         runCtx,
+		spec:        spec,
+		chunks:      chunks,
+		numReducers: numReducers,
+		maxRetries:  cfg.retries(),
+		retries:     &retries,
+		fail:        fail,
+	}
+	mp.stagingPool.New = func() any {
+		s := make([]Pair[K, V], 0, 512)
+		return &s
+	}
+
+	states := make([]*mapWorker[K, V], workers)
+	taskCh := make(chan int)
 	for w := 0; w < workers; w++ {
-		st := &workerState{parts: make([]map[K][]V, numReducers)}
+		st := &mapWorker[K, V]{parts: make([]map[K][]V, numReducers)}
 		for r := range st.parts {
 			st.parts[r] = make(map[K][]V)
 		}
@@ -89,41 +106,10 @@ func Run[K comparable, V any, R any](ctx context.Context, cfg Config, spec Spec[
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Emissions are staged per attempt and flushed to the
-			// worker's partition buffers only on success, so a retried
-			// task cannot leave duplicates behind.
-			var staging []Pair[K, V]
-			emit := func(k K, v V) {
-				staging = append(staging, Pair[K, V]{Key: k, Value: v})
-			}
-			for idx := range taskCh {
-				if ctxErr(runCtx) != nil {
-					return
-				}
-				chunk := chunks[idx]
-				var err error
-				for attempt := 0; ; attempt++ {
-					staging = staging[:0]
-					err = guard(func() error { return spec.Map(chunk, emit) })
-					if err == nil {
-						break
-					}
-					if attempt >= cfg.retries() {
-						break
-					}
-					retryMu.Lock()
-					retries++
-					retryMu.Unlock()
-				}
-				if err != nil {
-					fail(&taskError{phase: "map", spec: spec.Name, err: err})
-					return
-				}
-				for _, kv := range staging {
-					p := partitionOf(kv.Key, numReducers, spec.PartitionFn)
-					st.parts[p][kv.Key] = append(st.parts[p][kv.Key], kv.Value)
-				}
-				st.emitted += int64(len(staging))
+			if spec.Combine != nil {
+				mp.runStreaming(st, taskCh)
+			} else {
+				mp.runStaged(st, taskCh)
 			}
 		}()
 	}
@@ -144,16 +130,20 @@ feed:
 		return nil, err
 	}
 
-	// Worker-local combine (Phoenix combiner) before the shuffle.
+	// Worker-local combine (Phoenix combiner) before the shuffle. The
+	// streaming path already folds during the map call; this pass only
+	// compacts the sub-threshold remainders it left behind.
 	if spec.Combine != nil {
 		var cwg sync.WaitGroup
 		for _, st := range states {
 			cwg.Add(1)
-			go func(st *workerState) {
+			go func(st *mapWorker[K, V]) {
 				defer cwg.Done()
 				for _, part := range st.parts {
 					for k, vs := range part {
-						part[k] = spec.Combine(k, vs)
+						if len(vs) > 1 {
+							part[k] = spec.Combine(k, vs)
+						}
 					}
 				}
 			}(st)
@@ -166,11 +156,12 @@ feed:
 	res.Stats.MapTime = time.Since(start)
 
 	// Reduce phase: one task per partition; each task first merges the
-	// worker-local buffers for its partition (the shuffle), then reduces
-	// every key, in key order when spec.Less is set.
+	// worker-local buffers for its partition and key-sorts (the shuffle,
+	// tracked separately in Stats.ShuffleTime), then reduces every key.
 	start = time.Now()
 	partOut := make([][]Pair[K, R], numReducers)
 	uniq := make([]int, numReducers)
+	var shuffleNanos atomic.Int64
 	redCh := make(chan int)
 	var rwg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -181,7 +172,15 @@ feed:
 				if ctxErr(runCtx) != nil {
 					return
 				}
-				merged := make(map[K][]V)
+				shStart := time.Now()
+				// Pre-size the shuffle map from the worker-buffer key
+				// counts — an upper bound on the partition's cardinality,
+				// so the map never rehashes while absorbing the buffers.
+				size := 0
+				for _, st := range states {
+					size += len(st.parts[p])
+				}
+				merged := make(map[K][]V, size)
 				for _, st := range states {
 					for k, vs := range st.parts[p] {
 						merged[k] = append(merged[k], vs...)
@@ -196,6 +195,7 @@ feed:
 				if spec.Less != nil {
 					sort.Slice(keys, func(i, j int) bool { return spec.Less(keys[i], keys[j]) })
 				}
+				shuffleNanos.Add(int64(time.Since(shStart)))
 				out := make([]Pair[K, R], 0, len(keys))
 				for _, k := range keys {
 					var rv R
@@ -212,9 +212,7 @@ feed:
 						if attempt >= cfg.retries() {
 							break
 						}
-						retryMu.Lock()
-						retries++
-						retryMu.Unlock()
+						retries.Add(1)
 					}
 					if err != nil {
 						fail(&taskError{phase: "reduce", spec: spec.Name, err: err})
@@ -243,12 +241,12 @@ feedReduce:
 		return nil, err
 	}
 	res.Stats.ReduceTasks = numReducers
-	retryMu.Lock()
-	res.Stats.TaskRetries = retries
-	retryMu.Unlock()
+	res.Stats.TaskRetries = int(retries.Load())
 	for _, u := range uniq {
 		res.Stats.UniqueKeys += u
 	}
+	res.Stats.FragmentKeys = res.Stats.UniqueKeys
+	res.Stats.ShuffleTime = time.Duration(shuffleNanos.Load())
 	res.Stats.ReduceTime = time.Since(start)
 
 	// Merge phase: concatenate, or k-way merge the sorted partitions into
@@ -264,33 +262,136 @@ feedReduce:
 			res.Pairs = append(res.Pairs, po...)
 		}
 	} else {
-		res.Pairs = mergeSorted(partOut, spec.Less)
+		res.Pairs = MergeSorted(partOut, spec.Less)
 	}
 	res.Stats.MergeTime = time.Since(start)
 	return res, nil
 }
 
-// mergeSorted k-way merges sorted runs into one sorted slice using a simple
-// tournament over run heads (k is small — the number of reduce partitions).
-func mergeSorted[K comparable, R any](runs [][]Pair[K, R], less func(a, b K) bool) []Pair[K, R] {
-	total := 0
-	for _, r := range runs {
-		total += len(r)
+// mapWorker is one map worker's shuffle-side state: per-partition keyed
+// buffers plus its raw emission count.
+type mapWorker[K comparable, V any] struct {
+	parts   []map[K][]V
+	emitted int64
+}
+
+// mapPhase bundles the per-run constants the map workers share.
+type mapPhase[K comparable, V any, R any] struct {
+	ctx         context.Context
+	spec        Spec[K, V, R]
+	chunks      [][]byte
+	numReducers int
+	maxRetries  int
+	retries     *atomic.Int64
+	fail        func(error)
+	// stagingPool recycles the raw-pair staging buffers of the staged
+	// emit path across tasks and workers, so steady state allocates no
+	// staging memory at all.
+	stagingPool sync.Pool
+}
+
+// runStaged is the emit path when the spec has no combiner: emissions are
+// staged per attempt in a pooled buffer and folded into the worker's
+// partition buffers only on success, so a retried task cannot leave
+// duplicates behind.
+func (mp *mapPhase[K, V, R]) runStaged(st *mapWorker[K, V], taskCh <-chan int) {
+	sp := mp.stagingPool.Get().(*[]Pair[K, V])
+	staging := (*sp)[:0]
+	defer func() {
+		*sp = staging[:0]
+		mp.stagingPool.Put(sp)
+	}()
+	emit := func(k K, v V) {
+		staging = append(staging, Pair[K, V]{Key: k, Value: v})
 	}
-	out := make([]Pair[K, R], 0, total)
-	idx := make([]int, len(runs))
-	for len(out) < total {
-		best := -1
-		for i, r := range runs {
-			if idx[i] >= len(r) {
-				continue
-			}
-			if best < 0 || less(r[idx[i]].Key, runs[best][idx[best]].Key) {
-				best = i
-			}
+	for idx := range taskCh {
+		if ctxErr(mp.ctx) != nil {
+			return
 		}
-		out = append(out, runs[best][idx[best]])
-		idx[best]++
+		chunk := mp.chunks[idx]
+		var err error
+		for attempt := 0; ; attempt++ {
+			staging = staging[:0]
+			err = guard(func() error { return mp.spec.Map(chunk, emit) })
+			if err == nil {
+				break
+			}
+			if attempt >= mp.maxRetries {
+				break
+			}
+			mp.retries.Add(1)
+		}
+		if err != nil {
+			mp.fail(&taskError{phase: "map", spec: mp.spec.Name, err: err})
+			return
+		}
+		for _, kv := range staging {
+			p := partitionOf(kv.Key, mp.numReducers, mp.spec.PartitionFn)
+			st.parts[p][kv.Key] = append(st.parts[p][kv.Key], kv.Value)
+		}
+		st.emitted += int64(len(staging))
 	}
-	return out
+}
+
+// runStreaming is the emit path when the spec has a combiner: emissions
+// fold into task-local partition maps during the map call itself — no raw
+// pair is ever staged — and the combiner compacts each key's buffer as it
+// crosses streamFoldLen. The task-local maps are discarded on a failed
+// attempt (preserving retry idempotence) and spliced into the worker's
+// buffers on success.
+func (mp *mapPhase[K, V, R]) runStreaming(st *mapWorker[K, V], taskCh <-chan int) {
+	task := make([]map[K][]V, mp.numReducers)
+	for i := range task {
+		task[i] = make(map[K][]V)
+	}
+	var taskEmitted int64
+	emit := func(k K, v V) {
+		p := partitionOf(k, mp.numReducers, mp.spec.PartitionFn)
+		vs := append(task[p][k], v)
+		if len(vs) >= streamFoldLen {
+			vs = mp.spec.Combine(k, vs)
+		}
+		task[p][k] = vs
+		taskEmitted++
+	}
+	for idx := range taskCh {
+		if ctxErr(mp.ctx) != nil {
+			return
+		}
+		chunk := mp.chunks[idx]
+		var err error
+		for attempt := 0; ; attempt++ {
+			err = guard(func() error { return mp.spec.Map(chunk, emit) })
+			if err == nil {
+				break
+			}
+			// Discard the failed attempt's partial emissions so the retry
+			// starts from a clean slate.
+			for _, m := range task {
+				clear(m)
+			}
+			taskEmitted = 0
+			if attempt >= mp.maxRetries {
+				break
+			}
+			mp.retries.Add(1)
+		}
+		if err != nil {
+			mp.fail(&taskError{phase: "map", spec: mp.spec.Name, err: err})
+			return
+		}
+		for p, m := range task {
+			dst := st.parts[p]
+			for k, vs := range m {
+				wvs := append(dst[k], vs...)
+				if len(wvs) >= streamFoldLen {
+					wvs = mp.spec.Combine(k, wvs)
+				}
+				dst[k] = wvs
+			}
+			clear(m)
+		}
+		st.emitted += taskEmitted
+		taskEmitted = 0
+	}
 }

@@ -396,7 +396,7 @@ func TestMergeSortedHandlesEmptyRuns(t *testing.T) {
 		{},
 		{{2, "b"}, {3, "c"}},
 	}
-	out := mergeSorted(runs, func(a, b int) bool { return a < b })
+	out := MergeSorted(runs, func(a, b int) bool { return a < b })
 	if len(out) != 4 {
 		t.Fatalf("merged %d pairs, want 4", len(out))
 	}
@@ -472,5 +472,141 @@ func TestRunPreCancelledContext(t *testing.T) {
 	}
 	if _, err := RunSequential(ctx, Config{}, wcSpec(), []byte("a")); !errors.Is(err, context.Canceled) {
 		t.Fatalf("sequential err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunStreamingCombineRetryIdempotent is the streaming-combine analogue
+// of TestRunMapErrorRecoveredByRetry: a map attempt that emits and then
+// fails must not leak its partial, already-combined emissions.
+func TestRunStreamingCombineRetryIdempotent(t *testing.T) {
+	spec := wcSpec()
+	spec.Combine = func(_ string, values []int) []int {
+		sum := 0
+		for _, v := range values {
+			sum += v
+		}
+		values[0] = sum
+		return values[:1]
+	}
+	var calls atomic.Int64
+	inner := spec.Map
+	spec.Map = func(chunk []byte, emit func(string, int)) error {
+		first := calls.Add(1) == 1
+		if err := inner(chunk, emit); err != nil {
+			return err
+		}
+		if first {
+			return fmt.Errorf("transient failure after emitting")
+		}
+		return nil
+	}
+	res, err := Run(context.Background(), Config{Workers: 1, ChunkSize: 1 << 20, MaxTaskRetries: 3}, spec, []byte("a b a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TaskRetries == 0 {
+		t.Fatal("retry not recorded")
+	}
+	if got := res.Map()["a"]; got != 2 {
+		t.Fatalf("a = %d, want 2 (failed streaming attempt leaked emissions?)", got)
+	}
+	if got := res.Map()["b"]; got != 1 {
+		t.Fatalf("b = %d, want 1", got)
+	}
+}
+
+// TestRunStreamingCombineFoldsLongKeys pushes one key far past the
+// streaming fold threshold so the in-flight folds (emit-side and
+// flush-side) are both exercised.
+func TestRunStreamingCombineFoldsLongKeys(t *testing.T) {
+	spec := wcSpec()
+	spec.Combine = func(_ string, values []int) []int {
+		sum := 0
+		for _, v := range values {
+			sum += v
+		}
+		values[0] = sum
+		return values[:1]
+	}
+	n := streamFoldLen*5 + 7
+	text := strings.Repeat("hot ", n) + "cold"
+	res, err := Run(context.Background(), Config{Workers: 2, ChunkSize: 128}, spec, []byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Map()
+	if m["hot"] != n || m["cold"] != 1 {
+		t.Fatalf("counts = %v, want hot=%d cold=1", m, n)
+	}
+	if res.Stats.PairsEmitted != int64(n+1) {
+		t.Fatalf("PairsEmitted = %d, want %d (raw emissions, not post-combine)", res.Stats.PairsEmitted, n+1)
+	}
+}
+
+// TestRunStreamingEqualsStagedProperty: the streaming-combine emit path and
+// the staged path must be observationally identical.
+func TestRunStreamingEqualsStagedProperty(t *testing.T) {
+	prop := func(words []string, workers, chunk uint8) bool {
+		var sb strings.Builder
+		for _, w := range words {
+			for _, r := range w {
+				if r > ' ' && r < 127 {
+					sb.WriteRune(r)
+				}
+			}
+			sb.WriteByte(' ')
+		}
+		text := sb.String()
+		cfg := Config{Workers: int(workers)%8 + 1, ChunkSize: int(chunk)%97 + 1}
+		staged, err := Run(context.Background(), cfg, wcSpec(), []byte(text))
+		if err != nil {
+			return false
+		}
+		streamSpec := wcSpec()
+		streamSpec.Combine = func(_ string, values []int) []int {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			values[0] = sum
+			return values[:1]
+		}
+		streaming, err := Run(context.Background(), cfg, streamSpec, []byte(text))
+		if err != nil {
+			return false
+		}
+		if staged.Stats.PairsEmitted != streaming.Stats.PairsEmitted {
+			return false
+		}
+		sm, tm := staged.Map(), streaming.Map()
+		if len(sm) != len(tm) {
+			return false
+		}
+		for k, v := range sm {
+			if tm[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunShuffleAndFragmentStats(t *testing.T) {
+	spec := wcSpec()
+	spec.Less = func(a, b string) bool { return a < b }
+	text := strings.Repeat("alpha beta gamma delta ", 200)
+	res, err := Run(context.Background(), Config{Workers: 4, NumReducers: 4, ChunkSize: 64}, spec, []byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ShuffleTime <= 0 {
+		t.Fatalf("ShuffleTime = %v, want > 0", res.Stats.ShuffleTime)
+	}
+	if res.Stats.FragmentKeys != res.Stats.UniqueKeys {
+		t.Fatalf("FragmentKeys = %d, want UniqueKeys = %d for a single run",
+			res.Stats.FragmentKeys, res.Stats.UniqueKeys)
 	}
 }

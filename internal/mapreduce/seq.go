@@ -75,6 +75,7 @@ func RunSequential[K comparable, V any, R any](ctx context.Context, cfg Config, 
 	if spec.Less != nil {
 		sort.Slice(keys, func(i, j int) bool { return spec.Less(keys[i], keys[j]) })
 	}
+	res.Stats.ShuffleTime = time.Since(start)
 	res.Pairs = make([]Pair[K, R], 0, len(keys))
 	for _, k := range keys {
 		if err := ctxErr(ctx); err != nil {
@@ -91,6 +92,7 @@ func RunSequential[K comparable, V any, R any](ctx context.Context, cfg Config, 
 		res.Pairs = append(res.Pairs, Pair[K, R]{Key: k, Value: rv})
 	}
 	res.Stats.UniqueKeys = len(keys)
+	res.Stats.FragmentKeys = len(keys)
 	res.Stats.ReduceTasks = 1
 	res.Stats.ReduceTime = time.Since(start)
 	return res, nil

@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Phase is one named slice of a run's time budget — e.g. the MapReduce
+// engine's split/map/shuffle/reduce/merge breakdown.
+type Phase struct {
+	Name string
+	D    time.Duration
+}
+
+// PhaseTable renders a phase-time breakdown with each phase's share of the
+// total. Sub-phase entries (a phase contained in another, like the shuffle
+// inside the reduce wall clock) can be listed with contained so they are
+// shown but excluded from the total and the percentages.
+func PhaseTable(title string, phases []Phase, contained ...Phase) *Table {
+	var total time.Duration
+	for _, p := range phases {
+		total += p.D
+	}
+	t := NewTable(title, "phase", "time", "share")
+	for _, p := range phases {
+		t.AddRow(p.Name, p.D, percentOf(p.D, total))
+	}
+	for _, p := range contained {
+		t.AddRow("  ("+p.Name+")", p.D, "-")
+	}
+	t.AddRow("total", total, percentOf(total, total))
+	return t
+}
+
+func percentOf(d, total time.Duration) string {
+	if total <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(d)/float64(total))
+}

@@ -16,8 +16,10 @@ type Result[K comparable, R any] struct {
 	Pairs []mapreduce.Pair[K, R]
 	// Fragments is how many fragments were processed.
 	Fragments int
-	// Stats aggregates per-fragment engine statistics (times summed,
-	// UniqueKeys is the merged key count).
+	// Stats aggregates per-fragment engine statistics: counters and times
+	// are summed, UniqueKeys is the post-merge key count of the whole run,
+	// and FragmentKeys preserves the per-fragment unique-key sum (see
+	// mapreduce.Stats).
 	Stats mapreduce.Stats
 }
 
@@ -51,7 +53,7 @@ func Run[K comparable, V any, R any](
 		return nil, fmt.Errorf("partition: %q: merge function is required", spec.Name)
 	}
 	sc := NewScanner(input, opts)
-	acc := make(map[K]R)
+	var acc map[K]R
 	res := &Result[K, R]{}
 	for {
 		if err := ctx.Err(); err != nil {
@@ -70,6 +72,11 @@ func Run[K comparable, V any, R any](
 		}
 		res.Fragments++
 		accumulateStats(&res.Stats, fragRes.Stats)
+		if acc == nil {
+			// Pre-size the accumulator from the first fragment's
+			// cardinality — later fragments mostly re-hit these keys.
+			acc = make(map[K]R, 2*len(fragRes.Pairs))
+		}
 		for _, p := range fragRes.Pairs {
 			if prev, ok := acc[p.Key]; ok {
 				acc[p.Key] = merge(prev, p.Value)
@@ -92,14 +99,21 @@ func Run[K comparable, V any, R any](
 	return res, nil
 }
 
+// accumulateStats folds one fragment's engine statistics into the run
+// total. Counters and times sum; per-fragment UniqueKeys sums into
+// FragmentKeys (the drivers overwrite UniqueKeys with the post-merge key
+// count at the end, so the per-fragment counts would otherwise be lost and
+// the bench tables would under-report shuffle work).
 func accumulateStats(dst *mapreduce.Stats, s mapreduce.Stats) {
 	dst.MapTasks += s.MapTasks
 	dst.ReduceTasks += s.ReduceTasks
 	dst.PairsEmitted += s.PairsEmitted
+	dst.FragmentKeys += s.UniqueKeys
 	dst.TaskRetries += s.TaskRetries
 	dst.InputBytes += s.InputBytes
 	dst.SplitTime += s.SplitTime
 	dst.MapTime += s.MapTime
+	dst.ShuffleTime += s.ShuffleTime
 	dst.ReduceTime += s.ReduceTime
 	dst.MergeTime += s.MergeTime
 }

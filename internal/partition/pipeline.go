@@ -3,21 +3,35 @@ package partition
 import (
 	"context"
 	"fmt"
+	"hash/maphash"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"mcsd/internal/mapreduce"
 )
 
-// RunPipelined is Run with read/compute overlap: a producer goroutine
-// scans fragment n+1 from the input while fragment n is inside the
-// MapReduce engine — double buffering against the disk, which the
-// sequential driver leaves on the table.
+// maxMergeShards caps the merge stage's accumulator shards; past a handful
+// of shards the dispatcher, not the fold, is the bottleneck.
+const maxMergeShards = 8
+
+// RunPipelined is Run restructured as a three-stage pipeline:
+//
+//	scan  --fragCh-->  engine  --mergeCh-->  merge
+//
+// The scan stage prefetches the next fragment from the input while the
+// engine stage runs MapReduce over the current one (double buffering
+// against the disk), and the merge stage folds the previous fragment's
+// output into the accumulator while the engine is already busy with the
+// next — fragment-output merging no longer serializes on the engine's
+// goroutine. The accumulator is sharded by key hash with one goroutine per
+// shard, so merging itself is lock-free and parallel.
 //
 // Semantics are identical to Run. The memory cost is up to one extra
-// fragment of raw input resident at a time (the prefetched one); when a
-// node's memory budget is tight enough for that to matter, use Run or a
-// smaller fragment size.
+// fragment of raw input (the prefetched one) plus one in-flight fragment
+// output resident at a time; when a node's memory budget is tight enough
+// for that to matter, use Run or a smaller fragment size.
 func RunPipelined[K comparable, V any, R any](
 	ctx context.Context,
 	cfg mapreduce.Config,
@@ -30,11 +44,13 @@ func RunPipelined[K comparable, V any, R any](
 		return nil, fmt.Errorf("partition: %q: merge function is required", spec.Name)
 	}
 
+	// Stage 1: scan. A producer goroutine owns the Scanner and keeps one
+	// prefetched fragment in flight.
 	type item struct {
 		frag []byte
 		err  error
 	}
-	fragCh := make(chan item, 1) // one prefetched fragment in flight
+	fragCh := make(chan item, 1)
 	prodCtx, stopProducer := context.WithCancel(ctx)
 	defer stopProducer()
 	go func() {
@@ -62,42 +78,182 @@ func RunPipelined[K comparable, V any, R any](
 		}
 	}()
 
-	acc := make(map[K]R)
+	// Stage 3: merge. A dispatcher goroutine receives fragment outputs and
+	// deals their pairs to the shard workers; it always drains mergeCh so
+	// the engine can never wedge on a send.
+	acc := newShardedAcc[K, R](cfg, merge)
+	mergeCh := make(chan []mapreduce.Pair[K, R], 1)
+	mergeDone := make(chan struct{})
+	go func() {
+		defer close(mergeDone)
+		for pairs := range mergeCh {
+			acc.fold(pairs)
+		}
+		acc.close()
+	}()
+
+	// Stage 2: engine, on the calling goroutine.
 	res := &Result[K, R]{}
+	var runErr error
 	for it := range fragCh {
 		if it.err != nil {
-			return nil, it.err
+			runErr = it.err
+			break
 		}
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			runErr = err
+			break
 		}
 		fragRes, err := mapreduce.Run(ctx, cfg, spec, it.frag)
 		if err != nil {
-			return nil, fmt.Errorf("partition: fragment %d: %w", res.Fragments+1, err)
+			runErr = fmt.Errorf("partition: fragment %d: %w", res.Fragments+1, err)
+			break
 		}
 		res.Fragments++
 		accumulateStats(&res.Stats, fragRes.Stats)
-		for _, p := range fragRes.Pairs {
-			if prev, ok := acc[p.Key]; ok {
-				acc[p.Key] = merge(prev, p.Value)
-			} else {
-				acc[p.Key] = p.Value
-			}
-		}
+		mergeCh <- fragRes.Pairs
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	stopProducer()
+	close(mergeCh)
+	<-mergeDone
+	if runErr == nil {
+		runErr = ctx.Err()
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 
-	res.Pairs = make([]mapreduce.Pair[K, R], 0, len(acc))
-	for k, v := range acc {
-		res.Pairs = append(res.Pairs, mapreduce.Pair[K, R]{Key: k, Value: v})
-	}
-	if spec.Less != nil {
-		sort.Slice(res.Pairs, func(i, j int) bool {
-			return spec.Less(res.Pairs[i].Key, res.Pairs[j].Key)
-		})
-	}
+	res.Pairs = acc.collect(spec.Less)
 	res.Stats.UniqueKeys = len(res.Pairs)
 	return res, nil
+}
+
+// shardedAcc is the merge stage's accumulator: key-hash-sharded maps, each
+// owned by exactly one goroutine, so fragment outputs fold without locks.
+type shardedAcc[K comparable, R any] struct {
+	merge  MergeFunc[R]
+	seed   maphash.Seed
+	shards []map[K]R
+	chans  []chan []mapreduce.Pair[K, R]
+	wg     sync.WaitGroup
+	mask   uint64
+	open   bool
+}
+
+func newShardedAcc[K comparable, R any](cfg mapreduce.Config, merge MergeFunc[R]) *shardedAcc[K, R] {
+	n := runtime.GOMAXPROCS(0)
+	if cfg.Workers > 0 {
+		n = cfg.Workers
+	}
+	if n > maxMergeShards {
+		n = maxMergeShards
+	}
+	// Round down to a power of two so shard selection is a mask.
+	shards := 1
+	for shards*2 <= n {
+		shards *= 2
+	}
+	return &shardedAcc[K, R]{
+		merge:  merge,
+		seed:   maphash.MakeSeed(),
+		shards: make([]map[K]R, shards),
+		chans:  make([]chan []mapreduce.Pair[K, R], shards),
+		mask:   uint64(shards - 1),
+	}
+}
+
+// fold deals one fragment's pairs to the shard workers. The first call
+// pre-sizes every shard from the fragment's cardinality — the best
+// available estimate of per-fragment key counts — and starts the workers.
+func (a *shardedAcc[K, R]) fold(pairs []mapreduce.Pair[K, R]) {
+	if len(pairs) == 0 {
+		return
+	}
+	if !a.open {
+		hint := len(pairs)/len(a.shards) + 1
+		for i := range a.shards {
+			a.shards[i] = make(map[K]R, 2*hint)
+			a.chans[i] = make(chan []mapreduce.Pair[K, R], 1)
+			a.wg.Add(1)
+			go func(shard map[K]R, ch <-chan []mapreduce.Pair[K, R]) {
+				defer a.wg.Done()
+				for batch := range ch {
+					for _, p := range batch {
+						if prev, ok := shard[p.Key]; ok {
+							shard[p.Key] = a.merge(prev, p.Value)
+						} else {
+							shard[p.Key] = p.Value
+						}
+					}
+				}
+			}(a.shards[i], a.chans[i])
+		}
+		a.open = true
+	}
+	if len(a.chans) == 1 {
+		a.chans[0] <- pairs
+		return
+	}
+	buckets := make([][]mapreduce.Pair[K, R], len(a.chans))
+	per := len(pairs)/len(a.chans) + 1
+	for _, p := range pairs {
+		s := maphash.Comparable(a.seed, p.Key) & a.mask
+		if buckets[s] == nil {
+			buckets[s] = make([]mapreduce.Pair[K, R], 0, per)
+		}
+		buckets[s] = append(buckets[s], p)
+	}
+	for i, b := range buckets {
+		if len(b) > 0 {
+			a.chans[i] <- b
+		}
+	}
+}
+
+// close stops the shard workers and waits for every in-flight batch to be
+// folded. It must be called before collect.
+func (a *shardedAcc[K, R]) close() {
+	if !a.open {
+		return
+	}
+	for _, ch := range a.chans {
+		close(ch)
+	}
+	a.wg.Wait()
+	a.open = false
+}
+
+// collect flattens the shards into the final pair slice. With an ordering,
+// each shard is sorted concurrently and the sorted shards are k-way merged
+// — the same merge machinery as the engine's final stage.
+func (a *shardedAcc[K, R]) collect(less func(x, y K) bool) []mapreduce.Pair[K, R] {
+	if less == nil {
+		total := 0
+		for _, s := range a.shards {
+			total += len(s)
+		}
+		out := make([]mapreduce.Pair[K, R], 0, total)
+		for _, s := range a.shards {
+			for k, v := range s {
+				out = append(out, mapreduce.Pair[K, R]{Key: k, Value: v})
+			}
+		}
+		return out
+	}
+	runs := make([][]mapreduce.Pair[K, R], len(a.shards))
+	var wg sync.WaitGroup
+	for i, s := range a.shards {
+		run := make([]mapreduce.Pair[K, R], 0, len(s))
+		for k, v := range s {
+			run = append(run, mapreduce.Pair[K, R]{Key: k, Value: v})
+		}
+		runs[i] = run
+		wg.Add(1)
+		go func(run []mapreduce.Pair[K, R]) {
+			defer wg.Done()
+			sort.Slice(run, func(x, y int) bool { return less(run[x].Key, run[y].Key) })
+		}(run)
+	}
+	wg.Wait()
+	return mapreduce.MergeSorted(runs, less)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -137,3 +138,93 @@ func (i *infiniteWords) Read(p []byte) (int, error) {
 }
 
 var _ io.Reader = (*infiniteWords)(nil)
+
+// TestRunPipelinedCancelMidFragmentNoLeak cancels the context while the
+// engine stage is inside a fragment and asserts that (a) the cancellation
+// is surfaced and (b) the scan-stage producer goroutine exits rather than
+// leaking, blocked on its fragment channel.
+func TestRunPipelinedCancelMidFragmentNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	spec := wcSpec()
+	inMap := make(chan struct{}, 1)
+	inner := spec.Map
+	spec.Map = func(chunk []byte, emit func(string, int)) error {
+		select {
+		case inMap <- struct{}{}:
+		default:
+		}
+		return inner(chunk, emit)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// An endless input: only cancellation can end this run.
+		_, err := RunPipelined(ctx, mapreduce.Config{Workers: 1}, spec,
+			&infiniteWords{}, Options{FragmentSize: 1 << 16}, SumMerge[int])
+		done <- err
+	}()
+	<-inMap // a fragment is inside the engine
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled pipelined run did not return")
+	}
+
+	// The producer (and the merge-stage workers) must wind down; poll
+	// because goroutine exit is asynchronous with RunPipelined's return.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestRunPipelinedScanErrorAfterFragmentSurfaced feeds an input whose first
+// fragments scan cleanly and whose tail has no delimiter within MaxScan:
+// the scanner error must surface even though earlier fragments already
+// succeeded (a swallowed error here would silently truncate the run).
+func TestRunPipelinedScanErrorAfterFragmentSurfaced(t *testing.T) {
+	data := "aa bb cc dd " + strings.Repeat("x", 5000)
+	res, err := RunPipelined(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
+		strings.NewReader(data), Options{FragmentSize: 4, MaxScan: 50}, SumMerge[int])
+	if !errors.Is(err, ErrScanLimit) {
+		t.Fatalf("err = %v (res %v), want ErrScanLimit after successful fragments", err, res)
+	}
+}
+
+// TestRunPipelinedFragmentKeysStat: per-fragment unique keys must sum into
+// FragmentKeys while UniqueKeys stays the merged count.
+func TestRunPipelinedFragmentKeysStat(t *testing.T) {
+	text := strings.Repeat("lorem ipsum dolor ", 200)
+	res, err := RunPipelined(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
+		strings.NewReader(text), Options{FragmentSize: 128}, SumMerge[int])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.UniqueKeys != 3 {
+		t.Fatalf("UniqueKeys = %d, want 3 (merged)", res.Stats.UniqueKeys)
+	}
+	// Every fragment sees the same 3 words, so the per-fragment sum must be
+	// ~3 per fragment — strictly greater than the merged count.
+	if res.Stats.FragmentKeys <= res.Stats.UniqueKeys {
+		t.Fatalf("FragmentKeys = %d, want > UniqueKeys (%d) across %d fragments",
+			res.Stats.FragmentKeys, res.Stats.UniqueKeys, res.Fragments)
+	}
+	seq, err := Run(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
+		strings.NewReader(text), Options{FragmentSize: 128}, SumMerge[int])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Stats.FragmentKeys != res.Stats.FragmentKeys {
+		t.Fatalf("sequential driver FragmentKeys = %d, pipelined = %d; want equal",
+			seq.Stats.FragmentKeys, res.Stats.FragmentKeys)
+	}
+}

@@ -150,7 +150,8 @@ func DBSelectSpec(q DBQuery) mapreduce.Spec[string, float64, float64] {
 			}
 			return nil
 		},
-		Combine: func(_ string, vs []float64) []float64 { return []float64{sum(vs)} },
+		// Folds in place — see WordCountSpec's combiner.
+		Combine: func(_ string, vs []float64) []float64 { vs[0] = sum(vs); return vs[:1] },
 		Reduce:  func(_ string, vs []float64) (float64, error) { return sum(vs), nil },
 		Less:    func(a, b string) bool { return a < b },
 		// Aggregation state is tiny; the input dominates the footprint.

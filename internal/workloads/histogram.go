@@ -78,7 +78,8 @@ func HistogramSpec() mapreduce.Spec[HistKey, int, int] {
 			}
 			return nil
 		},
-		Combine: func(_ HistKey, vs []int) []int { return []int{sum(vs)} },
+		// Folds in place — see WordCountSpec's combiner.
+		Combine: func(_ HistKey, vs []int) []int { vs[0] = sum(vs); return vs[:1] },
 		Reduce:  func(_ HistKey, vs []int) (int, error) { return sum(vs), nil },
 		Less: func(a, b HistKey) bool {
 			if a.Channel != b.Channel {

@@ -142,7 +142,8 @@ func kmeansSpec(centroids []KMeansPoint, dim int) mapreduce.Spec[int, kmSum, kmS
 			}
 			return nil
 		},
-		Combine:         func(_ int, vs []kmSum) []kmSum { return []kmSum{fold(vs)} },
+		// Folds in place — see WordCountSpec's combiner.
+		Combine:         func(_ int, vs []kmSum) []kmSum { vs[0] = fold(vs); return vs[:1] },
 		Reduce:          func(_ int, vs []kmSum) (kmSum, error) { return fold(vs), nil },
 		Less:            func(a, b int) bool { return a < b },
 		FootprintFactor: 1.1,

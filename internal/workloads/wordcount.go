@@ -27,12 +27,16 @@ func WordCountSpec() mapreduce.Spec[string, int, int] {
 			}
 			return nil
 		},
+		// The combiner folds in place: the engine's streaming-combine path
+		// invokes it repeatedly during the map call, so a fresh one-element
+		// slice per fold would put an allocation on the emit hot path.
 		Combine: func(_ string, values []int) []int {
 			sum := 0
 			for _, v := range values {
 				sum += v
 			}
-			return []int{sum}
+			values[0] = sum
+			return values[:1]
 		},
 		Reduce: func(_ string, values []int) (int, error) {
 			sum := 0
