@@ -143,6 +143,105 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCLIExitCodesAndQueue pins the mcsdctl contract scripts rely on:
+// distinct exit codes for "daemon unreachable" (2) vs "module failed"
+// (3), errors on stderr with stdout clean, and the queue verb reporting
+// the node's scheduler state.
+func TestCLIExitCodesAndQueue(t *testing.T) {
+	mcsdd, mcsdctl, _ := buildBinaries(t)
+
+	ctl := func(addr string, args ...string) (stdout, stderr string, code int) {
+		t.Helper()
+		cmd := exec.Command(mcsdctl, append([]string{"-addr", addr}, args...)...)
+		var out, errb bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &errb
+		err := cmd.Run()
+		code = 0
+		if err != nil {
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("mcsdctl %v did not run: %v", args, err)
+			}
+			code = ee.ExitCode()
+		}
+		return out.String(), errb.String(), code
+	}
+
+	// Nothing listens on this port: exit 2, error on stderr only.
+	deadAddr := freePort(t)
+	stdout, stderr, code := ctl(deadAddr, "status")
+	if code != 2 {
+		t.Fatalf("unreachable daemon: exit %d, want 2\nstderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("unreachable daemon wrote to stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "unreachable") {
+		t.Fatalf("stderr does not say unreachable: %q", stderr)
+	}
+
+	// Live daemon for the remaining cases.
+	exportDir := t.TempDir()
+	addr := freePort(t)
+	daemon := exec.Command(mcsdd, "-dir", exportDir, "-listen", addr, "-workers", "2")
+	var daemonLog bytes.Buffer
+	daemon.Stdout, daemon.Stderr = &daemonLog, &daemonLog
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill() //nolint:errcheck
+		daemon.Wait()         //nolint:errcheck
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mcsdd never came up; log:\n%s", daemonLog.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Module ran and failed (missing input file): exit 3, stderr only.
+	stdout, stderr, code = ctl(addr, "wordcount", "-file", "data/missing.txt")
+	if code != 3 {
+		t.Fatalf("module failure: exit %d, want 3\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("module failure wrote to stdout: %q", stdout)
+	}
+	if stderr == "" {
+		t.Fatal("module failure left stderr empty")
+	}
+
+	// The queue verb reads the scheduler status the daemon publishes.
+	// The published snapshot refreshes every 250ms, so poll until it
+	// reflects the wordcount that just went through the scheduler.
+	var queueOut string
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		var qcode int
+		queueOut, stderr, qcode = ctl(addr, "queue")
+		if qcode == 0 && strings.Contains(queueOut, "1 submitted") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue verb never reflected the job: exit %d\nstdout: %s\nstderr: %s\ndaemon log:\n%s",
+				qcode, queueOut, stderr, daemonLog.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, want := range []string{"queue:", "lifetime:", "pressure:", "wait:"} {
+		if !strings.Contains(queueOut, want) {
+			t.Fatalf("queue output missing %q:\n%s", want, queueOut)
+		}
+	}
+}
+
 func TestCLIBenchCSVExport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("building binaries is slow")

@@ -17,22 +17,57 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
 	"mcsd/internal/core"
 	"mcsd/internal/nfs"
+	"mcsd/internal/sched"
 	"mcsd/internal/smartfam"
 	"mcsd/internal/units"
 )
 
+// Exit codes, so scripts driving mcsdctl can tell an unreachable daemon
+// from a module that ran and failed from node backpressure without
+// parsing error text.
+const (
+	exitFailure     = 1 // usage errors and everything unclassified
+	exitUnreachable = 2 // the SD node's export could not be reached
+	exitModule      = 3 // the module ran on the node and reported failure
+	exitQueueFull   = 4 // the node's scheduler shed the request (retryable)
+)
+
+// errUnreachable marks failures to reach the SD node's export at all —
+// connection refused, ping timeout — as distinct from errors the node
+// itself reported.
+var errUnreachable = errors.New("daemon unreachable")
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		log.Fatalf("mcsdctl: %v", err)
+	err := run(os.Args[1:])
+	if err == nil {
+		return
 	}
+	fmt.Fprintf(os.Stderr, "mcsdctl: %v\n", err)
+	os.Exit(exitCode(err))
+}
+
+// exitCode classifies err. Queue-full wins over the module-error check:
+// the rejection crosses the wire as an error record, but it means "try
+// again later", not "the module is broken".
+func exitCode(err error) int {
+	var merr *smartfam.ModuleError
+	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		return exitQueueFull
+	case errors.As(err, &merr):
+		return exitModule
+	case errors.Is(err, errUnreachable), errors.Is(err, core.ErrNoExecutor):
+		return exitUnreachable
+	}
+	return exitFailure
 }
 
 func run(args []string) error {
@@ -45,12 +80,12 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: mcsdctl [-addr host:port] <status|modules|put|wordcount|stringmatch|matmul|dbselect|kmeans> ...")
+		return fmt.Errorf("usage: mcsdctl [-addr host:port] <status|queue|modules|put|wordcount|stringmatch|matmul|dbselect|kmeans> ...")
 	}
 
 	client, err := nfs.DialPool(*addr, 10*time.Second, *conns)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %s: %v", errUnreachable, *addr, err)
 	}
 	defer client.Close()
 
@@ -65,6 +100,8 @@ func run(args []string) error {
 		return listModules(client)
 	case "status":
 		return status(client)
+	case "queue":
+		return queueStatus(client)
 	case "put":
 		return put(client, cmdArgs)
 	case "wordcount":
@@ -104,7 +141,7 @@ func listModules(client *nfs.Pool) error {
 // first stop when an offload hangs.
 func status(client *nfs.Pool) error {
 	if err := client.Ping(); err != nil {
-		return fmt.Errorf("export unreachable: %w", err)
+		return fmt.Errorf("%w: %v", errUnreachable, err)
 	}
 	fmt.Println("export:    reachable")
 	if ts, ok := smartfam.ReadHeartbeat(client); ok {
@@ -132,6 +169,25 @@ func status(client *nfs.Pool) error {
 				module, units.FormatBytes(size), gen)
 		}
 	}
+	return nil
+}
+
+// queueStatus prints the scheduler status the daemon publishes on the
+// share: queue depth, memory reservations against the budget, lifetime
+// counters, and per-tenant fair-queuing state.
+func queueStatus(client *nfs.Pool) error {
+	if err := client.Ping(); err != nil {
+		return fmt.Errorf("%w: %v", errUnreachable, err)
+	}
+	data, err := smartfam.ReadFrom(client, smartfam.QueueStatusName, 0)
+	if err != nil || len(data) == 0 {
+		return fmt.Errorf("no queue status on the share (scheduler disabled, or daemon not started)")
+	}
+	st, err := sched.UnmarshalStatus(data)
+	if err != nil {
+		return fmt.Errorf("queue status unreadable: %w", err)
+	}
+	fmt.Print(st.Format())
 	return nil
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"mcsd/internal/core"
 	"mcsd/internal/memsim"
+	"mcsd/internal/sched"
 	"mcsd/internal/smartfam"
 	"mcsd/internal/units"
 
@@ -46,6 +47,7 @@ func run() error {
 		memFlag = flag.String("mem", "", "optional memory limit for module admission control (e.g. 2G)")
 		poll    = flag.Duration("poll", smartfam.DefaultPollInterval, "smartFAM watcher poll interval")
 		compact = flag.Duration("compact", 5*time.Minute, "compact module logs after this long idle (0 disables)")
+		queue   = flag.Int("queue", sched.DefaultMaxQueueDepth, "job queue depth before requests are rejected with backpressure (0 disables the scheduler)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -89,8 +91,30 @@ func run() error {
 	}()
 	log.Printf("mcsdd: exporting %s on %s", *dir, ln.Addr())
 
-	daemon := smartfam.NewDaemon(share, reg,
-		smartfam.WithPollInterval(*poll), smartfam.WithWorkers(*workers))
+	daemonOpts := []smartfam.DaemonOption{
+		smartfam.WithPollInterval(*poll), smartfam.WithWorkers(*workers),
+	}
+	if *queue > 0 {
+		// The scheduler sits between the smartFAM log files and the module
+		// registry: per-module fair ordering, memory-aware admission against
+		// the node's budget, and queue-full backpressure to callers.
+		sd := sched.New(sched.Config{
+			MaxQueueDepth: *queue,
+			Workers:       *workers,
+			Memory:        acct,
+		}, func(ctx context.Context, job *sched.Job) ([]byte, error) {
+			m, err := reg.Lookup(job.Module)
+			if err != nil {
+				return nil, err
+			}
+			return m.Run(ctx, job.Payload)
+		})
+		daemonOpts = append(daemonOpts,
+			smartfam.WithScheduler(sd),
+			smartfam.WithFootprintEstimator(core.NewFootprintEstimator(modCfg.Store, acct)))
+		log.Printf("mcsdd: scheduler on (queue depth %d, %d workers)", *queue, *workers)
+	}
+	daemon := smartfam.NewDaemon(share, reg, daemonOpts...)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

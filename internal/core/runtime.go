@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mcsd/internal/metrics"
+	"mcsd/internal/sched"
 	"mcsd/internal/smartfam"
 	"mcsd/internal/trace"
 )
@@ -24,6 +25,7 @@ type Runtime struct {
 	hbStaleness    time.Duration
 	metrics        *metrics.Registry
 	tracer         *trace.Tracer
+	sched          *sched.Scheduler
 
 	mu    sync.Mutex
 	sds   []*sdHandle
@@ -67,6 +69,15 @@ func WithMetrics(m *metrics.Registry) Option {
 // framework's host/SD overlap visible.
 func WithTracer(tr *trace.Tracer) Option {
 	return func(r *Runtime) { r.tracer = tr }
+}
+
+// WithScheduler routes offloaded jobs through a job scheduler: submission
+// order, tenant fairness, priorities, memory-aware admission, and queue
+// backpressure all apply before any node is dialled. The caller drives
+// the scheduler's Run loop. A full queue surfaces as sched.ErrQueueFull
+// from Run/Invoke.
+func WithScheduler(s *sched.Scheduler) Option {
+	return func(r *Runtime) { r.sched = s }
 }
 
 // WithHeartbeatStaleness sets how old a node's liveness stamp may be
@@ -137,6 +148,18 @@ type Job struct {
 	Params any
 	// Local optionally runs on the host, overlapping the offload.
 	Local func(ctx context.Context) error
+
+	// The remaining fields only matter when the runtime has a scheduler
+	// attached (WithScheduler); without one they are ignored.
+
+	// Tenant groups jobs for the scheduler's fair ordering.
+	Tenant string
+	// Priority overrides fair ordering (higher dispatches first).
+	Priority int
+	// InputBytes and FootprintFactor size the job for memory-aware
+	// admission (see sched.Job).
+	InputBytes      int64
+	FootprintFactor float64
 }
 
 // Result reports one completed job.
@@ -187,7 +210,7 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 	}
 
 	offSpan := jobSpan.Child("offload")
-	res, offErr := r.invoke(ctx, job.Module, params, offSpan)
+	res, offErr := r.dispatch(ctx, job, params, offSpan)
 	offSpan.Finish()
 	<-localDone
 	if offErr != nil {
@@ -203,6 +226,39 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 // Invoke runs a module with no host-side part.
 func (r *Runtime) Invoke(ctx context.Context, module string, params any) (*Result, error) {
 	return r.Run(ctx, Job{Module: module, Params: params})
+}
+
+// dispatch routes the offload leg directly to invoke, or through the
+// attached scheduler — the job waits in the queue (spans record the
+// delay) until admission control clears it, then the scheduler's worker
+// executes the node-selection/failover path as usual.
+func (r *Runtime) dispatch(ctx context.Context, job Job, params []byte, span *trace.Span) (*Result, error) {
+	if r.sched == nil {
+		return r.invoke(ctx, job.Module, params, span)
+	}
+	var res *Result
+	h, err := r.sched.Submit(ctx, &sched.Job{
+		Tenant:          job.Tenant,
+		Module:          job.Module,
+		Priority:        job.Priority,
+		InputBytes:      job.InputBytes,
+		FootprintFactor: job.FootprintFactor,
+		Exec: func(execCtx context.Context, _ *sched.Job) ([]byte, error) {
+			rr, err := r.invoke(execCtx, job.Module, params, span)
+			if err != nil {
+				return nil, err
+			}
+			res = rr
+			return rr.Payload, nil
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: offload of %q rejected: %w", job.Module, err)
+	}
+	if _, err := h.Wait(ctx); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // invoke picks nodes and handles failover.
@@ -232,6 +288,14 @@ func (r *Runtime) invoke(ctx context.Context, module string, params []byte, span
 		}
 		var merr *smartfam.ModuleError
 		if errors.As(err, &merr) {
+			if sched.IsQueueFullMessage(merr.Msg) {
+				// The node's scheduler shed the request. Re-type the wire
+				// message so callers (mcsdctl, retry loops) can match
+				// sched.ErrQueueFull; like other application-level
+				// results it does not fail the node over.
+				r.metrics.Counter("core.queue_full_rejects").Inc()
+				return nil, fmt.Errorf("core: node %s: %w", h.name, sched.ErrQueueFull)
+			}
 			// Application-level failure: deterministic, do not fail over.
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -204,6 +205,84 @@ func TestRunSkipsStaleHeartbeatNode(t *testing.T) {
 	}
 	if rt.Metrics().Counter("core.heartbeat_skips").Value() == 0 {
 		t.Fatal("heartbeat skip not counted")
+	}
+}
+
+func TestRunStaleHeartbeatUnderConcurrentUpdates(t *testing.T) {
+	// Node selection reads heartbeats off the share while the daemons
+	// rewrite them — the steady state of a real cluster. One node's stamp
+	// is frozen in the past, the other's is refreshed concurrently; every
+	// pick must land on the live node, with the stamp file being
+	// overwritten mid-read. Run under -race this also proves the
+	// pick path shares no unsynchronized state with heartbeat writers.
+	staleShare := smartfam.DirFS(t.TempDir())
+	staleReg := smartfam.NewRegistry(staleShare)
+	if err := staleReg.Register(echoMod("echo")); err != nil {
+		t.Fatal(err)
+	}
+	liveShare := fakeSD(t, echoMod("echo"))
+	// Seed the stale stamp before any pick: a node with no heartbeat file
+	// at all is deliberately still tried (see the next test), which would
+	// burn the attempt timeout here.
+	if err := smartfam.WriteHeartbeat(staleShare, time.Now().Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(time.Millisecond):
+				}
+				_ = smartfam.WriteHeartbeat(liveShare, time.Now())
+				_ = smartfam.WriteHeartbeat(staleShare, time.Now().Add(-time.Hour))
+			}
+		}()
+	}
+	t.Cleanup(func() {
+		close(stop)
+		writers.Wait()
+	})
+
+	// WriteHeartbeat truncates before rewriting, so a pick racing a writer
+	// can read a torn (empty) stamp and legitimately try the dead node —
+	// keep the attempt timeout short so that degrades to a quick failover
+	// rather than a stall. The end state asserted below is unchanged:
+	// every job is served by the live node.
+	rt := New(WithPollInterval(time.Millisecond),
+		WithHeartbeatStaleness(5*time.Second),
+		WithAttemptTimeout(200*time.Millisecond))
+	rt.AttachSD("stale", staleShare)
+	rt.AttachSD("live", liveShare)
+
+	ctx := testCtx(t)
+	var invokers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		invokers.Add(1)
+		go func() {
+			defer invokers.Done()
+			for i := 0; i < 5; i++ {
+				res, err := rt.Invoke(ctx, "echo", i)
+				if err != nil {
+					t.Errorf("invoke: %v", err)
+					return
+				}
+				if res.SD != "live" {
+					t.Errorf("served by %q, want live (stale heartbeat picked)", res.SD)
+					return
+				}
+			}
+		}()
+	}
+	invokers.Wait()
+	if rt.Metrics().Counter("core.heartbeat_skips").Value() == 0 {
+		t.Fatal("stale node never skipped by heartbeat")
 	}
 }
 

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mcsd/internal/sched"
+	"mcsd/internal/smartfam"
+)
+
+// startSched runs a scheduler loop for the duration of the test.
+func startSched(t *testing.T, cfg sched.Config) *sched.Scheduler {
+	t.Helper()
+	s := sched.New(cfg, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return s
+}
+
+func TestRunThroughScheduler(t *testing.T) {
+	s := startSched(t, sched.Config{Workers: 1})
+	rt := New(WithPollInterval(time.Millisecond), WithScheduler(s))
+	rt.AttachSD("sd1", fakeSD(t, echoMod("echo")))
+
+	res, err := rt.Run(testCtx(t), Job{Module: "echo", Params: "hi", Tenant: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Offloaded || res.SD != "sd1" || string(res.Payload) != `ok:"hi"` {
+		t.Fatalf("result = %+v payload %q, want offload through scheduler", res, res.Payload)
+	}
+	st := s.Status()
+	if st.Completed != 1 {
+		t.Fatalf("scheduler completed = %d, want the offload routed through it", st.Completed)
+	}
+}
+
+func TestRunSchedulerQueueFullSurfaces(t *testing.T) {
+	// Depth 1, single worker held by a blocking job: the queue fills and
+	// further Runs fail fast with the typed backpressure error.
+	release := make(chan struct{})
+	defer close(release)
+	s := startSched(t, sched.Config{Workers: 1, MaxQueueDepth: 1})
+	rt := New(WithPollInterval(time.Millisecond), WithScheduler(s))
+	blocker := smartfam.ModuleFunc{
+		ModuleName: "echo",
+		Fn: func(ctx context.Context, p []byte) ([]byte, error) {
+			select {
+			case <-release:
+				return p, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	}
+	rt.AttachSD("sd1", fakeSD(t, blocker))
+
+	ctx := testCtx(t)
+	running := make(chan error, 2)
+	invoke := func() {
+		_, err := rt.Invoke(ctx, "echo", "held")
+		running <- err
+	}
+	wait := func(cond func(sched.Status) bool) {
+		t.Helper()
+		for !cond(s.Status()) {
+			select {
+			case <-ctx.Done():
+				t.Fatal("scheduler never reached the expected state")
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	// First invoke occupies the worker, then the second fills the
+	// depth-1 queue — sequenced so they never race for the queue slot.
+	go invoke()
+	wait(func(st sched.Status) bool { return st.Running == 1 })
+	go invoke()
+	wait(func(st sched.Status) bool { return st.Queued == 1 })
+
+	_, err := rt.Invoke(ctx, "echo", "rejected")
+	if !errors.Is(err, sched.ErrQueueFull) {
+		t.Fatalf("err = %v, want sched.ErrQueueFull", err)
+	}
+}
+
+func TestInvokeMapsWireQueueFull(t *testing.T) {
+	// A remote node's scheduler rejection arrives as a module error record
+	// whose message carries the queue-full text; invoke must re-type it so
+	// errors.Is works at the caller, and must not fail over.
+	shedding := smartfam.ModuleFunc{
+		ModuleName: "busy",
+		Fn: func(context.Context, []byte) ([]byte, error) {
+			return nil, sched.ErrQueueFull
+		},
+	}
+	rt := New(WithPollInterval(time.Millisecond))
+	rt.AttachSD("sd1", fakeSD(t, shedding))
+	rt.AttachSD("sd2", fakeSD(t, shedding))
+
+	_, err := rt.Invoke(testCtx(t), "busy", nil)
+	if !errors.Is(err, sched.ErrQueueFull) {
+		t.Fatalf("err = %v, want sched.ErrQueueFull across the wire", err)
+	}
+	if rt.Metrics().Counter("core.failovers").Value() != 0 {
+		t.Fatal("queue-full must not burn a failover")
+	}
+	if rt.Metrics().Counter("core.queue_full_rejects").Value() == 0 {
+		t.Fatal("queue-full rejection not counted")
+	}
+}
+
+func TestRunSchedulerCancelledSubmit(t *testing.T) {
+	s := startSched(t, sched.Config{Workers: 1})
+	rt := New(WithPollInterval(time.Millisecond), WithScheduler(s))
+	rt.AttachSD("sd1", fakeSD(t, echoMod("echo")))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rt.Invoke(ctx, "echo", nil); err == nil {
+		t.Fatal("cancelled submit succeeded")
+	}
+}

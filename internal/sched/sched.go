@@ -1,0 +1,618 @@
+// Package sched is the SD node's control plane between "request arrived"
+// and "engine runs": a multi-tenant job scheduler with admission control,
+// priorities, and backpressure.
+//
+// The paper's McSD daemon invokes one module per smartFAM log write with
+// no notion of concurrent callers. A node serving heavy traffic needs
+// three things the raw daemon lacks, and this package provides them:
+//
+//   - Ordering. Submitted jobs queue per tenant; dispatch interleaves
+//     tenants by weighted fair queuing (FIFO within a tenant, a served/
+//     weight virtual clock across tenants) with an explicit Priority
+//     override that jumps the fair order entirely.
+//   - Memory-aware admission. A job's resident footprint is estimated as
+//     input size × workload footprint factor (word count 3×, string match
+//     2× — DESIGN.md §5b) and charged against the node's memsim budget of
+//     usable RAM. Jobs whose footprint does not currently fit wait in the
+//     queue rather than co-scheduling into the swap-thrash region; smaller
+//     jobs may be admitted past them in the meantime.
+//   - Backpressure. The queue is bounded. When it is full, Submit fails
+//     fast with ErrQueueFull, which the daemon surfaces to the remote
+//     caller through the smartFAM result record instead of silently
+//     stalling the share.
+//
+// Each job walks a lifecycle — queued → admitted → running → done /
+// failed / cancelled — with context cancellation, deadlines, and
+// retry-with-jittered-backoff for failures the caller marks retryable.
+// Queue depth, wait time, and admission decisions are counted in an
+// internal/metrics registry, and the queued/running phases are recorded
+// as spans in internal/trace so the Gantt renderer shows queueing delay.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mcsd/internal/memsim"
+	"mcsd/internal/metrics"
+	"mcsd/internal/trace"
+)
+
+// Errors surfaced by Submit and Handle.Wait.
+var (
+	// ErrQueueFull is the backpressure signal: the bounded queue is at
+	// capacity and the caller should retry later or go elsewhere. It
+	// crosses the smartFAM wire as message text; use IsQueueFullMessage
+	// to recognise it on the far side.
+	ErrQueueFull = errors.New("sched: queue full")
+	// ErrCancelled reports a job cancelled before or during execution.
+	ErrCancelled = errors.New("sched: job cancelled")
+	// ErrStopped reports a scheduler whose Run loop has exited.
+	ErrStopped = errors.New("sched: scheduler stopped")
+)
+
+// IsQueueFullMessage reports whether an error message that crossed a
+// process or wire boundary (and so lost its typed chain) originated from
+// ErrQueueFull.
+func IsQueueFullMessage(msg string) bool {
+	return strings.Contains(msg, ErrQueueFull.Error())
+}
+
+// Executor runs one admitted job and returns its result payload. The
+// scheduler recovers panics, so a crashing module fails its job rather
+// than the node.
+type Executor func(ctx context.Context, job *Job) ([]byte, error)
+
+// Estimator prices a module invocation before it runs: the input size in
+// bytes and the workload's resident-footprint factor (multiple of input
+// size). Zero input bytes means "unknown, admit freely".
+type Estimator func(module string, params []byte) (inputBytes int64, footprintFactor float64)
+
+// Job describes one submitted unit of work.
+type Job struct {
+	// ID is assigned by Submit when empty.
+	ID string
+	// Tenant groups jobs for fair ordering; empty means "default".
+	Tenant string
+	// Module names the engine entry point; it reaches the Executor.
+	Module string
+	// Payload is the opaque parameter blob handed to the Executor.
+	Payload []byte
+	// Priority overrides fair ordering: higher dispatches first.
+	Priority int
+	// InputBytes and FootprintFactor size the job's resident footprint
+	// for admission control (footprint = InputBytes × FootprintFactor,
+	// factor ≤ 0 meaning 1). InputBytes ≤ 0 bypasses admission.
+	InputBytes      int64
+	FootprintFactor float64
+	// Deadline, when set, fails the job if it has not finished by then —
+	// including jobs still waiting in the queue.
+	Deadline time.Time
+	// MaxRetries bounds re-executions after retryable failures
+	// (0 = scheduler default).
+	MaxRetries int
+	// Retryable classifies failures worth retrying (nil = scheduler
+	// default; both nil = never retry).
+	Retryable func(error) bool
+	// Exec, when set, runs instead of the scheduler-wide Executor — how
+	// the host runtime routes an offload attempt through the scheduler.
+	Exec Executor
+
+	seq uint64 // submit order, fixes FIFO within a tenant
+}
+
+// footprint returns the job's estimated resident set in bytes.
+func (j *Job) footprint() int64 {
+	if j.InputBytes <= 0 {
+		return 0
+	}
+	f := j.FootprintFactor
+	if f <= 0 {
+		f = 1
+	}
+	return int64(float64(j.InputBytes) * f)
+}
+
+// Defaults for Config's zero values.
+const (
+	// DefaultMaxQueueDepth bounds the queue when Config leaves it unset.
+	DefaultMaxQueueDepth = 64
+	// DefaultWorkers matches the duo-core SD node.
+	DefaultWorkers = 2
+)
+
+// Config parametrizes a Scheduler.
+type Config struct {
+	// MaxQueueDepth bounds jobs waiting for admission (default 64).
+	// Submissions beyond it fail with ErrQueueFull.
+	MaxQueueDepth int
+	// Workers is the number of concurrent job executions (default 2,
+	// the duo-core SD node).
+	Workers int
+	// Memory, when set, supplies the admission budget: the node's usable
+	// RAM per its memsim configuration. Admitted footprints never sum
+	// past it, keeping co-scheduled jobs out of the swap-thrash region.
+	Memory *memsim.Accountant
+	// BudgetBytes overrides the Memory-derived budget when > 0. With
+	// neither set, admission control is disabled.
+	BudgetBytes int64
+	// TenantWeights biases fair ordering; absent tenants weigh 1.
+	TenantWeights map[string]float64
+	// MaxRetries is the default retry bound for retryable failures.
+	MaxRetries int
+	// Retryable is the default failure classifier (nil = never retry).
+	Retryable func(error) bool
+	// BaseBackoff and MaxBackoff shape the jittered exponential backoff
+	// between retries (defaults 10ms and 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Metrics receives scheduler counters/gauges/timers (fresh registry
+	// when nil).
+	Metrics *metrics.Registry
+	// Tracer records queued/running spans per job (nil = no tracing).
+	Tracer *trace.Tracer
+}
+
+func (c Config) depth() int {
+	if c.MaxQueueDepth > 0 {
+		return c.MaxQueueDepth
+	}
+	return DefaultMaxQueueDepth
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return DefaultWorkers
+}
+
+func (c Config) budget() int64 {
+	if c.BudgetBytes > 0 {
+		return c.BudgetBytes
+	}
+	if c.Memory != nil {
+		return c.Memory.Config().Usable()
+	}
+	return 0
+}
+
+func (c Config) baseBackoff() time.Duration {
+	if c.BaseBackoff > 0 {
+		return c.BaseBackoff
+	}
+	return 10 * time.Millisecond
+}
+
+func (c Config) maxBackoff() time.Duration {
+	if c.MaxBackoff > 0 {
+		return c.MaxBackoff
+	}
+	return 2 * time.Second
+}
+
+// tenant is one fair-queuing flow.
+type tenant struct {
+	name   string
+	weight float64
+	served float64   // virtual service received: +1/weight per dispatch
+	queue  []*Handle // FIFO
+}
+
+// Scheduler is the job scheduler. Create with New, drive with Run.
+type Scheduler struct {
+	cfg    Config
+	exec   Executor
+	budget int64
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	tenants  map[string]*tenant
+	queued   int
+	running  int
+	reserved int64
+	seq      uint64
+	stopped  bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	metrics *metrics.Registry
+}
+
+// New returns a scheduler executing admitted jobs with exec (which a
+// per-job Job.Exec overrides). Nothing dispatches until Run is called.
+func New(cfg Config, exec Executor) *Scheduler {
+	s := &Scheduler{
+		cfg:     cfg,
+		exec:    exec,
+		budget:  cfg.budget(),
+		tenants: make(map[string]*tenant),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		metrics: cfg.Metrics,
+	}
+	if s.metrics == nil {
+		s.metrics = metrics.NewRegistry()
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Metrics returns the scheduler's metrics registry.
+func (s *Scheduler) Metrics() *metrics.Registry { return s.metrics }
+
+// Submit enqueues a job. It fails fast with ErrQueueFull when the bounded
+// queue is at capacity and ErrStopped after Run has exited; otherwise it
+// returns a Handle to wait on or cancel. ctx governs the job's whole
+// life: cancelling it while the job is queued prevents it from ever
+// reaching the engine.
+func (s *Scheduler) Submit(ctx context.Context, job *Job) (*Handle, error) {
+	if job == nil || job.Module == "" {
+		return nil, errors.New("sched: job must name a module")
+	}
+	if job.Exec == nil && s.exec == nil {
+		return nil, errors.New("sched: no executor for job")
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, ErrStopped
+	}
+	if s.queued >= s.cfg.depth() {
+		s.mu.Unlock()
+		s.metrics.Counter("sched.queue_full_rejects").Inc()
+		return nil, fmt.Errorf("%w: %d jobs waiting", ErrQueueFull, s.cfg.depth())
+	}
+	s.seq++
+	job.seq = s.seq
+	if job.ID == "" {
+		job.ID = fmt.Sprintf("job-%06d", s.seq)
+	}
+	h := &Handle{
+		job:        job,
+		s:          s,
+		ctx:        ctx,
+		done:       make(chan struct{}),
+		enqueuedAt: time.Now(),
+	}
+	h.state.Store(int32(StateQueued))
+	h.span = s.cfg.Tracer.Start("sched " + job.Module + " " + job.ID)
+	h.queueSpan = h.span.Child("queued")
+	t := s.tenantLocked(job.Tenant)
+	t.queue = append(t.queue, h)
+	s.queued++
+	s.metrics.Gauge("sched.queue_depth").Set(int64(s.queued))
+	s.metrics.Counter("sched.submitted").Inc()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return h, nil
+}
+
+// tenantKey maps the empty tenant to its flow name.
+func tenantKey(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
+}
+
+func (s *Scheduler) tenantLocked(name string) *tenant {
+	name = tenantKey(name)
+	t, ok := s.tenants[name]
+	if !ok {
+		w := s.cfg.TenantWeights[name]
+		if w <= 0 {
+			w = 1
+		}
+		// A new flow starts at the maximum virtual time already served so
+		// it cannot claim a catch-up burst against established tenants.
+		var maxServed float64
+		for _, other := range s.tenants {
+			if other.served > maxServed {
+				maxServed = other.served
+			}
+		}
+		t = &tenant{name: name, weight: w, served: maxServed}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Run dispatches jobs on cfg.Workers goroutines until ctx is done, then
+// fails every still-queued job with ctx's error and returns it. Run is
+// the scheduler's only dispatch loop; call it exactly once.
+func (s *Scheduler) Run(ctx context.Context) error {
+	stopWake := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stopWake()
+
+	var wg sync.WaitGroup
+	for i := 0; i < s.cfg.workers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				h := s.next(ctx)
+				if h == nil {
+					return
+				}
+				s.execute(ctx, h)
+			}
+		}()
+	}
+	wg.Wait()
+
+	s.mu.Lock()
+	s.stopped = true
+	var orphans []*Handle
+	for _, t := range s.tenants {
+		orphans = append(orphans, t.queue...)
+		t.queue = nil
+	}
+	s.queued = 0
+	s.metrics.Gauge("sched.queue_depth").Set(0)
+	s.mu.Unlock()
+	for _, h := range orphans {
+		h.finish(nil, fmt.Errorf("%w: %w", ErrStopped, context.Cause(ctx)))
+	}
+	return ctx.Err()
+}
+
+// next blocks until a job can be admitted (or ctx ends) and returns it
+// with its memory reservation taken and its state advanced to running.
+func (s *Scheduler) next(ctx context.Context) *Handle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if h := s.selectLocked(); h != nil {
+			fp := h.job.footprint()
+			s.reserved += fp
+			h.reservedBytes = fp
+			s.running++
+			s.metrics.Gauge("sched.running").Set(int64(s.running))
+			s.metrics.Gauge("sched.reserved_bytes").Set(s.reserved)
+			s.metrics.Timer("sched.wait").Observe(time.Since(h.enqueuedAt))
+			h.state.Store(int32(StateAdmitted))
+			h.queueSpan.Finish()
+			return h
+		}
+		s.cond.Wait()
+	}
+}
+
+// selectLocked picks the next admissible job: all queued jobs ordered by
+// (priority desc, tenant virtual time asc, submit order asc), first one
+// whose footprint fits the remaining memory budget. Skipping a too-big
+// job lets small jobs run alongside what is already admitted — the big
+// job waits for memory, it is not failed. Cancelled and deadline-expired
+// jobs are reaped here, before they can reach the engine.
+func (s *Scheduler) selectLocked() *Handle {
+	type cand struct {
+		h *Handle
+		t *tenant
+	}
+	var cands []cand
+	now := time.Now()
+	for _, t := range s.tenants {
+		kept := t.queue[:0]
+		for _, h := range t.queue {
+			if h.State() == StateCancelled {
+				s.dropLocked(h, nil)
+				continue
+			}
+			if err := h.ctx.Err(); err != nil {
+				s.dropLocked(h, err)
+				continue
+			}
+			if !h.job.Deadline.IsZero() && now.After(h.job.Deadline) {
+				s.dropLocked(h, context.DeadlineExceeded)
+				continue
+			}
+			kept = append(kept, h)
+		}
+		t.queue = kept
+		if len(kept) > 0 {
+			// FIFO within the tenant except for the priority override:
+			// the highest-priority job (earliest among equals) leads.
+			best := 0
+			for i := 1; i < len(kept); i++ {
+				if kept[i].job.Priority > kept[best].job.Priority {
+					best = i
+				}
+			}
+			cands = append(cands, cand{h: kept[best], t: t})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.h.job.Priority != b.h.job.Priority {
+			return a.h.job.Priority > b.h.job.Priority
+		}
+		if a.t.served != b.t.served {
+			return a.t.served < b.t.served
+		}
+		return a.h.job.seq < b.h.job.seq
+	})
+	for _, c := range cands {
+		if !s.fitsLocked(c.h.job.footprint()) {
+			s.metrics.Counter("sched.admission_deferrals").Inc()
+			continue
+		}
+		// Dequeue c.h from its tenant (it may not be the head when the
+		// priority override selected a later job).
+		q := c.t.queue
+		for i, h := range q {
+			if h == c.h {
+				c.t.queue = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		c.t.served += 1 / c.t.weight
+		s.queued--
+		s.metrics.Gauge("sched.queue_depth").Set(int64(s.queued))
+		return c.h
+	}
+	return nil
+}
+
+// fitsLocked is the admission predicate: the footprint fits the remaining
+// budget, or there is no budget, or the job is so large it could never
+// co-schedule — then it is admitted alone (running it solo is the best
+// the scheduler can do; out-of-core partitioning is the real fix).
+func (s *Scheduler) fitsLocked(fp int64) bool {
+	if s.budget <= 0 || fp == 0 {
+		return true
+	}
+	if s.reserved+fp <= s.budget {
+		return true
+	}
+	return fp > s.budget && s.reserved == 0 && s.running == 0
+}
+
+// dropLocked removes a queued job without running it.
+func (s *Scheduler) dropLocked(h *Handle, err error) {
+	s.queued--
+	s.metrics.Gauge("sched.queue_depth").Set(int64(s.queued))
+	if err == nil {
+		s.metrics.Counter("sched.cancelled").Inc()
+		go h.finish(nil, ErrCancelled)
+		return
+	}
+	s.metrics.Counter("sched.failed").Inc()
+	go h.finish(nil, fmt.Errorf("sched: job %s expired in queue: %w", h.job.ID, err))
+}
+
+// execute runs one admitted job to completion, honouring cancellation,
+// the deadline, and the retry policy.
+func (s *Scheduler) execute(runCtx context.Context, h *Handle) {
+	defer func() {
+		s.mu.Lock()
+		s.reserved -= h.reservedBytes
+		s.running--
+		s.metrics.Gauge("sched.running").Set(int64(s.running))
+		s.metrics.Gauge("sched.reserved_bytes").Set(s.reserved)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+
+	ctx, cancel := context.WithCancel(h.ctx)
+	defer cancel()
+	stop := context.AfterFunc(runCtx, cancel)
+	defer stop()
+	if !h.job.Deadline.IsZero() {
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithDeadline(ctx, h.job.Deadline)
+		defer dcancel()
+	}
+	h.mu.Lock()
+	if h.cancelled {
+		h.mu.Unlock()
+		s.metrics.Counter("sched.cancelled").Inc()
+		h.finish(nil, ErrCancelled)
+		return
+	}
+	h.cancelRun = cancel
+	h.mu.Unlock()
+
+	h.state.Store(int32(StateRunning))
+	runSpan := h.span.Child("running")
+	runStart := time.Now()
+
+	exec := h.job.Exec
+	if exec == nil {
+		exec = s.exec
+	}
+	maxRetries := h.job.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = s.cfg.MaxRetries
+	}
+	retryable := h.job.Retryable
+	if retryable == nil {
+		retryable = s.cfg.Retryable
+	}
+
+	var payload []byte
+	var err error
+	for attempt := 0; ; attempt++ {
+		payload, err = runGuarded(ctx, exec, h.job)
+		h.attempts.Add(1)
+		if err == nil || ctx.Err() != nil || retryable == nil ||
+			!retryable(err) || attempt >= maxRetries {
+			break
+		}
+		s.metrics.Counter("sched.retries").Inc()
+		if !sleepCtx(ctx, s.backoff(attempt)) {
+			break
+		}
+	}
+	runSpan.Finish()
+	s.metrics.Timer("sched.run").Observe(time.Since(runStart))
+
+	if err != nil {
+		// Distinguish explicit Cancel from an unrelated failure.
+		h.mu.Lock()
+		wasCancelled := h.cancelled
+		h.mu.Unlock()
+		if wasCancelled {
+			err = fmt.Errorf("%w: %w", ErrCancelled, err)
+		}
+	}
+	if err != nil {
+		if errors.Is(err, ErrCancelled) {
+			s.metrics.Counter("sched.cancelled").Inc()
+		} else {
+			s.metrics.Counter("sched.failed").Inc()
+		}
+	} else {
+		s.metrics.Counter("sched.completed").Inc()
+	}
+	h.finish(payload, err)
+}
+
+// backoff returns the jittered exponential delay before retry attempt+1:
+// base·2^attempt capped at max, then ±50% jitter.
+func (s *Scheduler) backoff(attempt int) time.Duration {
+	d := s.cfg.baseBackoff() << uint(attempt)
+	if max := s.cfg.maxBackoff(); d > max || d <= 0 {
+		d = max
+	}
+	s.rngMu.Lock()
+	jitter := 0.5 + s.rng.Float64() // 0.5x .. 1.5x
+	s.rngMu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func runGuarded(ctx context.Context, exec Executor, job *Job) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: job %s (%s) panicked: %v", job.ID, job.Module, r)
+		}
+	}()
+	return exec(ctx, job)
+}

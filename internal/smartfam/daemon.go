@@ -2,24 +2,35 @@ package smartfam
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"mcsd/internal/metrics"
+	"mcsd/internal/sched"
 )
 
 // Daemon is the SD-node side of smartFAM (Fig. 5, steps 2-4 of parameter
 // passing): it watches every module log file on the share, and when the
 // host appends a request, it retrieves the parameters, invokes the module,
 // and appends the results as a response record.
+//
+// With a scheduler attached (WithScheduler), requests are submitted to it
+// instead of being invoked inline: the scheduler's worker pool drains the
+// queue in fair order under memory-aware admission control, and a full
+// queue is reported back to the caller through the result record as an
+// error response — backpressure instead of a silent stall.
 type Daemon struct {
 	fs        FS
 	reg       *Registry
 	interval  time.Duration
 	heartbeat time.Duration
+	rescan    time.Duration
 	workers   int
 	metrics   *metrics.Registry
+	sched     *sched.Scheduler
+	estimate  sched.Estimator
 
 	mu        sync.Mutex
 	offsets   map[string]int64 // consumed bytes per log file
@@ -56,6 +67,33 @@ func WithHeartbeat(d time.Duration) DaemonOption {
 	return func(dm *Daemon) { dm.heartbeat = d }
 }
 
+// WithRescanInterval overrides how often the daemon sweeps every log file
+// for requests whose change notification was lost (default 50× the poll
+// interval, floored at 20ms). The sweep is the recovery path for the
+// watcher's acceptable-loss case — see Watcher.
+func WithRescanInterval(d time.Duration) DaemonOption {
+	return func(dm *Daemon) {
+		if d > 0 {
+			dm.rescan = d
+		}
+	}
+}
+
+// WithScheduler routes module invocations through a job scheduler instead
+// of the inline bounded-goroutine path. The daemon drives the scheduler's
+// Run loop and publishes its queue status on the share (QueueStatusName)
+// for mcsdctl's queue verb. The scheduler's executor — not the daemon —
+// decides how a job runs; build it over this daemon's Registry.
+func WithScheduler(s *sched.Scheduler) DaemonOption {
+	return func(dm *Daemon) { dm.sched = s }
+}
+
+// WithFootprintEstimator sizes jobs for the scheduler's memory-aware
+// admission control (no estimator = every job admits freely).
+func WithFootprintEstimator(est sched.Estimator) DaemonOption {
+	return func(dm *Daemon) { dm.estimate = est }
+}
+
 // NewDaemon returns a daemon serving the modules of reg over the share
 // fsys.
 func NewDaemon(fsys FS, reg *Registry, opts ...DaemonOption) *Daemon {
@@ -87,6 +125,10 @@ func (d *Daemon) Run(ctx context.Context) error {
 	if d.heartbeat >= 0 {
 		go RunHeartbeat(ctx, d.fs, d.heartbeat) //nolint:errcheck // terminates with ctx
 	}
+	if d.sched != nil {
+		go d.sched.Run(ctx)          //nolint:errcheck // terminates with ctx
+		go d.publishQueueStatus(ctx) //nolint:errcheck // terminates with ctx
+	}
 
 	sem := make(chan struct{}, d.workers)
 	var wg sync.WaitGroup
@@ -99,6 +141,10 @@ func (d *Daemon) Run(ctx context.Context) error {
 		}
 		for _, req := range d.drainRequests(logName) {
 			req := req
+			if d.sched != nil {
+				d.submit(ctx, &wg, module, req)
+				continue
+			}
 			wg.Add(1)
 			select {
 			case sem <- struct{}{}:
@@ -117,10 +163,14 @@ func (d *Daemon) Run(ctx context.Context) error {
 
 	// Change notifications are the fast path; the rescan sweep is the
 	// safety net that recovers requests whose event was dropped (watcher
-	// backlog) or whose drain hit a transient share error.
-	rescanEvery := 50 * d.interval
-	if rescanEvery < 20*time.Millisecond {
-		rescanEvery = 20 * time.Millisecond
+	// backlog, or the missed-notification case documented on Watcher) or
+	// whose drain hit a transient share error.
+	rescanEvery := d.rescan
+	if rescanEvery <= 0 {
+		rescanEvery = 50 * d.interval
+		if rescanEvery < 20*time.Millisecond {
+			rescanEvery = 20 * time.Millisecond
+		}
 	}
 	rescan := time.NewTicker(rescanEvery)
 	defer rescan.Stop()
@@ -222,18 +272,96 @@ func (d *Daemon) serve(ctx context.Context, module string, req Record) {
 		d.metrics.Counter("smartfam.daemon.errors").Inc()
 	}
 	timer.Observe(time.Since(start))
+	d.respond(module, req.ID, status, payload)
+}
 
-	res := Record{Kind: KindResponse, ID: req.ID, Status: status, Payload: payload}
+// respond appends the response record for one request and marks it
+// answered.
+func (d *Daemon) respond(module, reqID, status string, payload []byte) {
+	res := Record{Kind: KindResponse, ID: reqID, Status: status, Payload: payload}
 	line, err := res.Marshal()
 	if err != nil {
 		d.metrics.Counter("smartfam.daemon.marshal_errors").Inc()
 		return
 	}
 	d.mu.Lock()
-	d.responded[req.ID] = struct{}{}
+	d.responded[reqID] = struct{}{}
 	d.mu.Unlock()
 	if err := d.fs.Append(LogName(module), line); err != nil {
 		d.metrics.Counter("smartfam.daemon.append_errors").Inc()
+	}
+}
+
+// submit routes one request through the scheduler (steps 3-4 of Fig. 5
+// under admission control). A rejected submission — queue full, scheduler
+// stopped — is answered immediately with an error response so the remote
+// caller sees backpressure instead of a stall.
+func (d *Daemon) submit(ctx context.Context, wg *sync.WaitGroup, module string, req Record) {
+	d.metrics.Counter("smartfam.daemon.requests").Inc()
+	in, factor := int64(0), 0.0
+	if d.estimate != nil {
+		in, factor = d.estimate(module, req.Payload)
+	}
+	h, err := d.sched.Submit(ctx, &sched.Job{
+		ID:              req.ID,
+		Tenant:          module,
+		Module:          module,
+		Payload:         req.Payload,
+		InputBytes:      in,
+		FootprintFactor: factor,
+	})
+	if err != nil {
+		if errors.Is(err, sched.ErrQueueFull) {
+			d.metrics.Counter("smartfam.daemon.queue_full").Inc()
+		}
+		d.metrics.Counter("smartfam.daemon.errors").Inc()
+		d.respond(module, req.ID, StatusError, []byte(err.Error()))
+		return
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		payload, err := h.Wait(ctx)
+		if err != nil {
+			d.metrics.Counter("smartfam.daemon.errors").Inc()
+			d.respond(module, req.ID, StatusError, []byte(err.Error()))
+			return
+		}
+		d.respond(module, req.ID, StatusOK, payload)
+	}()
+}
+
+// QueueStatusName is the share file carrying the scheduler's published
+// Status (JSON). Like the heartbeat it is not a module log, so discovery
+// ignores it; mcsdctl's queue verb reads it.
+const QueueStatusName = ".queue"
+
+// DefaultQueueStatusInterval is how often an attached scheduler's status
+// is republished.
+const DefaultQueueStatusInterval = 250 * time.Millisecond
+
+// publishQueueStatus rewrites QueueStatusName until ctx is done.
+func (d *Daemon) publishQueueStatus(ctx context.Context) error {
+	write := func() {
+		data, err := sched.MarshalStatus(d.sched.Status())
+		if err != nil {
+			return
+		}
+		if err := d.fs.Create(QueueStatusName); err != nil {
+			return
+		}
+		_ = d.fs.Append(QueueStatusName, data)
+	}
+	write()
+	ticker := time.NewTicker(DefaultQueueStatusInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			write()
+		}
 	}
 }
 

@@ -19,6 +19,19 @@ type Event struct {
 // semantics — change notification on the module log files — with bounded
 // latency, and unlike inotify it also works across the NFS share, where
 // the paper equally relied on attribute refresh.
+//
+// # Missed notifications
+//
+// Change detection compares only (size, mtime). A file rewritten twice
+// within one poll interval such that both end up back at their last
+// observed values — same byte count, same timestamp (possible on
+// filesystems with coarse mtime granularity, or after an explicit
+// timestamp restore) — produces no event. This loss is accepted by
+// design: the watcher is a latency optimization, not the source of
+// truth. Consumers track their own read offsets and the daemon's
+// periodic rescan sweep (Daemon.Run, WithRescanInterval) re-reads every
+// log regardless of events, so a missed notification delays a request
+// by at most one rescan interval instead of losing it.
 type Watcher struct {
 	fs       FS
 	interval time.Duration

@@ -1,0 +1,118 @@
+package smartfam
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// drainEvents empties the watcher's event channel.
+func drainEvents(w *Watcher) []Event {
+	var evs []Event
+	for {
+		select {
+		case ev := <-w.Events():
+			evs = append(evs, ev)
+		default:
+			return evs
+		}
+	}
+}
+
+// TestWatcherMissesSameSizeSameMtimeRewrite pins down the documented
+// missed-notification case: a file rewritten between polls to the same
+// size and the same mtime yields no event. The loss is acceptable by
+// design — see the Watcher doc and TestDaemonRescanRecoversWithoutEvents
+// for the recovery path.
+func TestWatcherMissesSameSizeSameMtimeRewrite(t *testing.T) {
+	dir := t.TempDir()
+	fsys := DirFS(dir)
+	w := NewWatcher(fsys, time.Millisecond)
+	w.Add("m.log")
+
+	if err := fsys.Append("m.log", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	w.Poll()
+	if evs := drainEvents(w); len(evs) != 1 {
+		t.Fatalf("initial write: %d events, want 1", len(evs))
+	}
+	_, mtime, err := fsys.Stat("m.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite twice within one "poll interval": the content changes, but
+	// the file ends at its prior size, and restoring the timestamp models
+	// a coarse-granularity mtime that never moved.
+	path := filepath.Join(dir, "m.log")
+	if err := os.WriteFile(path, []byte("interim!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("bbbb"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+
+	w.Poll()
+	if evs := drainEvents(w); len(evs) != 0 {
+		t.Fatalf("same-size same-mtime rewrite: %d events, want the documented miss", len(evs))
+	}
+
+	// Any observable change — here, growth — fires again.
+	if err := fsys.Append("m.log", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	w.Poll()
+	if evs := drainEvents(w); len(evs) != 1 {
+		t.Fatalf("growth after miss: %d events, want 1", len(evs))
+	}
+}
+
+// TestDaemonRescanRecoversWithoutEvents proves the sweep is a complete
+// recovery path: with the watcher effectively disabled (one-hour poll
+// interval, so no change notification ever fires), requests are still
+// served within the rescan interval.
+func TestDaemonRescanRecoversWithoutEvents(t *testing.T) {
+	fsys := DirFS(t.TempDir())
+	reg := NewRegistry(fsys)
+	echo := ModuleFunc{
+		ModuleName: "echo",
+		Fn: func(_ context.Context, p []byte) ([]byte, error) {
+			return p, nil
+		},
+	}
+	if err := reg.Register(echo); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d := NewDaemon(fsys, reg,
+		WithPollInterval(time.Hour),
+		WithRescanInterval(5*time.Millisecond))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = d.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+
+	client := NewClient(fsys, time.Millisecond)
+	callCtx, callCancel := context.WithTimeout(ctx, 30*time.Second)
+	defer callCancel()
+	out, err := client.Invoke(callCtx, "echo", []byte("lost event"))
+	if err != nil {
+		t.Fatalf("rescan sweep did not recover the request: %v", err)
+	}
+	if string(out) != "lost event" {
+		t.Fatalf("payload = %q", out)
+	}
+}

@@ -1,0 +1,191 @@
+package mcsd_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"mcsd/internal/core"
+	"mcsd/internal/nfs"
+	"mcsd/internal/sched"
+	"mcsd/internal/smartfam"
+)
+
+// startScheduledSDNode boots an SD node whose daemon routes requests
+// through a job scheduler — the mcsdd -queue path — plus a "sleeper"
+// module the test can hold open to fill the queue deterministically.
+func startScheduledSDNode(t *testing.T, depth, workers int, started chan<- struct{}, release <-chan struct{}) (*sdNode, *sched.Scheduler) {
+	t.Helper()
+	dir := t.TempDir()
+	share := smartfam.DirFS(dir)
+	reg := smartfam.NewRegistry(share)
+	for _, m := range core.StandardModules(core.ModuleConfig{Store: core.DirStore(dir), Workers: workers}) {
+		if err := reg.Register(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sleeper := smartfam.ModuleFunc{
+		ModuleName: "sleeper",
+		Fn: func(ctx context.Context, _ []byte) ([]byte, error) {
+			started <- struct{}{}
+			select {
+			case <-release:
+				return []byte(`"slept"`), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	}
+	if err := reg.Register(sleeper); err != nil {
+		t.Fatal(err)
+	}
+
+	sd := sched.New(sched.Config{MaxQueueDepth: depth, Workers: workers},
+		func(ctx context.Context, job *sched.Job) ([]byte, error) {
+			m, err := reg.Lookup(job.Module)
+			if err != nil {
+				return nil, err
+			}
+			return m.Run(ctx, job.Payload)
+		})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	daemon := smartfam.NewDaemon(share, reg,
+		smartfam.WithPollInterval(time.Millisecond),
+		smartfam.WithWorkers(workers),
+		smartfam.WithScheduler(sd))
+	go daemon.Run(ctx) //nolint:errcheck
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := nfs.NewServer(dir)
+	go srv.Serve(ln) //nolint:errcheck
+
+	node := &sdNode{dir: dir, addr: ln.Addr().String()}
+	node.stop = func() {
+		cancel()
+		ln.Close()
+		srv.Shutdown()
+	}
+	t.Cleanup(node.stop)
+	return node, sd
+}
+
+// TestIntegrationQueueFullBackpressure drives the full stack — host
+// runtime, TCP mount, smartFAM log files, daemon, scheduler — into
+// backpressure: with the single worker held and the depth-1 queue
+// occupied, a third request must come back as sched.ErrQueueFull at the
+// host-side caller (acceptance criterion for the queue-full path).
+func TestIntegrationQueueFullBackpressure(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	node, sd := startScheduledSDNode(t, 1, 1, started, release)
+
+	mount, err := nfs.Dial(node.addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mount.Close()
+
+	rt := core.New(core.WithPollInterval(time.Millisecond))
+	rt.AttachSD(node.addr, mount)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	results := make(chan outcome, 2)
+	invoke := func() {
+		res, err := rt.Invoke(ctx, "sleeper", struct{}{})
+		results <- outcome{res, err}
+	}
+
+	// First request occupies the scheduler's only worker...
+	go invoke()
+	select {
+	case <-started:
+	case <-ctx.Done():
+		t.Fatal("first sleeper never started")
+	}
+	// ...the second fills the depth-1 queue...
+	go invoke()
+	waitFor(t, ctx, func() bool { return sd.Status().Queued == 1 })
+
+	// ...so the third is shed, and the rejection survives the smartFAM
+	// wire as a typed error the caller can match.
+	_, err = rt.Invoke(ctx, "sleeper", struct{}{})
+	if !errors.Is(err, sched.ErrQueueFull) {
+		t.Fatalf("err = %v, want sched.ErrQueueFull", err)
+	}
+	if rt.Metrics().Counter("core.queue_full_rejects").Value() != 1 {
+		t.Fatal("queue-full rejection not counted on the host")
+	}
+
+	// Backpressure is transient: releasing the sleepers completes the
+	// two admitted requests.
+	close(release)
+	for i := 0; i < 2; i++ {
+		select {
+		case o := <-results:
+			if o.err != nil {
+				t.Fatalf("admitted invoke failed: %v", o.err)
+			}
+			if string(o.res.Payload) != `"slept"` {
+				t.Fatalf("payload = %q", o.res.Payload)
+			}
+		case <-ctx.Done():
+			t.Fatal("admitted invokes never completed")
+		}
+	}
+}
+
+// TestIntegrationQueueStatusPublished reads the scheduler status the
+// daemon publishes on the share — the transport behind `mcsdctl queue`.
+func TestIntegrationQueueStatusPublished(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	defer close(release)
+	node, _ := startScheduledSDNode(t, 4, 2, started, release)
+
+	mount, err := nfs.Dial(node.addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mount.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var st sched.Status
+	waitFor(t, ctx, func() bool {
+		data, err := smartfam.ReadFrom(mount, smartfam.QueueStatusName, 0)
+		if err != nil || len(data) == 0 {
+			return false
+		}
+		st, err = sched.UnmarshalStatus(data)
+		return err == nil
+	})
+	if st.MaxQueueDepth != 4 || st.Workers != 2 {
+		t.Fatalf("published status = %+v, want depth 4, workers 2", st)
+	}
+	if st.Format() == "" {
+		t.Fatal("status Format is empty")
+	}
+}
+
+// waitFor polls cond until it holds or ctx expires.
+func waitFor(t *testing.T, ctx context.Context, cond func() bool) {
+	t.Helper()
+	for !cond() {
+		select {
+		case <-ctx.Done():
+			t.Fatal("condition never held")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
