@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench-json check
+.PHONY: all vet build test race bench-smoke bench-json chaos check
 
 all: check
 
@@ -24,6 +24,14 @@ race:
 # it catches bit-rotted benchmark code without paying for real measurement.
 bench-smoke:
 	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
+
+# chaos runs the crash/restart fault-injection test (DESIGN.md §5c)
+# repeatedly and under the race detector: a daemon is killed mid-batch
+# under torn-write and transient-error injection and must deliver exactly
+# one response per request after restart.
+chaos:
+	$(GO) test -run TestChaos -count=10 -v .
+	$(GO) test -race -run TestChaos -count=3 .
 
 # bench-json regenerates BENCH_mapreduce.json: the before/after numbers
 # for the shuffle/merge hot path (streaming combine vs staged emit,

@@ -1,0 +1,237 @@
+// Chaos integration test for the crash-safe smartFAM protocol: a daemon
+// is killed mid-batch under torn-write and transient-error injection,
+// restarted over the same share and journal, and every submitted request
+// must receive exactly one response with no duplicate module executions —
+// verified through the recovery/dedupe/corruption metrics the tentpole
+// introduces. Run directly with: go test -run TestChaos -v .
+package mcsd_test
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mcsd/internal/faultfs"
+	"mcsd/internal/smartfam"
+)
+
+func TestChaosCrashRestartExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	shareDir := t.TempDir()
+	share := smartfam.DirFS(shareDir)
+	jpath := filepath.Join(t.TempDir(), "journal")
+
+	// The module under chaos: counts COMPLETED executions per payload
+	// (aborted runs — the redo-log re-run case — do not count), and one
+	// special "blocker" payload parks mid-execution until released, so the
+	// first daemon is guaranteed to die with an open intent.
+	var mu sync.Mutex
+	completions := make(map[string]int)
+	blockerStarted := make(chan struct{})
+	var blockerOnce sync.Once
+	release := make(chan struct{})
+	newModule := func() smartfam.Module {
+		return smartfam.ModuleFunc{ModuleName: "chaos", Fn: func(ctx context.Context, p []byte) ([]byte, error) {
+			if string(p) == "blocker" {
+				blockerOnce.Do(func() { close(blockerStarted) })
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err() // daemon dying mid-execution
+				case <-release:
+				}
+			}
+			mu.Lock()
+			completions[string(p)]++
+			mu.Unlock()
+			return append([]byte("done:"), p...), nil
+		}}
+	}
+
+	reg1 := smartfam.NewRegistry(share)
+	if err := reg1.Register(newModule()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Daemon 1, behind the fault layer. Heartbeat off so its only appends
+	// through the faulted FS are response records and the one startup
+	// status snapshot (status republish pushed out to an hour).
+	ffs1 := faultfs.New(share)
+	d1 := smartfam.NewDaemon(ffs1, reg1,
+		smartfam.WithPollInterval(time.Millisecond),
+		smartfam.WithHeartbeat(-1),
+		smartfam.WithWorkers(3),
+		smartfam.WithStatusInterval(time.Hour),
+		smartfam.WithJournal(jpath))
+	ctx1, kill1 := context.WithCancel(context.Background())
+	d1Done := make(chan struct{})
+	go func() {
+		defer close(d1Done)
+		d1.Run(ctx1) //nolint:errcheck
+	}()
+
+	// Let the startup .queue snapshot land before arming faults, so the
+	// armed tear deterministically hits a response append.
+	chaosWait(t, 10*time.Second, "startup status snapshot", func() bool {
+		_, _, err := share.Stat(smartfam.QueueStatusName)
+		return err == nil
+	})
+	ffs1.TearNext(1, 0.5)                // first response append is torn mid-record
+	ffs1.FailNext(faultfs.OpStat, 3)     // plus a burst of transient errors
+	ffs1.FailNextWith(faultfs.OpRead, 1, faultfs.ErrInjected)
+
+	// The batch: 12 concurrent invocations over the (unfaulted) share,
+	// each with a caller-chosen idempotency ID. #0 is the blocker.
+	const n = 12
+	ids := make([]string, n)
+	payloads := make([]string, n)
+	results := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	cctx, ccancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer ccancel()
+	for i := 0; i < n; i++ {
+		ids[i] = smartfam.NewID()
+		payloads[i] = "p" + ids[i]
+		if i == 0 {
+			payloads[i] = "blocker"
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := smartfam.NewClient(share, time.Millisecond)
+			out, err := c.InvokeID(cctx, "chaos", ids[i], []byte(payloads[i]))
+			results[i], errs[i] = string(out), err
+		}(i)
+	}
+
+	// Kill daemon 1 only once it is provably mid-batch: the blocker is
+	// executing (open intent in the journal) and at least a few other
+	// requests have completed under fault injection.
+	<-blockerStarted
+	chaosWait(t, 30*time.Second, "some completions before the crash", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(completions) >= 3
+	})
+	kill1()
+	<-d1Done
+	close(release) // un-park the blocker for the second life
+
+	// Daemon 2: same share, same journal, fresh fault layer with its own
+	// transient faults. Recovery must re-run the blocker's open intent and
+	// answer everything else exactly once.
+	reg2 := smartfam.NewRegistry(share)
+	if err := reg2.Register(newModule()); err != nil {
+		t.Fatal(err)
+	}
+	ffs2 := faultfs.New(share)
+	ffs2.FailNext(faultfs.OpList, 2)
+	ffs2.FailNext(faultfs.OpStat, 2)
+	d2 := smartfam.NewDaemon(ffs2, reg2,
+		smartfam.WithPollInterval(time.Millisecond),
+		smartfam.WithHeartbeat(-1),
+		smartfam.WithWorkers(3),
+		smartfam.WithStatusInterval(time.Hour),
+		smartfam.WithJournal(jpath))
+	ctx2, stop2 := context.WithCancel(context.Background())
+	defer stop2()
+	go d2.Run(ctx2) //nolint:errcheck
+
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d (%s): %v", i, payloads[i], errs[i])
+		}
+		if want := "done:" + payloads[i]; results[i] != want {
+			t.Fatalf("request %d: result %q, want %q", i, results[i], want)
+		}
+	}
+
+	// Exactly-once execution: every payload completed exactly once across
+	// both daemon lives, including the blocker (its first, aborted run
+	// never completed).
+	mu.Lock()
+	for p, c := range completions {
+		if c != 1 {
+			mu.Unlock()
+			t.Fatalf("payload %q completed %d times, want exactly 1", p, c)
+		}
+	}
+	if len(completions) != n {
+		mu.Unlock()
+		t.Fatalf("%d payloads completed, want %d", len(completions), n)
+	}
+	mu.Unlock()
+
+	// Exactly one response record per request on the share.
+	data, err := smartfam.ReadFrom(share, smartfam.LogName("chaos"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _, err := smartfam.ParseRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCount := make(map[string]int)
+	for _, r := range recs {
+		if r.Kind == smartfam.KindResponse {
+			resCount[r.ID]++
+		}
+	}
+	for i, id := range ids {
+		if resCount[id] != 1 {
+			t.Fatalf("request %d has %d responses, want exactly 1", i, resCount[id])
+		}
+	}
+
+	// A host retry reusing its original ID must be served from the cache:
+	// one more response record, zero more executions.
+	c := smartfam.NewClient(share, time.Millisecond)
+	retryIdx := 1
+	out, err := c.InvokeID(cctx, "chaos", ids[retryIdx], []byte(payloads[retryIdx]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "done:" + payloads[retryIdx]; string(out) != want {
+		t.Fatalf("retried result = %q, want %q", out, want)
+	}
+	mu.Lock()
+	if completions[payloads[retryIdx]] != 1 {
+		mu.Unlock()
+		t.Fatalf("retry re-executed the module (%d completions)", completions[payloads[retryIdx]])
+	}
+	mu.Unlock()
+
+	// The metrics tell the recovery story: the blocker's intent was
+	// re-run, the retry was deduped, and the torn append was detected.
+	if v := d2.Metrics().Counter("smartfam.daemon.recovered").Value(); v < 1 {
+		t.Errorf("daemon2 recovered = %d, want >= 1 (the blocker's open intent)", v)
+	}
+	if v := d2.Metrics().Counter("smartfam.daemon.deduped").Value(); v < 1 {
+		t.Errorf("daemon2 deduped = %d, want >= 1 (the ID-reusing retry)", v)
+	}
+	corrupt := d1.Metrics().Counter("smartfam.corrupt_records").Value() +
+		d2.Metrics().Counter("smartfam.corrupt_records").Value()
+	if corrupt < 1 {
+		t.Errorf("corrupt_records = %d across both lives, want >= 1 (the torn append)", corrupt)
+	}
+	if v := d1.Metrics().Counter("smartfam.daemon.aborted").Value(); v < 1 {
+		t.Errorf("daemon1 aborted = %d, want >= 1 (the blocker died with the daemon)", v)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func chaosWait(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

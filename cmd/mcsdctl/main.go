@@ -6,6 +6,7 @@
 // Usage:
 //
 //	mcsdctl -addr 127.0.0.1:9000 status
+//	mcsdctl -addr 127.0.0.1:9000 journal
 //	mcsdctl -addr 127.0.0.1:9000 modules
 //	mcsdctl -addr 127.0.0.1:9000 put corpus.txt data/corpus.txt
 //	mcsdctl -addr 127.0.0.1:9000 wordcount -file data/corpus.txt -partition 64M -top 10
@@ -80,7 +81,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: mcsdctl [-addr host:port] <status|queue|modules|put|wordcount|stringmatch|matmul|dbselect|kmeans> ...")
+		return fmt.Errorf("usage: mcsdctl [-addr host:port] <status|queue|journal|modules|put|wordcount|stringmatch|matmul|dbselect|kmeans> ...")
 	}
 
 	client, err := nfs.DialPool(*addr, 10*time.Second, *conns)
@@ -102,6 +103,8 @@ func run(args []string) error {
 		return status(client)
 	case "queue":
 		return queueStatus(client)
+	case "journal":
+		return journalStatus(client)
 	case "put":
 		return put(client, cmdArgs)
 	case "wordcount":
@@ -188,6 +191,38 @@ func queueStatus(client *nfs.Pool) error {
 		return fmt.Errorf("queue status unreadable: %w", err)
 	}
 	fmt.Print(st.Format())
+	return nil
+}
+
+// journalStatus prints the daemon's crash-recovery counters — requests
+// replayed after a restart, duplicates answered from the response cache,
+// corrupt log records skipped, replies dropped after exhausting retries —
+// published under the same status snapshot the queue verb reads.
+func journalStatus(client *nfs.Pool) error {
+	if err := client.Ping(); err != nil {
+		return fmt.Errorf("%w: %v", errUnreachable, err)
+	}
+	data, err := smartfam.ReadFrom(client, smartfam.QueueStatusName, 0)
+	if err != nil || len(data) == 0 {
+		return fmt.Errorf("no status snapshot on the share (journal disabled, or daemon not started)")
+	}
+	st, err := sched.UnmarshalStatus(data)
+	if err != nil {
+		return fmt.Errorf("status snapshot unreadable: %w", err)
+	}
+	if len(st.Extra) == 0 {
+		return fmt.Errorf("status snapshot has no journal counters (old daemon?)")
+	}
+	show := func(label, key string) {
+		if v, ok := st.Extra[key]; ok {
+			fmt.Printf("%-11s%d\n", label+":", v)
+		}
+	}
+	show("recovered", "smartfam.daemon.recovered")
+	show("deduped", "smartfam.daemon.deduped")
+	show("aborted", "smartfam.daemon.aborted")
+	show("corrupt", "smartfam.corrupt_records")
+	show("dropped", "smartfam.respond_errors")
 	return nil
 }
 

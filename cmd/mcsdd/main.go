@@ -21,6 +21,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -48,6 +49,7 @@ func run() error {
 		poll    = flag.Duration("poll", smartfam.DefaultPollInterval, "smartFAM watcher poll interval")
 		compact = flag.Duration("compact", 5*time.Minute, "compact module logs after this long idle (0 disables)")
 		queue   = flag.Int("queue", sched.DefaultMaxQueueDepth, "job queue depth before requests are rejected with backpressure (0 disables the scheduler)")
+		journal = flag.String("journal", "auto", "crash-recovery journal path on local disk; \"auto\" = <dir>/.journal, \"none\" disables")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -93,6 +95,16 @@ func run() error {
 
 	daemonOpts := []smartfam.DaemonOption{
 		smartfam.WithPollInterval(*poll), smartfam.WithWorkers(*workers),
+	}
+	switch *journal {
+	case "none":
+	case "auto":
+		jpath := filepath.Join(*dir, ".journal")
+		daemonOpts = append(daemonOpts, smartfam.WithJournal(jpath))
+		log.Printf("mcsdd: crash-recovery journal at %s", jpath)
+	default:
+		daemonOpts = append(daemonOpts, smartfam.WithJournal(*journal))
+		log.Printf("mcsdd: crash-recovery journal at %s", *journal)
 	}
 	if *queue > 0 {
 		// The scheduler sits between the smartFAM log files and the module

@@ -110,6 +110,7 @@ func (r *Runtime) Metrics() *metrics.Registry { return r.metrics }
 // co-located one).
 func (r *Runtime) AttachSD(name string, share smartfam.FS) {
 	h := &sdHandle{name: name, share: share, client: smartfam.NewClient(share, r.pollInterval)}
+	h.client.SetMetrics(r.metrics)
 	h.healthy.Store(true)
 	r.mu.Lock()
 	r.sds = append(r.sds, h)
@@ -233,8 +234,13 @@ func (r *Runtime) Invoke(ctx context.Context, module string, params any) (*Resul
 // delay) until admission control clears it, then the scheduler's worker
 // executes the node-selection/failover path as usual.
 func (r *Runtime) dispatch(ctx context.Context, job Job, params []byte, span *trace.Span) (*Result, error) {
+	// One correlation ID per job, shared by every attempt — failovers,
+	// scheduler retries, reconnected transports. The ID is smartFAM's
+	// idempotency key: a daemon that already completed the work replays
+	// its journaled response instead of executing the module again.
+	reqID := smartfam.NewID()
 	if r.sched == nil {
-		return r.invoke(ctx, job.Module, params, span)
+		return r.invoke(ctx, job.Module, reqID, params, span)
 	}
 	var res *Result
 	h, err := r.sched.Submit(ctx, &sched.Job{
@@ -244,7 +250,7 @@ func (r *Runtime) dispatch(ctx context.Context, job Job, params []byte, span *tr
 		InputBytes:      job.InputBytes,
 		FootprintFactor: job.FootprintFactor,
 		Exec: func(execCtx context.Context, _ *sched.Job) ([]byte, error) {
-			rr, err := r.invoke(execCtx, job.Module, params, span)
+			rr, err := r.invoke(execCtx, job.Module, reqID, params, span)
 			if err != nil {
 				return nil, err
 			}
@@ -261,8 +267,9 @@ func (r *Runtime) dispatch(ctx context.Context, job Job, params []byte, span *tr
 	return res, nil
 }
 
-// invoke picks nodes and handles failover.
-func (r *Runtime) invoke(ctx context.Context, module string, params []byte, span *trace.Span) (*Result, error) {
+// invoke picks nodes and handles failover. Every attempt reuses reqID so
+// retries are idempotent at the daemon.
+func (r *Runtime) invoke(ctx context.Context, module, reqID string, params []byte, span *trace.Span) (*Result, error) {
 	res := &Result{}
 	tried := make(map[*sdHandle]bool)
 	var lastErr error
@@ -274,7 +281,7 @@ func (r *Runtime) invoke(ctx context.Context, module string, params []byte, span
 		tried[h] = true
 		res.Attempts++
 		attemptSpan := span.Child("attempt " + h.name)
-		payload, err := r.attempt(ctx, h, module, params)
+		payload, err := r.attempt(ctx, h, module, reqID, params)
 		attemptSpan.Finish()
 		if err == nil {
 			res.Payload = payload
@@ -335,7 +342,7 @@ func (r *Runtime) invoke(ctx context.Context, module string, params []byte, span
 
 // attempt performs one invocation against one node, with the per-attempt
 // timeout.
-func (r *Runtime) attempt(ctx context.Context, h *sdHandle, module string, params []byte) ([]byte, error) {
+func (r *Runtime) attempt(ctx context.Context, h *sdHandle, module, reqID string, params []byte) ([]byte, error) {
 	if r.attemptTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, r.attemptTimeout)
@@ -345,7 +352,7 @@ func (r *Runtime) attempt(ctx context.Context, h *sdHandle, module string, param
 	defer h.inflight.Add(-1)
 	timer := r.metrics.Timer("core.invoke." + module)
 	start := time.Now()
-	payload, err := h.client.Invoke(ctx, module, params)
+	payload, err := h.client.InvokeID(ctx, module, reqID, params)
 	timer.Observe(time.Since(start))
 	return payload, err
 }

@@ -1,0 +1,251 @@
+// Package faultfs is a deterministic fault-injection layer over the
+// smartfam.FS share interface: transient per-operation errors, torn
+// (partial) appends, injected latency, and crash points. It exists so the
+// robustness properties the smartFAM protocol claims — torn-record
+// recovery, exactly-once invocation across daemon crashes, transparent
+// retry — are exercised by tests in smartfam, nfs, and the top-level
+// chaos integration suite rather than asserted on faith.
+//
+// All knobs are countdown-based and armed explicitly, never random, so a
+// failing chaos test replays byte-for-byte.
+package faultfs
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"mcsd/internal/smartfam"
+)
+
+// Op names the FS operations faults can target.
+type Op string
+
+// Fault-injectable operations.
+const (
+	OpCreate Op = "create"
+	OpAppend Op = "append"
+	OpRead   Op = "read"
+	OpStat   Op = "stat"
+	OpList   Op = "list"
+	OpRemove Op = "remove"
+)
+
+// ErrInjected is the default error returned by armed transient faults.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// FS wraps an inner smartfam.FS with fault injection. The zero value is
+// not usable; call New. Safe for concurrent use.
+type FS struct {
+	inner smartfam.FS
+
+	mu       sync.Mutex
+	failOps  map[Op]int   // op -> remaining injected failures
+	failErr  map[Op]error // op -> error to return (ErrInjected default)
+	tearNext int          // pending torn appends
+	tearKeep float64      // fraction of the append to let through
+	latency  time.Duration
+	crashOps map[Op]int // op -> countdown until crash hook fires
+	onCrash  func()
+	injected int64
+	torn     int64
+}
+
+// New wraps inner with an (initially inert) fault layer.
+func New(inner smartfam.FS) *FS {
+	return &FS{
+		inner:    inner,
+		failOps:  make(map[Op]int),
+		failErr:  make(map[Op]error),
+		crashOps: make(map[Op]int),
+	}
+}
+
+// FailNext arms the next n calls of op to fail with ErrInjected.
+func (f *FS) FailNext(op Op, n int) { f.FailNextWith(op, n, ErrInjected) }
+
+// FailNextWith arms the next n calls of op to fail with err.
+func (f *FS) FailNextWith(op Op, n int, err error) {
+	f.mu.Lock()
+	f.failOps[op] = n
+	f.failErr[op] = err
+	f.mu.Unlock()
+}
+
+// TearNext arms the next n appends to be torn: only keep (0 ≤ keep < 1)
+// of the data reaches the inner FS — at least one byte, never all of it —
+// and the append still reports failure to the caller, like a connection
+// that died mid-write. This is the failure the wire format's leading
+// newline + CRC exists for.
+func (f *FS) TearNext(n int, keep float64) {
+	if keep < 0 {
+		keep = 0
+	}
+	if keep >= 1 {
+		keep = 0.5
+	}
+	f.mu.Lock()
+	f.tearNext = n
+	f.tearKeep = keep
+	f.mu.Unlock()
+}
+
+// SetLatency injects a fixed delay before every operation (0 disables).
+func (f *FS) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	f.latency = d
+	f.mu.Unlock()
+}
+
+// CrashAfter arms a crash point: after n more successful calls of op, fn
+// runs (once) before the operation returns. Chaos tests use it to cancel
+// a daemon's context at an exact protocol step.
+func (f *FS) CrashAfter(op Op, n int, fn func()) {
+	f.mu.Lock()
+	f.crashOps[op] = n
+	f.onCrash = fn
+	f.mu.Unlock()
+}
+
+// Injected returns how many transient errors have been injected so far.
+func (f *FS) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Torn returns how many appends have been torn so far.
+func (f *FS) Torn() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.torn
+}
+
+// enter applies latency and the transient-failure countdown for op.
+func (f *FS) enter(op Op) error {
+	f.mu.Lock()
+	delay := f.latency
+	var err error
+	if f.failOps[op] > 0 {
+		f.failOps[op]--
+		f.injected++
+		err = f.failErr[op]
+		if err == nil {
+			err = ErrInjected
+		}
+	}
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}
+
+// exit fires a pending crash point after a successful op.
+func (f *FS) exit(op Op) {
+	f.mu.Lock()
+	fn := func() {}
+	if n, armed := f.crashOps[op]; armed {
+		if n > 0 {
+			f.crashOps[op] = n - 1
+		} else {
+			delete(f.crashOps, op)
+			if f.onCrash != nil {
+				fn = f.onCrash
+			}
+		}
+	}
+	f.mu.Unlock()
+	fn()
+}
+
+// Create implements smartfam.FS.
+func (f *FS) Create(name string) error {
+	if err := f.enter(OpCreate); err != nil {
+		return err
+	}
+	err := f.inner.Create(name)
+	if err == nil {
+		f.exit(OpCreate)
+	}
+	return err
+}
+
+// Append implements smartfam.FS, honouring armed torn appends.
+func (f *FS) Append(name string, data []byte) error {
+	if err := f.enter(OpAppend); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	tear := f.tearNext > 0 && len(data) > 1
+	keep := f.tearKeep
+	if tear {
+		f.tearNext--
+		f.torn++
+	}
+	f.mu.Unlock()
+	if tear {
+		n := int(float64(len(data)) * keep)
+		if n < 1 {
+			n = 1
+		}
+		if n >= len(data) {
+			n = len(data) - 1
+		}
+		_ = f.inner.Append(name, data[:n])
+		return ErrInjected
+	}
+	err := f.inner.Append(name, data)
+	if err == nil {
+		f.exit(OpAppend)
+	}
+	return err
+}
+
+// ReadAt implements smartfam.FS.
+func (f *FS) ReadAt(name string, p []byte, off int64) (int, error) {
+	if err := f.enter(OpRead); err != nil {
+		return 0, err
+	}
+	n, err := f.inner.ReadAt(name, p, off)
+	if err == nil {
+		f.exit(OpRead)
+	}
+	return n, err
+}
+
+// Stat implements smartfam.FS.
+func (f *FS) Stat(name string) (int64, time.Time, error) {
+	if err := f.enter(OpStat); err != nil {
+		return 0, time.Time{}, err
+	}
+	size, mtime, err := f.inner.Stat(name)
+	if err == nil {
+		f.exit(OpStat)
+	}
+	return size, mtime, err
+}
+
+// List implements smartfam.FS.
+func (f *FS) List() ([]string, error) {
+	if err := f.enter(OpList); err != nil {
+		return nil, err
+	}
+	names, err := f.inner.List()
+	if err == nil {
+		f.exit(OpList)
+	}
+	return names, err
+}
+
+// Remove implements smartfam.FS.
+func (f *FS) Remove(name string) error {
+	if err := f.enter(OpRemove); err != nil {
+		return err
+	}
+	err := f.inner.Remove(name)
+	if err == nil {
+		f.exit(OpRemove)
+	}
+	return err
+}

@@ -1,0 +1,120 @@
+package faultfs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mcsd/internal/smartfam"
+)
+
+func TestFailNextCountsDown(t *testing.T) {
+	f := New(smartfam.DirFS(t.TempDir()))
+	f.FailNext(OpStat, 2)
+	for i := 0; i < 2; i++ {
+		if _, _, err := f.Stat("x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want injected", i, err)
+		}
+	}
+	// Countdown exhausted: the real (not-exist) error comes through.
+	if _, _, err := f.Stat("x"); !errors.Is(err, smartfam.ErrNotExist) {
+		t.Fatalf("after countdown: err = %v, want ErrNotExist", err)
+	}
+	if f.Injected() != 2 {
+		t.Fatalf("Injected() = %d, want 2", f.Injected())
+	}
+}
+
+func TestFailNextWithCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	f := New(smartfam.DirFS(t.TempDir()))
+	f.FailNextWith(OpList, 1, boom)
+	if _, err := f.List(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want custom error", err)
+	}
+}
+
+func TestTearNextWritesPartialAndFails(t *testing.T) {
+	inner := smartfam.DirFS(t.TempDir())
+	f := New(inner)
+	f.TearNext(1, 0.5)
+	data := []byte("0123456789")
+	if err := f.Append("a", data); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn append err = %v, want injected", err)
+	}
+	size, _, err := inner.Stat("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size == 0 || size >= int64(len(data)) {
+		t.Fatalf("torn append left %d bytes, want partial (1..%d)", size, len(data)-1)
+	}
+	if f.Torn() != 1 {
+		t.Fatalf("Torn() = %d, want 1", f.Torn())
+	}
+	// The tear is consumed: the next append goes through whole.
+	if err := f.Append("a", data); err != nil {
+		t.Fatal(err)
+	}
+	size2, _, _ := inner.Stat("a")
+	if size2 != size+int64(len(data)) {
+		t.Fatalf("post-tear append size = %d, want %d", size2, size+int64(len(data)))
+	}
+}
+
+func TestCrashAfterFiresOnceAtCountdown(t *testing.T) {
+	f := New(smartfam.DirFS(t.TempDir()))
+	var mu sync.Mutex
+	fired := 0
+	f.CrashAfter(OpAppend, 2, func() {
+		mu.Lock()
+		fired++
+		mu.Unlock()
+	})
+	for i := 0; i < 5; i++ {
+		if err := f.Append("a", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fired != 1 {
+		t.Fatalf("crash hook fired %d times, want exactly 1", fired)
+	}
+}
+
+func TestSetLatencyDelaysOps(t *testing.T) {
+	f := New(smartfam.DirFS(t.TempDir()))
+	f.SetLatency(20 * time.Millisecond)
+	start := time.Now()
+	_ = f.Append("a", []byte("x"))
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("append took %v, want >= 20ms of injected latency", d)
+	}
+}
+
+func TestPassThroughWhenInert(t *testing.T) {
+	inner := smartfam.DirFS(t.TempDir())
+	f := New(inner)
+	if err := f.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append("a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt("a", buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q", buf)
+	}
+	names, err := f.List()
+	if err != nil || len(names) != 1 {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if err := f.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package nfs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -11,55 +12,185 @@ import (
 	"mcsd/internal/smartfam"
 )
 
+// ErrDisconnected marks an RPC that failed because the connection to the
+// server dropped (or could not yet be re-established). It is retryable:
+// the in-flight call is lost, but the next call transparently redials when
+// the client knows how to (Dial/DialThrottled install a redial function;
+// NewClient over a raw conn does not).
+var ErrDisconnected = errors.New("nfs: connection lost")
+
+// Redial backoff defaults: a dead server is retried at most once per
+// window, with the window doubling up to the cap.
+const (
+	defaultRedialInitial = 50 * time.Millisecond
+	defaultRedialMax     = 2 * time.Second
+)
+
 // Client is the host-node side of the share: it implements smartfam.FS so
 // the smartFAM client runs unchanged over the network, plus whole-file
 // helpers for staging workload data onto (and results off) the SD node.
 //
 // A Client multiplexes all operations over one connection, mirroring one
-// NFS mount. It is safe for concurrent use.
+// NFS mount. It is safe for concurrent use. A dropped connection fails the
+// in-flight call with ErrDisconnected and is transparently re-established
+// (with exponential backoff) on the next call.
 type Client struct {
-	mu    sync.Mutex
-	codec *codec
-	conn  net.Conn
+	mu     sync.Mutex
+	codec  *codec
+	conn   net.Conn
+	closed bool
+
+	redial      func() (net.Conn, error)
+	backoffInit time.Duration
+	backoffMax  time.Duration
+	backoffCur  time.Duration // 0 = connected / first retry is free
+	nextDial    time.Time
+	reconnects  int64
 }
 
-// Dial connects to an NFS server at addr.
+// Dial connects to an NFS server at addr. The returned client redials the
+// same address if the connection later drops.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("nfs: dial %s: %w", addr, err)
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.redial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, timeout) }
+	return c, nil
 }
 
 // DialThrottled connects through a modelled link, so all share traffic pays
-// the interconnect's cost (the testbed's 1 GbE switch).
+// the interconnect's cost (the testbed's 1 GbE switch). Redials go through
+// the same link.
 func DialThrottled(addr string, timeout time.Duration, link *netsim.Link) (*Client, error) {
 	conn, err := link.DialThrottled("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("nfs: dial %s: %w", addr, err)
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.redial = func() (net.Conn, error) { return link.DialThrottled("tcp", addr, timeout) }
+	return c, nil
 }
 
 // NewClient wraps an established connection (possibly already throttled).
+// Without a redial function (see SetRedial) a dropped connection is
+// permanent: every later call fails with ErrDisconnected.
 func NewClient(conn net.Conn) *Client {
-	return &Client{codec: newCodec(conn), conn: conn}
+	return &Client{
+		codec:       newCodec(conn),
+		conn:        conn,
+		backoffInit: defaultRedialInitial,
+		backoffMax:  defaultRedialMax,
+	}
 }
 
-// Close tears down the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// SetRedial installs (or replaces) the function used to re-establish a
+// dropped connection.
+func (c *Client) SetRedial(fn func() (net.Conn, error)) {
+	c.mu.Lock()
+	c.redial = fn
+	c.mu.Unlock()
+}
 
-// call performs one RPC round trip.
+// SetRedialBackoff overrides the reconnect backoff window (initial delay
+// after a failed redial, doubling up to max). Zero values keep defaults.
+func (c *Client) SetRedialBackoff(initial, max time.Duration) {
+	c.mu.Lock()
+	if initial > 0 {
+		c.backoffInit = initial
+	}
+	if max > 0 {
+		c.backoffMax = max
+	}
+	c.mu.Unlock()
+}
+
+// Reconnects reports how many times the client has successfully redialed.
+func (c *Client) Reconnects() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// Close tears down the connection and disables redialing.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	c.codec = nil
+	return err
+}
+
+// dropLocked discards a connection the caller observed failing; the next
+// call will attempt a redial. Caller holds c.mu.
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.codec = nil
+	}
+}
+
+// reconnectLocked re-establishes the connection, honouring the backoff
+// window so a dead server is not hammered. Caller holds c.mu.
+func (c *Client) reconnectLocked() error {
+	if c.closed {
+		return fmt.Errorf("%w: client closed", ErrDisconnected)
+	}
+	if c.redial == nil {
+		return fmt.Errorf("%w: no redial configured", ErrDisconnected)
+	}
+	if time.Now().Before(c.nextDial) {
+		return fmt.Errorf("%w: redial backoff active", ErrDisconnected)
+	}
+	conn, err := c.redial()
+	if err != nil {
+		if c.backoffCur <= 0 {
+			c.backoffCur = c.backoffInit
+		}
+		c.nextDial = time.Now().Add(c.backoffCur)
+		c.backoffCur *= 2
+		if c.backoffCur > c.backoffMax {
+			c.backoffCur = c.backoffMax
+		}
+		return fmt.Errorf("%w: redial: %v", ErrDisconnected, err)
+	}
+	c.conn = conn
+	// The gob streams died with the old connection; start fresh ones.
+	c.codec = newCodec(conn)
+	c.backoffCur = 0
+	c.nextDial = time.Time{}
+	c.reconnects++
+	return nil
+}
+
+// call performs one RPC round trip, redialing first if the connection was
+// previously lost. An IO failure mid-call drops the connection and returns
+// ErrDisconnected — the request may or may not have executed server-side,
+// so only the caller can decide whether a retry is safe (smartFAM retries
+// are, by request-ID dedupe).
 func (c *Client) call(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.conn == nil {
+		if err := c.reconnectLocked(); err != nil {
+			return nil, err
+		}
+	}
 	if err := c.codec.writeRequest(req); err != nil {
-		return nil, err
+		c.dropLocked()
+		return nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
 	}
 	var resp Response
 	if err := c.codec.readResponse(&resp); err != nil {
-		return nil, err
+		c.dropLocked()
+		return nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
 	}
 	if resp.Err != "" {
 		if resp.NotExist {

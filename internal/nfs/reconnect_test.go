@@ -1,0 +1,206 @@
+package nfs
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"mcsd/internal/faultfs"
+	"mcsd/internal/smartfam"
+)
+
+// Server restart mid-session: the in-flight call fails with the typed
+// retryable ErrDisconnected, and the next call transparently redials.
+func TestClientReconnectsAfterServerRestart(t *testing.T) {
+	root := t.TempDir()
+	srv := NewServer(root)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln) //nolint:errcheck
+
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRedialBackoff(time.Millisecond, 10*time.Millisecond)
+	if err := c.WriteFile("f", []byte("before restart")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server under the client.
+	ln.Close()
+	srv.Shutdown()
+	if _, err := c.ReadFile("f"); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("call over dead server: err = %v, want ErrDisconnected", err)
+	}
+
+	// Restart on the SAME address (same export) and let the client redial.
+	srv2 := NewServer(root)
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	go srv2.Serve(ln2) //nolint:errcheck
+	defer srv2.Shutdown()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		data, err := c.ReadFile("f")
+		if err == nil {
+			if string(data) != "before restart" {
+				t.Fatalf("post-reconnect read = %q", data)
+			}
+			break
+		}
+		if !errors.Is(err, ErrDisconnected) {
+			t.Fatalf("unexpected error while reconnecting: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never reconnected")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c.Reconnects() < 1 {
+		t.Fatalf("Reconnects() = %d, want >= 1", c.Reconnects())
+	}
+}
+
+// Backoff: while the server stays down, redials are rate-limited — calls
+// inside the window fail fast with ErrDisconnected without dialing.
+func TestClientRedialBackoffWindow(t *testing.T) {
+	root := t.TempDir()
+	srv := NewServer(root)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln) //nolint:errcheck
+
+	dials := make(chan struct{}, 64)
+	c, err := Dial(addr, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRedialBackoff(time.Hour, time.Hour) // one failed dial, then a long gate
+	c.SetRedial(func() (net.Conn, error) {
+		dials <- struct{}{}
+		return net.DialTimeout("tcp", addr, 100*time.Millisecond)
+	})
+
+	ln.Close()
+	srv.Shutdown()
+	// First call: in-flight failure, connection dropped, no dial yet.
+	if err := c.Ping(); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err = %v, want ErrDisconnected", err)
+	}
+	// Second call: one redial attempt (fails, server gone), arming backoff.
+	// Subsequent calls must NOT dial again inside the window.
+	for i := 0; i < 5; i++ {
+		if err := c.Ping(); !errors.Is(err, ErrDisconnected) {
+			t.Fatalf("call %d: err = %v, want ErrDisconnected", i, err)
+		}
+	}
+	if n := len(dials); n != 1 {
+		t.Fatalf("redial attempted %d times inside backoff window, want 1", n)
+	}
+}
+
+// A client handed a raw conn (NewClient, no redial function) stays
+// disconnected once the conn dies.
+func TestClientWithoutRedialStaysDisconnected(t *testing.T) {
+	root := t.TempDir()
+	srv := NewServer(root)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+	srv.Shutdown()
+	if err := c.Ping(); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err = %v, want ErrDisconnected", err)
+	}
+	// And it stays that way: no redial function, no recovery.
+	for i := 0; i < 3; i++ {
+		if err := c.Ping(); !errors.Is(err, ErrDisconnected) {
+			t.Fatalf("call %d: err = %v, want permanent ErrDisconnected", i, err)
+		}
+	}
+}
+
+// Closing the client disables redialing even when one is configured.
+func TestClosedClientDoesNotRedial(t *testing.T) {
+	root := t.TempDir()
+	srv := NewServer(root)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Shutdown()
+
+	c, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err = %v, want ErrDisconnected after Close", err)
+	}
+}
+
+// The shared fault layer composes over the network client exactly as it
+// does over a local DirFS — the cross-package reuse the faultfs package
+// exists for.
+func TestFaultLayerOverNetworkClient(t *testing.T) {
+	root := t.TempDir()
+	srv := NewServer(root)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Shutdown()
+
+	c, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ffs := faultfs.New(c)
+	ffs.FailNext(faultfs.OpAppend, 1)
+	if err := ffs.Append("g", []byte("x")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	// Fault consumed: the append flows through to the real server.
+	if err := ffs.Append("g", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	size, _, err := ffs.Stat("g")
+	if err != nil || size != 1 {
+		t.Fatalf("Stat = (%d, %v), want 1 byte on the server", size, err)
+	}
+	var _ smartfam.FS = ffs // faultfs wraps any FS, including the nfs client
+}

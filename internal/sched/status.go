@@ -40,6 +40,11 @@ type Status struct {
 	WaitMaxMs  int64 `json:"wait_max_ms"`
 
 	Tenants []TenantStatus `json:"tenants,omitempty"`
+
+	// Extra carries publisher-side counters that are not the scheduler's
+	// own — the SD daemon folds its recovery/dedupe/corruption metrics in
+	// here so mcsdctl's journal verb can read them from the same snapshot.
+	Extra map[string]int64 `json:"extra,omitempty"`
 }
 
 // Status snapshots the scheduler.
@@ -113,6 +118,16 @@ func (st Status) Format() string {
 	for _, t := range st.Tenants {
 		fmt.Fprintf(&b, "tenant:    %-14s %d queued, weight %g, served %.2f\n",
 			t.Name, t.Queued, t.Weight, t.Served)
+	}
+	if len(st.Extra) > 0 {
+		keys := make([]string, 0, len(st.Extra))
+		for k := range st.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "extra:     %-28s %d\n", k, st.Extra[k])
+		}
 	}
 	return b.String()
 }

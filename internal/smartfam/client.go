@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"mcsd/internal/metrics"
 )
 
 // Client is the host-node side of smartFAM: it writes input parameters into
@@ -13,6 +15,7 @@ import (
 type Client struct {
 	fs       FS
 	interval time.Duration
+	metrics  *metrics.Registry
 }
 
 // NewClient returns a client over the shared folder fsys, polling for
@@ -22,6 +25,16 @@ func NewClient(fsys FS, interval time.Duration) *Client {
 		interval = DefaultPollInterval
 	}
 	return &Client{fs: fsys, interval: interval}
+}
+
+// SetMetrics attaches a metrics registry (corrupt-record and retry
+// counters). Nil is allowed and is the default.
+func (c *Client) SetMetrics(m *metrics.Registry) { c.metrics = m }
+
+func (c *Client) count(name string, n int64) {
+	if c.metrics != nil && n != 0 {
+		c.metrics.Counter(name).Add(n)
+	}
 }
 
 // ModuleError is a module-side failure relayed through the log file.
@@ -50,10 +63,26 @@ func (c *Client) Modules() ([]string, error) {
 	return mods, nil
 }
 
+// appendAttempts bounds the request-append retry loop.
+const appendAttempts = 4
+
+var appendBackoff = 2 * time.Millisecond
+
 // Invoke calls the named module with params and blocks until its results
 // arrive or ctx is done. A missing log file means the module is not loaded
-// (ErrUnknownModule).
+// (ErrUnknownModule). The request is sent under a fresh correlation ID;
+// callers that retry a failed invocation should use InvokeID with the
+// SAME ID so the daemon can dedupe (replaying the cached response if the
+// work already ran) instead of executing the module twice.
 func (c *Client) Invoke(ctx context.Context, module string, params []byte) ([]byte, error) {
+	return c.InvokeID(ctx, module, NewID(), params)
+}
+
+// InvokeID is Invoke with a caller-chosen correlation ID — the idempotency
+// key of the smartFAM protocol. Reusing the ID across retries makes the
+// invocation exactly-once: a daemon that already completed the work
+// re-appends its journaled response rather than re-running the module.
+func (c *Client) InvokeID(ctx context.Context, module, id string, params []byte) ([]byte, error) {
 	logName := LogName(module)
 	// The log file is created at preload time; its absence means the
 	// module does not exist on the SD node.
@@ -65,14 +94,30 @@ func (c *Client) Invoke(ctx context.Context, module string, params []byte) ([]by
 		return nil, err
 	}
 
-	id := NewID()
 	req := Record{Kind: KindRequest, ID: id, Payload: params}
 	line, err := req.Marshal()
 	if err != nil {
 		return nil, err
 	}
-	if err := c.fs.Append(logName, line); err != nil {
-		return nil, fmt.Errorf("smartfam: sending request to %q: %w", module, err)
+	// Bounded retry on the request append: a transient share error must
+	// not fail the invocation outright. The record's leading newline makes
+	// a retry after a torn first attempt safe — the partial bytes parse as
+	// one corrupt line and the retried record resyncs the log.
+	backoff := appendBackoff
+	for attempt := 0; ; attempt++ {
+		if err = c.fs.Append(logName, line); err == nil {
+			break
+		}
+		c.count("smartfam.client.append_retries", 1)
+		if attempt+1 >= appendAttempts {
+			return nil, fmt.Errorf("smartfam: sending request to %q: %w", module, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
 	}
 
 	// Watch the log from just before our own request; our request record
@@ -96,7 +141,8 @@ func (c *Client) Invoke(ctx context.Context, module string, params []byte) ([]by
 			if err != nil || len(data) == 0 {
 				continue
 			}
-			recs, consumed, err := ParseRecords(data)
+			recs, consumed, corrupt, err := ParseRecords(data)
+			c.count("smartfam.corrupt_records", int64(corrupt))
 			if err != nil {
 				return nil, err
 			}

@@ -51,7 +51,9 @@ func (r *Registry) CompactLog(module string) (kept int, err error) {
 	if err != nil {
 		return 0, err
 	}
-	recs, _, err := ParseRecords(data)
+	// Corrupt lines are dropped by the rewrite: compaction doubles as the
+	// log's repair pass.
+	recs, _, _, err := ParseRecords(data)
 	if err != nil {
 		return 0, fmt.Errorf("smartfam: compacting %s: %w", logName, err)
 	}

@@ -41,7 +41,7 @@ func TestCompactLogDropsAnsweredPairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs, _, err := ParseRecords(data)
+	recs, _, _, err := ParseRecords(data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestCompactionPreservesPendingInvocation(t *testing.T) {
 	deadline := time.After(10 * time.Second)
 	for {
 		data, _ := ReadFrom(fsys, LogName("echo"), 0)
-		recs, _, _ := ParseRecords(data)
+		recs, _, _, _ := ParseRecords(data)
 		served := false
 		for _, r := range recs {
 			if r.Kind == KindResponse && r.ID == req.ID && string(r.Payload) == "echo:early" {

@@ -9,6 +9,7 @@ import (
 
 	"mcsd/internal/metrics"
 	"mcsd/internal/sched"
+	"mcsd/internal/trace"
 )
 
 // Daemon is the SD-node side of smartFAM (Fig. 5, steps 2-4 of parameter
@@ -21,21 +22,37 @@ import (
 // queue in fair order under memory-aware admission control, and a full
 // queue is reported back to the caller through the result record as an
 // error response — backpressure instead of a silent stall.
+//
+// With a journal attached (WithJournal), the daemon is crash-safe: every
+// request is journaled through INTENT → DONE → RESP states on local disk,
+// a restarted daemon replays unfinished work exactly once (cached results
+// are re-appended, never re-executed), and duplicate requests — host
+// retries reusing the original ID — are answered from the cache. See the
+// package comment in journal.go for the full argument.
 type Daemon struct {
-	fs        FS
-	reg       *Registry
-	interval  time.Duration
-	heartbeat time.Duration
-	rescan    time.Duration
-	workers   int
-	metrics   *metrics.Registry
-	sched     *sched.Scheduler
-	estimate  sched.Estimator
+	fs             FS
+	reg            *Registry
+	interval       time.Duration
+	heartbeat      time.Duration
+	rescan         time.Duration
+	statusInterval time.Duration
+	workers        int
+	metrics        *metrics.Registry
+	tracer         *trace.Tracer
+	sched          *sched.Scheduler
+	estimate       sched.Estimator
 
-	mu        sync.Mutex
-	offsets   map[string]int64 // consumed bytes per log file
-	gens      map[string]int64 // observed compaction generation per log
-	responded map[string]struct{}
+	journalPath string
+	journal     *Journal
+	journalErr  error
+	recovery    *JournalState
+
+	mu         sync.Mutex
+	offsets    map[string]int64 // consumed bytes per log file
+	gens       map[string]int64 // observed compaction generation per log
+	responded  map[string]struct{}
+	completed  map[string]CachedResponse // bounded dedupe/replay cache
+	cacheOrder []string
 }
 
 // DaemonOption configures a Daemon.
@@ -59,6 +76,12 @@ func WithWorkers(n int) DaemonOption {
 // WithMetrics attaches a metrics registry.
 func WithMetrics(m *metrics.Registry) DaemonOption {
 	return func(dm *Daemon) { dm.metrics = m }
+}
+
+// WithTracer records spans for the daemon's recovery pass and replayed
+// requests, renderable with trace.Render.
+func WithTracer(tr *trace.Tracer) DaemonOption {
+	return func(dm *Daemon) { dm.tracer = tr }
 }
 
 // WithHeartbeat sets the liveness-stamp refresh interval; a negative value
@@ -94,22 +117,58 @@ func WithFootprintEstimator(est sched.Estimator) DaemonOption {
 	return func(dm *Daemon) { dm.estimate = est }
 }
 
+// WithJournal enables the crash-recovery journal at the given local path.
+// NewDaemon opens and replays it immediately (the recovery pass); the
+// replayed work itself — cached-response re-appends and intent re-runs —
+// happens at the start of Run, before any new request is served.
+func WithJournal(path string) DaemonOption {
+	return func(dm *Daemon) { dm.journalPath = path }
+}
+
+// WithStatusInterval overrides how often the queue/journal status snapshot
+// is republished on the share.
+func WithStatusInterval(d time.Duration) DaemonOption {
+	return func(dm *Daemon) {
+		if d > 0 {
+			dm.statusInterval = d
+		}
+	}
+}
+
 // NewDaemon returns a daemon serving the modules of reg over the share
-// fsys.
+// fsys. When a journal path is configured, the journal is opened and
+// replayed here; an open failure is surfaced by Run.
 func NewDaemon(fsys FS, reg *Registry, opts ...DaemonOption) *Daemon {
 	d := &Daemon{
-		fs:        fsys,
-		reg:       reg,
-		interval:  DefaultPollInterval,
-		heartbeat: DefaultHeartbeatInterval,
-		workers:   2,
-		metrics:   metrics.NewRegistry(),
-		offsets:   make(map[string]int64),
-		gens:      make(map[string]int64),
-		responded: make(map[string]struct{}),
+		fs:             fsys,
+		reg:            reg,
+		interval:       DefaultPollInterval,
+		heartbeat:      DefaultHeartbeatInterval,
+		statusInterval: DefaultQueueStatusInterval,
+		workers:        2,
+		metrics:        metrics.NewRegistry(),
+		offsets:        make(map[string]int64),
+		gens:           make(map[string]int64),
+		responded:      make(map[string]struct{}),
+		completed:      make(map[string]CachedResponse),
 	}
 	for _, o := range opts {
 		o(d)
+	}
+	if d.journalPath != "" {
+		j, state, err := OpenJournal(d.journalPath)
+		if err != nil {
+			d.journalErr = err
+			return d
+		}
+		d.journal = j
+		d.recovery = state
+		d.metrics.Counter("smartfam.corrupt_records").Add(int64(state.Corrupt))
+		// Seed the dedupe cache with every completed execution the
+		// journal remembers.
+		for id, c := range state.Completed {
+			d.cacheLocked(id, c)
+		}
 	}
 	return d
 }
@@ -117,8 +176,16 @@ func NewDaemon(fsys FS, reg *Registry, opts ...DaemonOption) *Daemon {
 // Metrics returns the daemon's metrics registry.
 func (d *Daemon) Metrics() *metrics.Registry { return d.metrics }
 
-// Run serves until ctx is done. It always returns ctx.Err().
+// Run serves until ctx is done. It always returns ctx.Err(), except when
+// the configured journal could not be opened.
 func (d *Daemon) Run(ctx context.Context) error {
+	if d.journalErr != nil {
+		return d.journalErr
+	}
+	// Crash recovery replays unfinished journal entries before any new
+	// work: cached responses are re-appended, open intents re-executed.
+	d.recoverPass(ctx)
+
 	w := NewWatcher(d.fs, d.interval)
 	w.AddAll()
 	go w.Run(ctx) //nolint:errcheck // terminates with ctx
@@ -126,7 +193,9 @@ func (d *Daemon) Run(ctx context.Context) error {
 		go RunHeartbeat(ctx, d.fs, d.heartbeat) //nolint:errcheck // terminates with ctx
 	}
 	if d.sched != nil {
-		go d.sched.Run(ctx)          //nolint:errcheck // terminates with ctx
+		go d.sched.Run(ctx) //nolint:errcheck // terminates with ctx
+	}
+	if d.sched != nil || d.journal != nil {
 		go d.publishQueueStatus(ctx) //nolint:errcheck // terminates with ctx
 	}
 
@@ -197,9 +266,126 @@ func (d *Daemon) Run(ctx context.Context) error {
 	}
 }
 
+// shareIndex is a point-in-time scan of every module log, used by the
+// recovery pass to locate requests by ID and to avoid duplicating
+// responses that already reached the share.
+type shareIndex struct {
+	requests  map[string]Record // pending request records by ID
+	reqModule map[string]string
+	responded map[string]struct{}
+}
+
+func (d *Daemon) scanShare() shareIndex {
+	idx := shareIndex{
+		requests:  make(map[string]Record),
+		reqModule: make(map[string]string),
+		responded: make(map[string]struct{}),
+	}
+	// The scan backs the recovery pass: a transient share error here would
+	// silently misclassify open intents as lost, so retry with the same
+	// bounded backoff the response path uses.
+	var names []string
+	if err := retryShare(func() error {
+		var err error
+		names, err = d.fs.List()
+		return err
+	}); err != nil {
+		return idx
+	}
+	for _, name := range names {
+		module, ok := ModuleFromLog(name)
+		if !ok {
+			continue
+		}
+		var data []byte
+		err := retryShare(func() error {
+			var err error
+			data, err = ReadFrom(d.fs, name, 0)
+			return err
+		})
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		recs, _, corrupt, _ := ParseRecords(data)
+		d.metrics.Counter("smartfam.corrupt_records").Add(int64(corrupt))
+		for _, rec := range recs {
+			switch rec.Kind {
+			case KindRequest:
+				idx.requests[rec.ID] = rec
+				idx.reqModule[rec.ID] = module
+			case KindResponse:
+				idx.responded[rec.ID] = struct{}{}
+			}
+		}
+	}
+	return idx
+}
+
+// recoverPass finishes what a crashed predecessor started: DONE entries
+// whose response never reached the log get their cached result
+// re-appended (no re-execution); INTENT entries with no DONE are re-run.
+// Everything it touches is marked responded so the main loop's drain —
+// which restarts from offset zero — cannot serve it again.
+func (d *Daemon) recoverPass(ctx context.Context) {
+	if d.recovery == nil {
+		return
+	}
+	state := d.recovery
+	d.recovery = nil
+	if len(state.Completed) == 0 && len(state.Intents) == 0 {
+		return
+	}
+	span := d.tracer.Start("smartfam.recovery")
+	defer span.Finish()
+	idx := d.scanShare()
+
+	for id, c := range state.Completed {
+		if state.Acked[id] {
+			continue
+		}
+		if _, inLog := idx.responded[id]; inLog {
+			// The response landed but the crash beat the RESP entry;
+			// just ack it now.
+			_ = d.journal.Resp(id)
+			continue
+		}
+		child := span.Child("replay-response " + id)
+		if d.respond(c.Module, id, c.Status, c.Payload) {
+			_ = d.journal.Resp(id)
+		}
+		child.Finish()
+		d.metrics.Counter("smartfam.daemon.recovered").Inc()
+	}
+
+	for id, e := range state.Intents {
+		if _, inLog := idx.responded[id]; inLog {
+			continue // answered before the crash
+		}
+		req, ok := idx.requests[id]
+		if !ok {
+			// The request record is gone (compacted mid-crash with its
+			// pair, or the log was removed). Nothing to re-run.
+			d.metrics.Counter("smartfam.daemon.intents_lost").Inc()
+			continue
+		}
+		module := e.Module
+		if module == "" {
+			module = idx.reqModule[id]
+		}
+		child := span.Child("rerun-intent " + id)
+		d.serve(ctx, module, req)
+		child.Finish()
+		d.metrics.Counter("smartfam.daemon.recovered").Inc()
+	}
+}
+
 // drainRequests reads new records from the log and returns the unanswered
-// requests. Responses (including our own) advance the offset and mark IDs
-// answered, so restarts and echoes are harmless.
+// requests. It is the dedupe point: responses (ours, or a predecessor's
+// replayed on restart) mark IDs answered, and a request record for an
+// already-answered ID is either skipped silently (the normal restart
+// replay of an answered pair) or — when it FOLLOWS the response, i.e. the
+// host retried after missing it — answered again from the cache without
+// re-executing the module.
 func (d *Daemon) drainRequests(logName string) []Record {
 	module, _ := ModuleFromLog(logName)
 	d.mu.Lock()
@@ -224,7 +410,10 @@ func (d *Daemon) drainRequests(logName string) []Record {
 	if err != nil || len(data) == 0 {
 		return nil
 	}
-	recs, consumed, err := ParseRecords(data)
+	recs, consumed, corrupt, err := ParseRecords(data)
+	if corrupt > 0 {
+		d.metrics.Counter("smartfam.corrupt_records").Add(int64(corrupt))
+	}
 	if err != nil {
 		d.metrics.Counter("smartfam.daemon.parse_errors").Inc()
 		// Skip the poisoned region to avoid wedging on one bad line.
@@ -233,31 +422,76 @@ func (d *Daemon) drainRequests(logName string) []Record {
 		d.mu.Unlock()
 		return nil
 	}
+	// Make record positions absolute file offsets.
+	for i := range recs {
+		recs[i].Pos += off
+	}
 
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.offsets[logName] = off + int64(consumed)
-	var reqs []Record
+	// Pass 1: index this batch's responses (latest position per ID) so a
+	// request and its answer arriving together — the whole-log rescan a
+	// restarted daemon performs — never re-serves the request.
+	batchRes := make(map[string]int64)
 	for _, rec := range recs {
-		switch rec.Kind {
-		case KindResponse:
-			d.responded[rec.ID] = struct{}{}
-		case KindRequest:
-			if _, done := d.responded[rec.ID]; !done {
-				reqs = append(reqs, rec)
+		if rec.Kind == KindResponse {
+			if pos, ok := batchRes[rec.ID]; !ok || rec.Pos > pos {
+				batchRes[rec.ID] = rec.Pos
 			}
+			d.responded[rec.ID] = struct{}{}
 		}
+	}
+	// Pass 2: classify requests.
+	var reqs []Record
+	var replays []CachedResponse
+	var replayIDs []string
+	queued := make(map[string]bool)
+	for _, rec := range recs {
+		if rec.Kind != KindRequest {
+			continue
+		}
+		if pos, ok := batchRes[rec.ID]; ok && rec.Pos < pos {
+			continue // answered pair replayed in order: nothing to do
+		}
+		if queued[rec.ID] {
+			continue // duplicate within the batch (torn-append retry)
+		}
+		_, answered := d.responded[rec.ID]
+		cached, inCache := d.completed[rec.ID]
+		if answered || inCache {
+			// A duplicate of an already-served request: a host retry
+			// reusing its original ID. Re-append the cached response —
+			// the retrying host watches the log only from its retry
+			// onward — and never re-execute.
+			d.metrics.Counter("smartfam.daemon.deduped").Inc()
+			if inCache {
+				replays = append(replays, cached)
+				replayIDs = append(replayIDs, rec.ID)
+			}
+			continue
+		}
+		queued[rec.ID] = true
+		reqs = append(reqs, rec)
+	}
+	d.mu.Unlock()
+
+	for i, c := range replays {
+		d.respond(c.Module, replayIDs[i], c.Status, c.Payload)
 	}
 	return reqs
 }
 
 // serve runs one module invocation and appends the response record
-// (steps 3-4 of Fig. 5's parameter passing, step 1 of result return).
+// (steps 3-4 of Fig. 5's parameter passing, step 1 of result return),
+// journaling the INTENT → DONE → RESP transitions around it.
 func (d *Daemon) serve(ctx context.Context, module string, req Record) {
 	d.metrics.Counter("smartfam.daemon.requests").Inc()
 	timer := d.metrics.Timer("smartfam.daemon.invoke")
 	start := time.Now()
 
+	if err := d.journal.Intent(req.ID, module, req.Pos); err != nil {
+		d.metrics.Counter("smartfam.daemon.journal_errors").Inc()
+	}
 	var (
 		payload []byte
 		status  = StatusOK
@@ -266,30 +500,109 @@ func (d *Daemon) serve(ctx context.Context, module string, req Record) {
 	if err == nil {
 		payload, err = runGuarded(ctx, m, req.Payload)
 	}
+	if err != nil && ctx.Err() != nil {
+		// The daemon is shutting down mid-execution. Answering now would
+		// turn the crash into a spurious module error at the host; leave
+		// the intent open instead, so the restarted daemon re-runs it.
+		d.metrics.Counter("smartfam.daemon.aborted").Inc()
+		return
+	}
 	if err != nil {
 		status = StatusError
 		payload = []byte(err.Error())
 		d.metrics.Counter("smartfam.daemon.errors").Inc()
 	}
 	timer.Observe(time.Since(start))
-	d.respond(module, req.ID, status, payload)
+	d.finish(module, req.ID, status, payload)
+}
+
+// finish journals a completed execution, caches it for dedupe, and
+// appends the response. DONE is journaled BEFORE the response append:
+// should the daemon die in between, the restarted daemon replays the
+// cached result instead of running the module a second time.
+func (d *Daemon) finish(module, reqID, status string, payload []byte) {
+	if err := d.journal.Done(reqID, module, status, payload); err != nil {
+		d.metrics.Counter("smartfam.daemon.journal_errors").Inc()
+	}
+	d.mu.Lock()
+	d.cacheLocked(reqID, CachedResponse{Module: module, Status: status, Payload: payload})
+	d.mu.Unlock()
+	if d.respond(module, reqID, status, payload) {
+		if err := d.journal.Resp(reqID); err != nil {
+			d.metrics.Counter("smartfam.daemon.journal_errors").Inc()
+		}
+	}
+}
+
+// cacheLocked inserts into the bounded dedupe/replay cache; the caller
+// holds d.mu (NewDaemon, which is single-threaded, may call it unlocked).
+func (d *Daemon) cacheLocked(id string, c CachedResponse) {
+	if _, exists := d.completed[id]; !exists {
+		d.cacheOrder = append(d.cacheOrder, id)
+	}
+	d.completed[id] = c
+	for len(d.cacheOrder) > maxCachedResponses {
+		evict := d.cacheOrder[0]
+		d.cacheOrder = d.cacheOrder[1:]
+		delete(d.completed, evict)
+	}
+}
+
+// respondAttempts and respondBackoff bound the response-append retry loop:
+// a share hiccup must not silently eat a computed result.
+const respondAttempts = 4
+
+var respondBackoff = 2 * time.Millisecond
+
+// retryShare runs a share operation under the same bounded-backoff policy
+// as the response path, for reads whose failure would otherwise be
+// silently absorbed (the recovery scan).
+func retryShare(op func() error) error {
+	backoff := respondBackoff
+	var err error
+	for attempt := 0; attempt < respondAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // respond appends the response record for one request and marks it
-// answered.
-func (d *Daemon) respond(module, reqID, status string, payload []byte) {
+// answered, retrying transient append failures with bounded backoff. It
+// reports whether the record reached the log; a final failure is counted
+// in smartfam.respond_errors (the reply is then lost until a restart or
+// host retry replays it from the journal cache).
+func (d *Daemon) respond(module, reqID, status string, payload []byte) bool {
 	res := Record{Kind: KindResponse, ID: reqID, Status: status, Payload: payload}
 	line, err := res.Marshal()
 	if err != nil {
 		d.metrics.Counter("smartfam.daemon.marshal_errors").Inc()
-		return
+		return false
 	}
 	d.mu.Lock()
 	d.responded[reqID] = struct{}{}
 	d.mu.Unlock()
-	if err := d.fs.Append(LogName(module), line); err != nil {
+	backoff := respondBackoff
+	for attempt := 0; attempt < respondAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		// The line's leading newline makes the retry safe after a torn
+		// first attempt: the partial bytes become one corrupt line the
+		// parser skips, and this record starts cleanly after it.
+		if err = d.fs.Append(LogName(module), line); err == nil {
+			return true
+		}
 		d.metrics.Counter("smartfam.daemon.append_errors").Inc()
 	}
+	d.metrics.Counter("smartfam.respond_errors").Inc()
+	return false
 }
 
 // submit routes one request through the scheduler (steps 3-4 of Fig. 5
@@ -298,6 +611,9 @@ func (d *Daemon) respond(module, reqID, status string, payload []byte) {
 // caller sees backpressure instead of a stall.
 func (d *Daemon) submit(ctx context.Context, wg *sync.WaitGroup, module string, req Record) {
 	d.metrics.Counter("smartfam.daemon.requests").Inc()
+	if err := d.journal.Intent(req.ID, module, req.Pos); err != nil {
+		d.metrics.Counter("smartfam.daemon.journal_errors").Inc()
+	}
 	in, factor := int64(0), 0.0
 	if d.estimate != nil {
 		in, factor = d.estimate(module, req.Payload)
@@ -315,35 +631,61 @@ func (d *Daemon) submit(ctx context.Context, wg *sync.WaitGroup, module string, 
 			d.metrics.Counter("smartfam.daemon.queue_full").Inc()
 		}
 		d.metrics.Counter("smartfam.daemon.errors").Inc()
-		d.respond(module, req.ID, StatusError, []byte(err.Error()))
+		d.finish(module, req.ID, StatusError, []byte(err.Error()))
 		return
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		payload, err := h.Wait(ctx)
-		if err != nil {
-			d.metrics.Counter("smartfam.daemon.errors").Inc()
-			d.respond(module, req.ID, StatusError, []byte(err.Error()))
+		if err != nil && ctx.Err() != nil {
+			// Shutdown, not a module verdict: leave the intent open for
+			// the restarted daemon (see serve).
+			d.metrics.Counter("smartfam.daemon.aborted").Inc()
 			return
 		}
-		d.respond(module, req.ID, StatusOK, payload)
+		if err != nil {
+			d.metrics.Counter("smartfam.daemon.errors").Inc()
+			d.finish(module, req.ID, StatusError, []byte(err.Error()))
+			return
+		}
+		d.finish(module, req.ID, StatusOK, payload)
 	}()
 }
 
-// QueueStatusName is the share file carrying the scheduler's published
-// Status (JSON). Like the heartbeat it is not a module log, so discovery
-// ignores it; mcsdctl's queue verb reads it.
+// QueueStatusName is the share file carrying the published status
+// snapshot (JSON): the scheduler's queue state plus, under Extra, the
+// daemon's recovery/dedupe/corruption counters. Like the heartbeat it is
+// not a module log, so discovery ignores it; mcsdctl's queue and journal
+// verbs read it.
 const QueueStatusName = ".queue"
 
-// DefaultQueueStatusInterval is how often an attached scheduler's status
-// is republished.
+// DefaultQueueStatusInterval is how often the status snapshot is
+// republished.
 const DefaultQueueStatusInterval = 250 * time.Millisecond
+
+// statusExtraCounters are the daemon-side counters published in the
+// snapshot's Extra map for mcsdctl's journal verb.
+var statusExtraCounters = []string{
+	"smartfam.daemon.recovered",
+	"smartfam.daemon.deduped",
+	"smartfam.daemon.aborted",
+	"smartfam.corrupt_records",
+	"smartfam.respond_errors",
+}
 
 // publishQueueStatus rewrites QueueStatusName until ctx is done.
 func (d *Daemon) publishQueueStatus(ctx context.Context) error {
 	write := func() {
-		data, err := sched.MarshalStatus(d.sched.Status())
+		var st sched.Status
+		if d.sched != nil {
+			st = d.sched.Status()
+		}
+		st.Extra = make(map[string]int64, len(statusExtraCounters))
+		for _, name := range statusExtraCounters {
+			st.Extra[name] = d.metrics.Counter(name).Value()
+		}
+		data, err := sched.MarshalStatus(st)
 		if err != nil {
 			return
 		}
@@ -353,7 +695,7 @@ func (d *Daemon) publishQueueStatus(ctx context.Context) error {
 		_ = d.fs.Append(QueueStatusName, data)
 	}
 	write()
-	ticker := time.NewTicker(DefaultQueueStatusInterval)
+	ticker := time.NewTicker(d.statusInterval)
 	defer ticker.Stop()
 	for {
 		select {

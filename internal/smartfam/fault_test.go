@@ -1,92 +1,46 @@
-package smartfam
+// Fault-injection tests for the daemon and client, exercised through the
+// shared internal/faultfs layer. These live in the external test package:
+// faultfs wraps smartfam.FS, so an in-package import would cycle.
+package smartfam_test
 
 import (
 	"context"
 	"errors"
-	"sync"
 	"testing"
 	"time"
+
+	"mcsd/internal/faultfs"
+	"mcsd/internal/smartfam"
 )
 
-// faultFS wraps an FS and fails selected operations — transient-NFS-error
-// injection for robustness tests.
-type faultFS struct {
-	FS
-	mu       sync.Mutex
-	failOps  map[string]int // op -> remaining failures
-	injected int
-}
-
-var errInjected = errors.New("injected fault")
-
-func newFaultFS(inner FS) *faultFS {
-	return &faultFS{FS: inner, failOps: make(map[string]int)}
-}
-
-func (f *faultFS) failNext(op string, n int) {
-	f.mu.Lock()
-	f.failOps[op] = n
-	f.mu.Unlock()
-}
-
-func (f *faultFS) maybeFail(op string) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.failOps[op] > 0 {
-		f.failOps[op]--
-		f.injected++
-		return errInjected
+func faultEchoModule() smartfam.Module {
+	return smartfam.ModuleFunc{
+		ModuleName: "echo",
+		Fn: func(_ context.Context, params []byte) ([]byte, error) {
+			return append([]byte("echo:"), params...), nil
+		},
 	}
-	return nil
-}
-
-func (f *faultFS) Append(name string, data []byte) error {
-	if err := f.maybeFail("append"); err != nil {
-		return err
-	}
-	return f.FS.Append(name, data)
-}
-
-func (f *faultFS) Stat(name string) (int64, time.Time, error) {
-	if err := f.maybeFail("stat"); err != nil {
-		return 0, time.Time{}, err
-	}
-	return f.FS.Stat(name)
-}
-
-func (f *faultFS) ReadAt(name string, p []byte, off int64) (int, error) {
-	if err := f.maybeFail("read"); err != nil {
-		return 0, err
-	}
-	return f.FS.ReadAt(name, p, off)
-}
-
-func (f *faultFS) List() ([]string, error) {
-	if err := f.maybeFail("list"); err != nil {
-		return nil, err
-	}
-	return f.FS.List()
 }
 
 func TestDaemonSurvivesTransientFaults(t *testing.T) {
-	inner := DirFS(t.TempDir())
-	ffs := newFaultFS(inner)
-	reg := NewRegistry(inner) // registry writes go direct (setup)
-	if err := reg.Register(echoModule()); err != nil {
+	inner := smartfam.DirFS(t.TempDir())
+	ffs := faultfs.New(inner)
+	reg := smartfam.NewRegistry(inner) // registry writes go direct (setup)
+	if err := reg.Register(faultEchoModule()); err != nil {
 		t.Fatal(err)
 	}
-	d := NewDaemon(ffs, reg, WithPollInterval(time.Millisecond))
+	d := smartfam.NewDaemon(ffs, reg, smartfam.WithPollInterval(time.Millisecond))
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go d.Run(ctx) //nolint:errcheck
 
 	// Inject a burst of stat/read/list failures; the daemon must keep
 	// polling through them and serve the request that follows.
-	ffs.failNext("stat", 5)
-	ffs.failNext("read", 3)
-	ffs.failNext("list", 2)
+	ffs.FailNext(faultfs.OpStat, 5)
+	ffs.FailNext(faultfs.OpRead, 3)
+	ffs.FailNext(faultfs.OpList, 2)
 
-	c := NewClient(inner, time.Millisecond)
+	c := smartfam.NewClient(inner, time.Millisecond)
 	ictx, icancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer icancel()
 	got, err := c.Invoke(ictx, "echo", []byte("despite faults"))
@@ -96,61 +50,129 @@ func TestDaemonSurvivesTransientFaults(t *testing.T) {
 	if string(got) != "echo:despite faults" {
 		t.Fatalf("result = %q", got)
 	}
-	ffs.mu.Lock()
-	injected := ffs.injected
-	ffs.mu.Unlock()
-	if injected == 0 {
+	if ffs.Injected() == 0 {
 		t.Fatal("no faults were actually injected; test proves nothing")
 	}
 }
 
-func TestDaemonCountsFailedResponseAppends(t *testing.T) {
-	inner := DirFS(t.TempDir())
-	ffs := newFaultFS(inner)
-	reg := NewRegistry(inner)
-	if err := reg.Register(echoModule()); err != nil {
+func TestDaemonRetriesFailedResponseAppend(t *testing.T) {
+	inner := smartfam.DirFS(t.TempDir())
+	ffs := faultfs.New(inner)
+	reg := smartfam.NewRegistry(inner)
+	if err := reg.Register(faultEchoModule()); err != nil {
 		t.Fatal(err)
 	}
-	d := NewDaemon(ffs, reg) // not running; drive by hand
-	req := Record{Kind: KindRequest, ID: "r1", Payload: []byte("p")}
-	line, _ := req.Marshal()
-	if err := inner.Append(LogName("echo"), line); err != nil {
+	// No heartbeat/scheduler/journal: the daemon's only appends through
+	// ffs are response records, so the armed failure hits the response.
+	d := smartfam.NewDaemon(ffs, reg,
+		smartfam.WithPollInterval(time.Millisecond),
+		smartfam.WithHeartbeat(-1))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.Run(ctx) //nolint:errcheck
+
+	ffs.FailNext(faultfs.OpAppend, 1)
+	c := smartfam.NewClient(inner, time.Millisecond)
+	ictx, icancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer icancel()
+	got, err := c.Invoke(ictx, "echo", []byte("retry me"))
+	if err != nil {
+		t.Fatal(err) // the bounded-backoff retry must absorb the fault
+	}
+	if string(got) != "echo:retry me" {
+		t.Fatalf("result = %q", got)
+	}
+	if v := d.Metrics().Counter("smartfam.daemon.append_errors").Value(); v != 1 {
+		t.Fatalf("append_errors = %d, want 1 (the failed first attempt)", v)
+	}
+	if v := d.Metrics().Counter("smartfam.respond_errors").Value(); v != 0 {
+		t.Fatalf("respond_errors = %d, want 0 (retry succeeded)", v)
+	}
+}
+
+func TestDaemonCountsDroppedResponses(t *testing.T) {
+	inner := smartfam.DirFS(t.TempDir())
+	ffs := faultfs.New(inner)
+	reg := smartfam.NewRegistry(inner)
+	if err := reg.Register(faultEchoModule()); err != nil {
 		t.Fatal(err)
 	}
-	reqs := d.drainRequests(LogName("echo"))
-	if len(reqs) != 1 {
-		t.Fatalf("drained %d requests", len(reqs))
+	d := smartfam.NewDaemon(ffs, reg,
+		smartfam.WithPollInterval(time.Millisecond),
+		smartfam.WithHeartbeat(-1))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.Run(ctx) //nolint:errcheck
+
+	// Outlast every retry attempt: the reply is dropped and counted.
+	ffs.FailNext(faultfs.OpAppend, 100)
+	req := smartfam.Record{Kind: smartfam.KindRequest, ID: smartfam.NewID(), Payload: []byte("x")}
+	line, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
 	}
-	ffs.failNext("append", 1)
-	d.serve(context.Background(), "echo", reqs[0])
-	if d.Metrics().Counter("smartfam.daemon.append_errors").Value() != 1 {
-		t.Fatal("failed response append not counted")
+	if err := inner.Append(smartfam.LogName("echo"), line); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for d.Metrics().Counter("smartfam.respond_errors").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("respond_errors never incremented")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
 func TestClientSurfacesAppendFault(t *testing.T) {
-	inner := DirFS(t.TempDir())
-	if err := inner.Create(LogName("echo")); err != nil {
+	inner := smartfam.DirFS(t.TempDir())
+	if err := inner.Create(smartfam.LogName("echo")); err != nil {
 		t.Fatal(err)
 	}
-	ffs := newFaultFS(inner)
-	ffs.failNext("append", 1)
-	c := NewClient(ffs, time.Millisecond)
+	ffs := faultfs.New(inner)
+	// The client retries appends with bounded backoff; only a persistent
+	// fault (outlasting every attempt) surfaces.
+	ffs.FailNext(faultfs.OpAppend, 100)
+	c := smartfam.NewClient(ffs, time.Millisecond)
 	_, err := c.Invoke(context.Background(), "echo", []byte("x"))
-	if !errors.Is(err, errInjected) {
+	if !errors.Is(err, faultfs.ErrInjected) {
 		t.Fatalf("err = %v, want injected fault surfaced", err)
 	}
 }
 
+func TestClientRetriesTransientAppendFault(t *testing.T) {
+	inner := smartfam.DirFS(t.TempDir())
+	reg := smartfam.NewRegistry(inner)
+	if err := reg.Register(faultEchoModule()); err != nil {
+		t.Fatal(err)
+	}
+	d := smartfam.NewDaemon(inner, reg, smartfam.WithPollInterval(time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.Run(ctx) //nolint:errcheck
+
+	ffs := faultfs.New(inner)
+	ffs.FailNext(faultfs.OpAppend, 2) // fewer than the retry budget
+	c := smartfam.NewClient(ffs, time.Millisecond)
+	ictx, icancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer icancel()
+	got, err := c.Invoke(ictx, "echo", []byte("transient"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "echo:transient" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
 func TestWatcherToleratesStatFaults(t *testing.T) {
-	inner := DirFS(t.TempDir())
-	ffs := newFaultFS(inner)
+	inner := smartfam.DirFS(t.TempDir())
+	ffs := faultfs.New(inner)
 	if err := inner.Append("mod.log", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	w := NewWatcher(ffs, time.Hour)
+	w := smartfam.NewWatcher(ffs, time.Hour)
 	w.Add("mod.log")
-	ffs.failNext("stat", 1)
+	ffs.FailNext(faultfs.OpStat, 1)
 	w.Poll() // stat fails: treated as absent, no crash
 	w.Poll() // recovers: change event fires
 	select {
@@ -160,5 +182,40 @@ func TestWatcherToleratesStatFaults(t *testing.T) {
 		}
 	default:
 		t.Fatal("watcher never recovered from stat fault")
+	}
+}
+
+func TestDaemonRecoversTornResponseAppend(t *testing.T) {
+	inner := smartfam.DirFS(t.TempDir())
+	ffs := faultfs.New(inner)
+	reg := smartfam.NewRegistry(inner)
+	if err := reg.Register(faultEchoModule()); err != nil {
+		t.Fatal(err)
+	}
+	d := smartfam.NewDaemon(ffs, reg,
+		smartfam.WithPollInterval(time.Millisecond),
+		smartfam.WithHeartbeat(-1))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.Run(ctx) //nolint:errcheck
+
+	// First response append is torn mid-record; the retry must land a
+	// clean record after the garbage and the client must still get its
+	// answer (the torn fragment is quarantined by the leading-newline
+	// resync and counted as corrupt).
+	ffs.TearNext(1, 0.5)
+	c := smartfam.NewClient(inner, time.Millisecond)
+	c.SetMetrics(d.Metrics())
+	ictx, icancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer icancel()
+	got, err := c.Invoke(ictx, "echo", []byte("torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "echo:torn" {
+		t.Fatalf("result = %q", got)
+	}
+	if ffs.Torn() != 1 {
+		t.Fatalf("Torn() = %d, want 1", ffs.Torn())
 	}
 }

@@ -1,0 +1,308 @@
+package smartfam
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The daemon's write-ahead journal makes smartFAM invocation exactly-once
+// across daemon crashes. Each request moves through three journaled
+// states, appended to a file on the SD node's LOCAL disk (never the
+// share — the journal must survive exactly the failures the share does
+// not):
+//
+//	INTENT <id> <module> <offset> <crc>          before dispatch
+//	DONE   <id> <module> <status> <payload> <crc> after the module ran,
+//	                                              before the response is
+//	                                              appended to the log
+//	RESP   <id> <crc>                             after the response
+//	                                              record landed
+//
+// On restart the replay classifies every request:
+//
+//   - RESP present: fully finished; kept only as a dedupe cache entry.
+//   - DONE without RESP: the module ran but the response may never have
+//     reached the log — re-append the CACHED payload, never re-execute.
+//   - INTENT without DONE: the module may not have run (or was aborted
+//     mid-flight by the crash) — re-run it; module executions are
+//     expected to be idempotent under abort, as in any redo log.
+//
+// Journaling DONE *before* the response append is what closes the
+// duplicate-execution window: a crash between execution and response
+// replays the cached result instead of running the module twice.
+//
+// Like the module logs, journal lines are newline-guarded and CRC'd, so
+// a torn tail from the crash itself is skipped (and counted) on replay.
+// Writes go straight to the fd with no userspace buffering: the failure
+// model is a daemon crash, not an OS crash, so page cache is durable
+// enough and no fsync is paid per record.
+
+// Journal entry kinds.
+const (
+	journalIntent = "INTENT"
+	journalDone   = "DONE"
+	journalResp   = "RESP"
+)
+
+// JournalEntry is one replayed journal line.
+type JournalEntry struct {
+	Kind    string
+	ID      string
+	Module  string
+	Offset  int64 // INTENT: byte offset of the request record in its log
+	Status  string
+	Payload []byte
+}
+
+// CachedResponse is a completed execution's result, kept for crash replay
+// and for answering duplicate (host-retried) requests without re-running
+// the module.
+type CachedResponse struct {
+	Module  string
+	Status  string
+	Payload []byte
+}
+
+// JournalState is the classification of a journal at open time.
+type JournalState struct {
+	// Completed maps request ID -> cached response for every execution
+	// that finished (DONE journaled), acked or not.
+	Completed map[string]CachedResponse
+	// Acked holds IDs whose response append was confirmed (RESP).
+	Acked map[string]bool
+	// Intents holds INTENT entries with no DONE: possibly-unexecuted
+	// requests the recovery pass must re-run.
+	Intents map[string]JournalEntry
+	// Corrupt counts unparseable lines skipped during replay (typically
+	// the torn tail of the crashed writer).
+	Corrupt int
+}
+
+// Journal is the daemon's crash-recovery intent log. All methods are safe
+// for concurrent use and nil-receiver safe (a nil journal journals
+// nothing), so the daemon's hot path needs no conditionals.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// maxCachedResponses bounds the dedupe/replay cache carried across
+// restarts; beyond it the oldest completed entries are dropped (their
+// requests can then only be deduped while their response record is still
+// visible in the module log).
+const maxCachedResponses = 4096
+
+// OpenJournal replays the journal at path (if any), compacts it — acked
+// entries beyond the cache cap and superseded lines are dropped — and
+// opens it for appending. The returned state seeds the daemon's recovery
+// pass and dedupe cache.
+func OpenJournal(path string) (*Journal, *JournalState, error) {
+	state := &JournalState{
+		Completed: make(map[string]CachedResponse),
+		Acked:     make(map[string]bool),
+		Intents:   make(map[string]JournalEntry),
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("smartfam: reading journal %s: %w", path, err)
+	}
+	var order []string // completed IDs in first-DONE order, for the cache cap
+	if len(data) > 0 {
+		entries, corrupt := parseJournal(data)
+		state.Corrupt = corrupt
+		for _, e := range entries {
+			switch e.Kind {
+			case journalIntent:
+				if _, done := state.Completed[e.ID]; !done {
+					state.Intents[e.ID] = e
+				}
+			case journalDone:
+				if _, seen := state.Completed[e.ID]; !seen {
+					order = append(order, e.ID)
+				}
+				state.Completed[e.ID] = CachedResponse{Module: e.Module, Status: e.Status, Payload: e.Payload}
+				delete(state.Intents, e.ID)
+			case journalResp:
+				state.Acked[e.ID] = true
+			}
+		}
+	}
+	// Cap the carried cache, oldest first.
+	for len(order) > maxCachedResponses {
+		id := order[0]
+		order = order[1:]
+		delete(state.Completed, id)
+		delete(state.Acked, id)
+	}
+
+	// Rewrite compacted: live intents, completed entries (with their ack
+	// marks), nothing else. Renaming over the old file keeps a crash
+	// during compaction recoverable (the old journal stays intact).
+	tmp := path + ".tmp"
+	var buf bytes.Buffer
+	for _, e := range state.Intents {
+		buf.Write(journalLine(journalIntent, e.ID, e.Module, strconv.FormatInt(e.Offset, 10)))
+	}
+	for _, id := range order {
+		c := state.Completed[id]
+		buf.Write(journalLine(journalDone, id, c.Module, c.Status, encodePayload(c.Payload)))
+		if state.Acked[id] {
+			buf.Write(journalLine(journalResp, id))
+		}
+	}
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return nil, nil, fmt.Errorf("smartfam: compacting journal %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, nil, fmt.Errorf("smartfam: compacting journal %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("smartfam: opening journal %s: %w", path, err)
+	}
+	return &Journal{path: path, f: f}, state, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Intent records that the daemon is about to dispatch a request. offset is
+// the byte position of the request record in its module log (diagnostic:
+// recovery locates requests by ID, surviving compaction).
+func (j *Journal) Intent(id, module string, offset int64) error {
+	return j.append(journalLine(journalIntent, id, module, strconv.FormatInt(offset, 10)))
+}
+
+// Done records a finished execution and its result, before the response is
+// appended to the module log.
+func (j *Journal) Done(id, module, status string, payload []byte) error {
+	return j.append(journalLine(journalDone, id, module, status, encodePayload(payload)))
+}
+
+// Resp records that the response append for id succeeded.
+func (j *Journal) Resp(id string) error {
+	return j.append(journalLine(journalResp, id))
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+func (j *Journal) append(line []byte) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("smartfam: journal append: %w", err)
+	}
+	return nil
+}
+
+// journalLine builds one newline-guarded, CRC-trailed journal line.
+func journalLine(fields ...string) []byte {
+	body := strings.Join(fields, " ")
+	return []byte("\n" + body + " " + recordCRC(body) + "\n")
+}
+
+func encodePayload(p []byte) string {
+	s := base64.StdEncoding.EncodeToString(p)
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+func decodePayload(s string) ([]byte, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	return base64.StdEncoding.DecodeString(s)
+}
+
+// parseJournal decodes every valid journal line, skipping (and counting)
+// corrupt ones — the torn tail of a crashed daemon must not poison replay.
+func parseJournal(data []byte) (entries []JournalEntry, corrupt int) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		e, err := parseJournalLine(string(line))
+		if err != nil {
+			corrupt++
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if sc.Err() != nil {
+		corrupt++
+	}
+	return entries, corrupt
+}
+
+func parseJournalLine(line string) (JournalEntry, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return JournalEntry{}, fmt.Errorf("smartfam: short journal line %q", line)
+	}
+	body := strings.Join(fields[:len(fields)-1], " ")
+	if recordCRC(body) != fields[len(fields)-1] {
+		return JournalEntry{}, fmt.Errorf("smartfam: journal checksum mismatch on %q", line)
+	}
+	e := JournalEntry{Kind: fields[0]}
+	switch e.Kind {
+	case journalIntent:
+		if len(fields) != 5 {
+			return JournalEntry{}, fmt.Errorf("smartfam: malformed INTENT line %q", line)
+		}
+		e.ID, e.Module = fields[1], fields[2]
+		off, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return JournalEntry{}, fmt.Errorf("smartfam: bad INTENT offset in %q", line)
+		}
+		e.Offset = off
+	case journalDone:
+		if len(fields) != 6 {
+			return JournalEntry{}, fmt.Errorf("smartfam: malformed DONE line %q", line)
+		}
+		e.ID, e.Module, e.Status = fields[1], fields[2], fields[3]
+		if e.Status != StatusOK && e.Status != StatusError {
+			return JournalEntry{}, fmt.Errorf("smartfam: bad DONE status in %q", line)
+		}
+		payload, err := decodePayload(fields[4])
+		if err != nil {
+			return JournalEntry{}, fmt.Errorf("smartfam: bad DONE payload in %q", line)
+		}
+		e.Payload = payload
+	case journalResp:
+		if len(fields) != 3 {
+			return JournalEntry{}, fmt.Errorf("smartfam: malformed RESP line %q", line)
+		}
+		e.ID = fields[1]
+	default:
+		return JournalEntry{}, fmt.Errorf("smartfam: unknown journal entry kind %q", e.Kind)
+	}
+	return e, nil
+}

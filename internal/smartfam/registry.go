@@ -50,7 +50,10 @@ func NewRegistry(fsys FS) *Registry {
 	return &Registry{fs: fsys, modules: make(map[string]Module)}
 }
 
-// Register loads a module and creates (truncates) its log file.
+// Register loads a module and creates its log file if it does not already
+// exist. An existing log is kept as-is: a restarted daemon re-registering
+// its modules must not truncate away requests appended while it was down
+// (crash recovery depends on them surviving).
 func (r *Registry) Register(m Module) error {
 	name := m.Name()
 	if name == "" {
@@ -61,8 +64,12 @@ func (r *Registry) Register(m Module) error {
 	if _, dup := r.modules[name]; dup {
 		return fmt.Errorf("smartfam: module %q already registered", name)
 	}
-	if err := r.fs.Create(LogName(name)); err != nil {
-		return fmt.Errorf("smartfam: creating log for %q: %w", name, err)
+	if _, _, err := r.fs.Stat(LogName(name)); errors.Is(err, ErrNotExist) {
+		if err := r.fs.Create(LogName(name)); err != nil {
+			return fmt.Errorf("smartfam: creating log for %q: %w", name, err)
+		}
+	} else if err != nil {
+		return fmt.Errorf("smartfam: probing log for %q: %w", name, err)
 	}
 	r.modules[name] = m
 	return nil

@@ -7,6 +7,7 @@ import (
 	"encoding/base64"
 	"encoding/hex"
 	"fmt"
+	"hash/crc32"
 	"strings"
 )
 
@@ -24,6 +25,10 @@ type Record struct {
 	// Payload is the parameters (request) or results / error text
 	// (response).
 	Payload []byte
+	// Pos is the byte offset of the record's line within the buffer it
+	// was parsed from. It is set by ParseRecords and ignored by Marshal;
+	// readers that track file offsets add their own base to it.
+	Pos int64
 }
 
 // Record kinds and statuses.
@@ -43,13 +48,25 @@ func NewID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// recordCRC is the integrity checksum over a record's canonical body (the
+// space-joined fields before the CRC field).
+func recordCRC(body string) string {
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE([]byte(body)))
+}
+
 // Marshal encodes the record as one log line:
 //
-//	REQ <id> - <base64-payload>\n
-//	RES <id> <status> <base64-payload>\n
+//	REQ <id> - <base64-payload> <crc32>\n
+//	RES <id> <status> <base64-payload> <crc32>\n
 //
 // Line-oriented text keeps the log greppable on the share, as the paper's
 // debugging workflow expects, while base64 keeps arbitrary payloads safe.
+// The trailing CRC32 (over the preceding fields) lets readers detect
+// torn or bit-flipped lines on the shared medium. Every line is also
+// PREFIXED with a newline: appends to an NFS file are not guaranteed
+// atomic under writer crashes, and the leading newline terminates any
+// torn tail a previous writer left behind, so the parser can resync on
+// this record instead of fusing it with the garbage.
 func (r Record) Marshal() ([]byte, error) {
 	if r.Kind != KindRequest && r.Kind != KindResponse {
 		return nil, fmt.Errorf("smartfam: bad record kind %q", r.Kind)
@@ -65,18 +82,32 @@ func (r Record) Marshal() ([]byte, error) {
 	}
 	payload := base64.StdEncoding.EncodeToString(r.Payload)
 	if payload == "" {
-		payload = "-" // sentinel keeping the 4-field line shape
+		payload = "-" // sentinel keeping the fixed line shape
 	}
+	body := r.Kind + " " + r.ID + " " + status + " " + payload
 	var b bytes.Buffer
-	b.Grow(len(payload) + len(r.ID) + 16)
-	fmt.Fprintf(&b, "%s %s %s %s\n", r.Kind, r.ID, status, payload)
+	b.Grow(len(body) + 16)
+	b.WriteByte('\n')
+	b.WriteString(body)
+	b.WriteByte(' ')
+	b.WriteString(recordCRC(body))
+	b.WriteByte('\n')
 	return b.Bytes(), nil
 }
 
 // ParseRecords decodes every complete record line in data, skipping a
-// trailing partial line (the watcher may observe a log mid-append). It
-// returns the records and the number of bytes consumed.
-func ParseRecords(data []byte) (recs []Record, consumed int, err error) {
+// trailing partial line (the watcher may observe a log mid-append, and a
+// crashed writer can leave a torn tail — both wait, quarantined, until a
+// later append terminates them). It returns the records, the number of
+// bytes consumed, and the number of complete-but-corrupt lines skipped.
+//
+// Corrupt lines — torn appends fused with a following record, bit flips
+// caught by the CRC, or otherwise malformed text — do NOT fail the batch:
+// the parser resyncs at the next newline, counts the casualty, and keeps
+// going, so one damaged record cannot wedge a whole module log. Callers
+// surface the count through a `smartfam.corrupt_records` metric. err is
+// reserved for scanner-level failures (a line exceeding the 64 MB cap).
+func ParseRecords(data []byte) (recs []Record, consumed int, corrupt int, err error) {
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
 	off := 0
@@ -87,26 +118,36 @@ func ParseRecords(data []byte) (recs []Record, consumed int, err error) {
 			// Partial final line without newline: leave for next poll.
 			break
 		}
+		lineStart := off
 		off += lineLen
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
 		rec, perr := parseLine(line)
 		if perr != nil {
-			return recs, off, perr
+			corrupt++
+			continue // resync at the next newline
 		}
+		rec.Pos = int64(lineStart)
 		recs = append(recs, rec)
 	}
 	if serr := sc.Err(); serr != nil {
-		return recs, off, fmt.Errorf("smartfam: scanning log: %w", serr)
+		return recs, off, corrupt, fmt.Errorf("smartfam: scanning log: %w", serr)
 	}
-	return recs, off, nil
+	return recs, off, corrupt, nil
 }
 
 func parseLine(line []byte) (Record, error) {
 	fields := strings.Fields(string(line))
-	if len(fields) != 4 {
+	// The CRC field is mandatory: a torn append can truncate a line into
+	// something that still splits into plausible fields, and only the
+	// checksum reliably rejects it.
+	if len(fields) != 5 {
 		return Record{}, fmt.Errorf("smartfam: malformed log line %q", line)
+	}
+	body := strings.Join(fields[:4], " ")
+	if recordCRC(body) != fields[4] {
+		return Record{}, fmt.Errorf("smartfam: record checksum mismatch on line %q", line)
 	}
 	rec := Record{Kind: fields[0], ID: fields[1]}
 	if rec.Kind != KindRequest && rec.Kind != KindResponse {

@@ -21,9 +21,12 @@ func TestRecordMarshalParseRoundtrip(t *testing.T) {
 		}
 		log = append(log, line...)
 	}
-	got, consumed, err := ParseRecords(log)
+	got, consumed, corrupt, err := ParseRecords(log)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if corrupt != 0 {
+		t.Fatalf("corrupt = %d, want 0", corrupt)
 	}
 	if consumed != len(log) {
 		t.Fatalf("consumed %d, want %d", consumed, len(log))
@@ -63,37 +66,165 @@ func TestParseRecordsSkipsPartialTrailingLine(t *testing.T) {
 	}
 	partial := []byte("RES x1 ok aGVsbG8") // no trailing newline
 	data := append(append([]byte{}, full...), partial...)
-	recs, consumed, err := ParseRecords(data)
+	recs, consumed, corrupt, err := ParseRecords(data)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(recs) != 1 {
 		t.Fatalf("parsed %d records, want 1 (partial line must wait)", len(recs))
 	}
+	if corrupt != 0 {
+		t.Fatalf("corrupt = %d, want 0 (a quarantined tail is not corrupt yet)", corrupt)
+	}
 	if consumed != len(full) {
 		t.Fatalf("consumed %d, want %d", consumed, len(full))
 	}
 }
 
-func TestParseRecordsMalformed(t *testing.T) {
+func TestParseRecordsCountsMalformed(t *testing.T) {
+	crc := func(body string) string { return recordCRC(body) }
 	for _, bad := range []string{
 		"REQ onlythree fields\n",
-		"BOGUS id - aGk=\n",
-		"RES id wat aGk=\n",
-		"REQ id - not-base64!!\n",
+		"BOGUS id - aGk= " + crc("BOGUS id - aGk=") + "\n",
+		"RES id wat aGk= " + crc("RES id wat aGk=") + "\n",
+		"REQ id - not-base64!! " + crc("REQ id - not-base64!!") + "\n",
+		"REQ id - aGk= 00000000\n", // wrong CRC
+		"REQ id - aGk=\n",          // missing CRC field entirely
 	} {
-		if _, _, err := ParseRecords([]byte(bad)); err == nil {
-			t.Errorf("malformed line %q parsed without error", strings.TrimSpace(bad))
+		recs, consumed, corrupt, err := ParseRecords([]byte(bad))
+		if err != nil {
+			t.Fatalf("line %q: lenient parse returned hard error %v", strings.TrimSpace(bad), err)
 		}
+		if len(recs) != 0 {
+			t.Errorf("malformed line %q yielded a record", strings.TrimSpace(bad))
+		}
+		if corrupt != 1 {
+			t.Errorf("malformed line %q: corrupt = %d, want 1", strings.TrimSpace(bad), corrupt)
+		}
+		if consumed != len(bad) {
+			t.Errorf("malformed line %q: consumed %d, want %d (resync past it)",
+				strings.TrimSpace(bad), consumed, len(bad))
+		}
+	}
+}
+
+// A corrupt line must not poison its neighbours: the parser resyncs at the
+// next newline and keeps every valid record around it.
+func TestParseRecordsResyncsAroundCorruption(t *testing.T) {
+	a, _ := (Record{Kind: KindRequest, ID: "a1", Payload: []byte("one")}).Marshal()
+	b, _ := (Record{Kind: KindResponse, ID: "a1", Status: StatusOK, Payload: []byte("two")}).Marshal()
+	log := append(append(append([]byte{}, a...), []byte("GARBAGE torn line no crc\n")...), b...)
+	recs, consumed, corrupt, err := ParseRecords(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 1 {
+		t.Fatalf("corrupt = %d, want 1", corrupt)
+	}
+	if len(recs) != 2 || recs[0].ID != "a1" || recs[1].Kind != KindResponse {
+		t.Fatalf("recs = %+v, want the two valid records", recs)
+	}
+	if consumed != len(log) {
+		t.Fatalf("consumed %d, want %d", consumed, len(log))
+	}
+}
+
+// A truncated record — the head of a line whose tail was lost — must be
+// rejected by the CRC even when the fragment still splits into fields.
+func TestParseRecordsRejectsTruncatedRecord(t *testing.T) {
+	full, _ := (Record{Kind: KindResponse, ID: "t1", Status: StatusOK, Payload: []byte("a longer payload here")}).Marshal()
+	// Cut mid-payload and terminate with the next record's leading newline.
+	next, _ := (Record{Kind: KindRequest, ID: "t2", Payload: []byte("p")}).Marshal()
+	torn := append(append([]byte{}, full[:len(full)/2]...), next...)
+	recs, _, corrupt, err := ParseRecords(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt < 1 {
+		t.Fatalf("corrupt = %d, want >= 1 (the truncated head)", corrupt)
+	}
+	for _, r := range recs {
+		if r.ID == "t1" {
+			t.Fatalf("truncated record t1 was accepted: %+v", r)
+		}
+	}
+	if len(recs) != 1 || recs[0].ID != "t2" {
+		t.Fatalf("recs = %+v, want only t2", recs)
+	}
+}
+
+// A single flipped bit anywhere in a record must fail its CRC.
+func TestParseRecordsRejectsBitFlips(t *testing.T) {
+	line, _ := (Record{Kind: KindRequest, ID: "bf", Payload: []byte("sensitive payload")}).Marshal()
+	for i := 1; i < len(line)-1; i++ { // skip the guard newlines
+		mutated := append([]byte{}, line...)
+		mutated[i] ^= 0x40
+		if bytes.Equal(mutated, line) {
+			continue
+		}
+		recs, _, corrupt, err := ParseRecords(mutated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The mutated log must never yield the original record while
+		// claiming nothing was corrupt: every flip lands in the body, a
+		// separator, or the CRC field, and all three break the checksum.
+		for _, r := range recs {
+			if corrupt == 0 && r.ID == "bf" && string(r.Payload) == "sensitive payload" {
+				t.Fatalf("bit flip at byte %d accepted silently", i)
+			}
+		}
+	}
+}
+
+// Interleaved torn append: writer A dies mid-record, writer B's record
+// (with its leading guard newline) lands right after. A's fragment fuses
+// with nothing, B survives.
+func TestParseRecordsInterleavedTorn(t *testing.T) {
+	a, _ := (Record{Kind: KindRequest, ID: "aa", Payload: []byte("from writer a")}).Marshal()
+	b, _ := (Record{Kind: KindRequest, ID: "bb", Payload: []byte("from writer b")}).Marshal()
+	log := append(append([]byte{}, a[:len(a)-8]...), b...) // a torn before its CRC completes
+	recs, consumed, corrupt, err := ParseRecords(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 1 {
+		t.Fatalf("corrupt = %d, want 1 (writer a's fragment)", corrupt)
+	}
+	if len(recs) != 1 || recs[0].ID != "bb" {
+		t.Fatalf("recs = %+v, want only bb", recs)
+	}
+	if consumed != len(log) {
+		t.Fatalf("consumed %d, want %d", consumed, len(log))
+	}
+}
+
+// Pos must be the byte offset of each record's line start.
+func TestParseRecordsPositions(t *testing.T) {
+	a, _ := (Record{Kind: KindRequest, ID: "p1", Payload: []byte("x")}).Marshal()
+	b, _ := (Record{Kind: KindRequest, ID: "p2", Payload: []byte("y")}).Marshal()
+	log := append(append([]byte{}, a...), b...)
+	recs, _, _, err := ParseRecords(log)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("recs = %+v, err = %v", recs, err)
+	}
+	if recs[0].Pos >= recs[1].Pos {
+		t.Fatalf("positions not increasing: %d then %d", recs[0].Pos, recs[1].Pos)
+	}
+	if recs[1].Pos >= int64(len(log)) {
+		t.Fatalf("Pos %d out of range", recs[1].Pos)
 	}
 }
 
 func TestParseRecordsSkipsBlankLines(t *testing.T) {
 	line, _ := (Record{Kind: KindRequest, ID: "a", Payload: nil}).Marshal()
 	data := append([]byte("\n\n"), line...)
-	recs, _, err := ParseRecords(data)
+	recs, _, corrupt, err := ParseRecords(data)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if corrupt != 0 {
+		t.Fatalf("corrupt = %d, want 0 (blank lines are not corruption)", corrupt)
 	}
 	if len(recs) != 1 {
 		t.Fatalf("parsed %d records, want 1", len(recs))
@@ -139,8 +270,8 @@ func TestRecordPayloadRoundtripProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		got, consumed, err := ParseRecords(line)
-		if err != nil || consumed != len(line) || len(got) != 1 {
+		got, consumed, corrupt, err := ParseRecords(line)
+		if err != nil || corrupt != 0 || consumed != len(line) || len(got) != 1 {
 			return false
 		}
 		return bytes.Equal(got[0].Payload, payload) && got[0].ID == rec.ID
