@@ -1,15 +1,24 @@
 # Standard development entry points. `make check` is what CI (and the
-# pre-commit habit) should run: vet, build, full test suite under the race
-# detector, and a short-mode smoke of the engine benchmarks.
+# pre-commit habit) should run: vet, lint, build, full test suite under the
+# race detector, and a short-mode smoke of the engine benchmarks. `lint`
+# runs mcsdlint, the repo's own analyzer suite (internal/lint): share-I/O
+# discipline, wire-error wrapping, context propagation, metric-name
+# registry, and sim determinism — see DESIGN.md §5d for the invariants.
 
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench-json chaos check
+.PHONY: all vet lint build test race bench-smoke bench-json chaos check
 
 all: check
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the mcsdlint analyzer suite over the whole module. Zero
+# diagnostics is the merge bar; suppressions need a stated reason
+# (//mcsdlint:allow ... -- why) and are themselves linted.
+lint:
+	$(GO) run ./cmd/mcsdlint
 
 build:
 	$(GO) build ./...
@@ -39,4 +48,4 @@ chaos:
 bench-json:
 	$(GO) run ./cmd/mcsd-bench -engine -engine-out BENCH_mapreduce.json
 
-check: vet build race bench-smoke
+check: vet lint build race bench-smoke

@@ -51,8 +51,34 @@ func main() {
 	if err == nil {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "mcsdctl: %v\n", err)
-	os.Exit(exitCode(err))
+	code := exitCode(err)
+	fmt.Fprint(os.Stderr, stderrLine(err, code))
+	os.Exit(code)
+}
+
+// stderrLine renders the error the way scripts see it: the classified
+// codes (2/3/4) always carry their code and meaning, so the distinction
+// is visible in logs even where the exit status itself was swallowed by
+// a pipeline.
+func stderrLine(err error, code int) string {
+	if label := exitLabel(code); label != "" {
+		return fmt.Sprintf("mcsdctl: %v (exit %d: %s)\n", err, code, label)
+	}
+	return fmt.Sprintf("mcsdctl: %v\n", err)
+}
+
+// exitLabel names the classified exit codes; unclassified failures (1)
+// have no label.
+func exitLabel(code int) string {
+	switch code {
+	case exitUnreachable:
+		return "node unreachable"
+	case exitModule:
+		return "module failed on the node"
+	case exitQueueFull:
+		return "node busy, retry later"
+	}
+	return ""
 }
 
 // exitCode classifies err. Queue-full wins over the module-error check:

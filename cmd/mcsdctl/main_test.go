@@ -1,0 +1,87 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mcsd/internal/core"
+	"mcsd/internal/sched"
+	"mcsd/internal/smartfam"
+)
+
+// TestExitCodeQueueFullRoundTrip walks sched.ErrQueueFull through the
+// shape it takes on the wire: the daemon formats the rejection into a
+// StatusError record's text, the host recognises that text and re-types
+// it with %w, and mcsdctl's classifier must still see the sentinel via
+// errors.Is and map it to exit 4.
+func TestExitCodeQueueFullRoundTrip(t *testing.T) {
+	// Daemon side: the rejection is %w-wrapped, then flattened to record
+	// text when it crosses the share.
+	wireText := fmt.Errorf("daemon: submit wordcount: %w", sched.ErrQueueFull).Error()
+	if !sched.IsQueueFullMessage(wireText) {
+		t.Fatalf("wire text %q not recognised as queue-full", wireText)
+	}
+
+	// Host side: core re-types the recognised text (runtime.Invoke's
+	// mapping) so the sentinel survives end to end.
+	err := fmt.Errorf("core: node sd0: %w", sched.ErrQueueFull)
+	if !errors.Is(err, sched.ErrQueueFull) {
+		t.Fatal("re-typed error lost errors.Is identity")
+	}
+	if got := exitCode(err); got != exitQueueFull {
+		t.Fatalf("exitCode = %d, want %d", got, exitQueueFull)
+	}
+}
+
+func TestExitCodeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"generic", errors.New("boom"), exitFailure},
+		{"unreachable", fmt.Errorf("%w: 127.0.0.1:9", errUnreachable), exitUnreachable},
+		{"no executor", fmt.Errorf("invoke: %w", core.ErrNoExecutor), exitUnreachable},
+		{"module error", fmt.Errorf("invoke: %w",
+			&smartfam.ModuleError{Module: "wordcount", Msg: "bad input"}), exitModule},
+		{"queue full", fmt.Errorf("core: node sd0: %w", sched.ErrQueueFull), exitQueueFull},
+		// Queue-full wins over the module-error wrapper it arrives in:
+		// backpressure means retry, not a broken module.
+		{"queue full inside module path", fmt.Errorf("invoke: %w: %v",
+			sched.ErrQueueFull, &smartfam.ModuleError{Module: "wordcount", Msg: "x"}), exitQueueFull},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("%s: exitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestStderrLineCarriesCode pins the bugfix: classified failures always
+// print their exit code and meaning to stderr; unclassified ones stay
+// unadorned.
+func TestStderrLineCarriesCode(t *testing.T) {
+	err := fmt.Errorf("core: node sd0: %w", sched.ErrQueueFull)
+	line := stderrLine(err, exitCode(err))
+	if !strings.Contains(line, "(exit 4: node busy, retry later)") {
+		t.Errorf("queue-full stderr line %q missing exit-code tag", line)
+	}
+	if !strings.HasPrefix(line, "mcsdctl: ") || !strings.HasSuffix(line, "\n") {
+		t.Errorf("stderr line %q not in mcsdctl: ...\\n form", line)
+	}
+
+	for code, wantTag := range map[int]string{
+		exitUnreachable: "(exit 2: node unreachable)",
+		exitModule:      "(exit 3: module failed on the node)",
+	} {
+		if line := stderrLine(errors.New("x"), code); !strings.Contains(line, wantTag) {
+			t.Errorf("stderr line for code %d = %q, want tag %q", code, line, wantTag)
+		}
+	}
+
+	if line := stderrLine(errors.New("usage"), exitFailure); strings.Contains(line, "exit") {
+		t.Errorf("unclassified stderr line %q should not carry a code tag", line)
+	}
+}

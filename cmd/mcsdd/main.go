@@ -27,6 +27,7 @@ import (
 
 	"mcsd/internal/core"
 	"mcsd/internal/memsim"
+	"mcsd/internal/metrics"
 	"mcsd/internal/sched"
 	"mcsd/internal/smartfam"
 	"mcsd/internal/units"
@@ -143,7 +144,7 @@ func run() error {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					cur := daemon.Metrics().Counter("smartfam.daemon.requests").Value()
+					cur := daemon.Metrics().Counter(metrics.DaemonRequests).Value()
 					if cur == last {
 						if n, err := reg.CompactAll(); err != nil {
 							log.Printf("mcsdd: log compaction: %v", err)

@@ -1,0 +1,109 @@
+// Command mcsdlint runs the mcsdlint analyzer suite (internal/lint) over
+// the module: the machine-checked half of DESIGN.md §5d's "enforced
+// invariants". It exits non-zero if any analyzer reports a diagnostic, so
+// `make lint` (and the CI lint job) fail on the first violation.
+//
+// Usage:
+//
+//	mcsdlint [-run regexp] [-list] [dir]
+//
+// dir defaults to the current module root (located by walking up to
+// go.mod). -run restricts the suite to analyzers whose name matches the
+// regexp; -list prints the suite and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+
+	"mcsd/internal/lint"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "mcsdlint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcsdlint", flag.ContinueOnError)
+	runPat := fs.String("run", "", "only run analyzers matching this regexp")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	analyzers := lint.All()
+	if *runPat != "" {
+		re, err := regexp.Compile(*runPat)
+		if err != nil {
+			return fmt.Errorf("bad -run regexp: %w", err)
+		}
+		var kept []*lint.Analyzer
+		for _, a := range analyzers {
+			if re.MatchString(a.Name) {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("-run %q matches no analyzer", *runPat)
+		}
+		analyzers = kept
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+
+	root := "."
+	if fs.NArg() > 0 {
+		root = fs.Arg(0)
+	}
+	root, err := moduleRoot(root)
+	if err != nil {
+		return err
+	}
+	modPath, err := lint.ModulePath(root)
+	if err != nil {
+		return err
+	}
+	pkgs, err := lint.LoadModule(modPath, root)
+	if err != nil {
+		return err
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if err != nil {
+		return err
+	}
+	if n := len(diags); n > 0 {
+		return fmt.Errorf("%d diagnostic(s)", n)
+	}
+	return nil
+}
+
+// moduleRoot walks up from dir to the nearest directory holding a go.mod.
+func moduleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -80,7 +80,7 @@ func run() error {
 	})
 
 	// --- Host: mount the export over the throttled link.
-	mount, err := nfs.DialThrottled(ln.Addr().String(), 5*time.Second, link)
+	mount, err := nfs.DialThrottled(ctx, ln.Addr().String(), 5*time.Second, link)
 	if err != nil {
 		return err
 	}

@@ -117,7 +117,7 @@ func TestIntegrationStringMatchOverThrottledLink(t *testing.T) {
 	// Mount through a modelled fast-Ethernet link: correctness must be
 	// unaffected by pacing.
 	link := netsim.NewLink(netsim.Profile{Name: "test", BandwidthBps: 20e6, Latency: 50 * time.Microsecond})
-	mount, err := nfs.DialThrottled(node.addr, 5*time.Second, link)
+	mount, err := nfs.DialThrottled(t.Context(), node.addr, 5*time.Second, link)
 	if err != nil {
 		t.Fatal(err)
 	}

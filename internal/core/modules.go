@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -249,7 +250,7 @@ func readLines(store DataStore, name string) ([]string, error) {
 			lines = append(lines, line)
 		}
 	}
-	if err := sc.Err(); err != nil && err != io.EOF {
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
 		return nil, fmt.Errorf("core: reading %s: %w", name, err)
 	}
 	return lines, nil

@@ -194,13 +194,13 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	jobSpan := r.tracer.Start("job " + job.Module)
+	jobSpan := r.tracer.Start(trace.SpanJobPrefix + job.Module)
 	defer jobSpan.Finish()
 
 	var localErr error
 	localDone := make(chan struct{})
 	if job.Local != nil {
-		localSpan := jobSpan.Child("host-local")
+		localSpan := jobSpan.Child(trace.SpanHostLocal)
 		go func() {
 			defer close(localDone)
 			defer localSpan.Finish()
@@ -210,7 +210,7 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 		close(localDone)
 	}
 
-	offSpan := jobSpan.Child("offload")
+	offSpan := jobSpan.Child(trace.SpanOffload)
 	res, offErr := r.dispatch(ctx, job, params, offSpan)
 	offSpan.Finish()
 	<-localDone
@@ -280,14 +280,14 @@ func (r *Runtime) invoke(ctx context.Context, module, reqID string, params []byt
 		}
 		tried[h] = true
 		res.Attempts++
-		attemptSpan := span.Child("attempt " + h.name)
+		attemptSpan := span.Child(trace.SpanAttemptPrefix + h.name)
 		payload, err := r.attempt(ctx, h, module, reqID, params)
 		attemptSpan.Finish()
 		if err == nil {
 			res.Payload = payload
 			res.SD = h.name
 			res.Offloaded = true
-			r.metrics.Counter("core.offloads").Inc()
+			r.metrics.Counter(metrics.CoreOffloads).Inc()
 			return res, nil
 		}
 		if ctx.Err() != nil {
@@ -300,7 +300,7 @@ func (r *Runtime) invoke(ctx context.Context, module, reqID string, params []byt
 				// message so callers (mcsdctl, retry loops) can match
 				// sched.ErrQueueFull; like other application-level
 				// results it does not fail the node over.
-				r.metrics.Counter("core.queue_full_rejects").Inc()
+				r.metrics.Counter(metrics.CoreQueueFullRejects).Inc()
 				return nil, fmt.Errorf("core: node %s: %w", h.name, sched.ErrQueueFull)
 			}
 			// Application-level failure: deterministic, do not fail over.
@@ -314,7 +314,7 @@ func (r *Runtime) invoke(ctx context.Context, module, reqID string, params []byt
 		// Transport failure or timeout: mark unhealthy, fail over (§VI:
 		// "a mechanism in McSD to support fault tolerance").
 		h.healthy.Store(false)
-		r.metrics.Counter("core.failovers").Inc()
+		r.metrics.Counter(metrics.CoreFailovers).Inc()
 		lastErr = err
 	}
 
@@ -324,14 +324,14 @@ func (r *Runtime) invoke(ctx context.Context, module, reqID string, params []byt
 	r.mu.Unlock()
 	if ok {
 		res.Attempts++
-		fbSpan := span.Child("local-fallback")
+		fbSpan := span.Child(trace.SpanLocalFallback)
 		payload, err := m.Run(ctx, params)
 		fbSpan.Finish()
 		if err != nil {
 			return nil, fmt.Errorf("core: local fallback for %q: %w", module, err)
 		}
 		res.Payload = payload
-		r.metrics.Counter("core.local_fallbacks").Inc()
+		r.metrics.Counter(metrics.CoreLocalFallbacks).Inc()
 		return res, nil
 	}
 	if lastErr != nil {
@@ -350,7 +350,7 @@ func (r *Runtime) attempt(ctx context.Context, h *sdHandle, module, reqID string
 	}
 	h.inflight.Add(1)
 	defer h.inflight.Add(-1)
-	timer := r.metrics.Timer("core.invoke." + module)
+	timer := r.metrics.Timer(metrics.CoreInvokePrefix + module)
 	start := time.Now()
 	payload, err := h.client.InvokeID(ctx, module, reqID, params)
 	timer.Observe(time.Since(start))
@@ -375,7 +375,7 @@ func (r *Runtime) pick(tried map[*sdHandle]bool) *sdHandle {
 		}
 		if staleness > 0 {
 			if ts, ok := smartfam.ReadHeartbeat(h.share); ok && time.Since(ts) > staleness {
-				r.metrics.Counter("core.heartbeat_skips").Inc()
+				r.metrics.Counter(metrics.CoreHeartbeatSkips).Inc()
 				continue
 			}
 		}

@@ -29,6 +29,7 @@ const (
 	OpStat   Op = "stat"
 	OpList   Op = "list"
 	OpRemove Op = "remove"
+	OpRename Op = "rename"
 )
 
 // ErrInjected is the default error returned by armed transient faults.
@@ -136,6 +137,7 @@ func (f *FS) enter(op Op) error {
 	}
 	f.mu.Unlock()
 	if delay > 0 {
+		//mcsdlint:allow ctxflow -- the injected latency IS the fault being modelled; tests arm small, bounded delays
 		time.Sleep(delay)
 	}
 	return err
@@ -246,6 +248,18 @@ func (f *FS) Remove(name string) error {
 	err := f.inner.Remove(name)
 	if err == nil {
 		f.exit(OpRemove)
+	}
+	return err
+}
+
+// Rename implements smartfam.FS.
+func (f *FS) Rename(oldname, newname string) error {
+	if err := f.enter(OpRename); err != nil {
+		return err
+	}
+	err := f.inner.Rename(oldname, newname)
+	if err == nil {
+		f.exit(OpRename)
 	}
 	return err
 }

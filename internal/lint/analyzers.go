@@ -1,0 +1,12 @@
+package lint
+
+// All returns the full mcsdlint analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxFlow,
+		FSDiscipline,
+		MetricKey,
+		SimDet,
+		WireWrap,
+	}
+}

@@ -1,0 +1,58 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mcsd/internal/lint"
+	"mcsd/internal/lint/linttest"
+)
+
+func TestFSDiscipline(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t, "fsdiscipline"), lint.FSDiscipline,
+		"mcsd/internal/smartfam", "mcsd/internal/other")
+}
+
+func TestWireWrap(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t, "wirewrap"), lint.WireWrap,
+		"mcsd/internal/nfs", "mcsd/internal/free")
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t, "ctxflow"), lint.CtxFlow,
+		"mcsd/internal/worker", "mcsd/cmd/tool")
+}
+
+func TestMetricKey(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t, "metrickey"), lint.MetricKey,
+		"mcsd/internal/app")
+}
+
+func TestSimDet(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t, "simdet"), lint.SimDet,
+		"mcsd/internal/sim", "mcsd/internal/unscoped")
+}
+
+// TestDirectiveHygiene pins that a reason-less or unknown //mcsdlint:
+// directive is itself a diagnostic and suppresses nothing.
+func TestDirectiveHygiene(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t, "directives"), lint.FSDiscipline,
+		"mcsd/internal/smartfam")
+}
+
+// TestAll pins the suite roster: a new analyzer must be registered here
+// and in All() together.
+func TestAll(t *testing.T) {
+	want := []string{"ctxflow", "fsdiscipline", "metrickey", "simdet", "wirewrap"}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("%s: missing Doc or Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxFlow enforces cancellation discipline below the binaries: context
+// roots are created in cmd/ (and examples/) only, and everything under
+// internal/ propagates the caller's context. A context.Background() deep
+// in a library detaches that subtree from shutdown and deadlines; an
+// uncancellable time.Sleep in a retry/backoff loop holds daemon shutdown
+// hostage to the backoff schedule. Retry loops must select on ctx.Done()
+// and time.After (or take an injected sleep func, as netsim's limiter
+// does).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "no context.Background()/TODO() and no bare time.Sleep below cmd/: " +
+		"library code must propagate the caller's context",
+	Run: runCtxFlow,
+}
+
+// ctxFlowExempt marks the package subtrees allowed to create context
+// roots and sleep freely: the binaries and the runnable examples.
+var ctxFlowExempt = []string{
+	"mcsd/cmd",
+	"mcsd/examples",
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, p := range ctxFlowExempt {
+		if HasPrefixPath(pass.Pkg.Path(), p) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case pass.IsPkgFunc(call, "context", "Background"),
+				pass.IsPkgFunc(call, "context", "TODO"):
+				pass.Reportf(call.Pos(),
+					"context root below cmd/ detaches this path from cancellation; accept and propagate a ctx parameter")
+			case pass.IsPkgFunc(call, "time", "Sleep"):
+				pass.Reportf(call.Pos(),
+					"uncancellable time.Sleep below cmd/; select on ctx.Done() and time.After, or inject a sleep func")
+			}
+			return true
+		})
+	}
+	return nil
+}

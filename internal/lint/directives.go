@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Suppression directives. Two forms, both grep-able and both requiring a
+// stated reason so every exception to an invariant is auditable:
+//
+//	//mcsdlint:allow name1,name2 -- reason
+//	    suppresses the named analyzers on the directive's own line and on
+//	    the line below it (so it works both as a trailing comment and as a
+//	    comment immediately above the offending statement).
+//
+//	//mcsdlint:fsboundary -- reason
+//	    marks a whole file as a deliberate implementation of the storage
+//	    boundary (the os-backed smartfam.FS, the NFS server's backing
+//	    store). fsdiscipline skips such files; everything else still runs.
+//
+// A directive with no "-- reason" tail is itself reported as a diagnostic.
+type directives struct {
+	// allow maps "file:line" -> set of analyzer names suppressed there.
+	allow map[string]map[string]bool
+	// boundary holds filenames carrying //mcsdlint:fsboundary.
+	boundary map[string]bool
+}
+
+const directivePrefix = "//mcsdlint:"
+
+func parseDirectives(fset *token.FileSet, files []*ast.File) (*directives, []Diagnostic) {
+	d := &directives{
+		allow:    make(map[string]map[string]bool),
+		boundary: make(map[string]bool),
+	}
+	var diags []Diagnostic
+	bad := func(pos token.Position, msg string) {
+		diags = append(diags, Diagnostic{Analyzer: "mcsdlint", Pos: pos, Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				body := strings.TrimPrefix(c.Text, directivePrefix)
+				verb, rest, _ := strings.Cut(body, " ")
+				args, reason, hasReason := strings.Cut(rest, "--")
+				args = strings.TrimSpace(args)
+				if !hasReason || strings.TrimSpace(reason) == "" {
+					bad(pos, "directive needs a reason: //mcsdlint:"+verb+" ... -- why")
+					continue
+				}
+				switch verb {
+				case "fsboundary":
+					d.boundary[pos.Filename] = true
+				case "allow":
+					if args == "" {
+						bad(pos, "//mcsdlint:allow needs analyzer names")
+						continue
+					}
+					for _, name := range strings.Split(args, ",") {
+						name = strings.TrimSpace(name)
+						for _, line := range []int{pos.Line, pos.Line + 1} {
+							key := lineKey(pos.Filename, line)
+							if d.allow[key] == nil {
+								d.allow[key] = make(map[string]bool)
+							}
+							d.allow[key][name] = true
+						}
+					}
+				default:
+					bad(pos, "unknown directive //mcsdlint:"+verb)
+				}
+			}
+		}
+	}
+	return d, diags
+}
+
+func (d *directives) allowed(analyzer string, pos token.Position) bool {
+	set := d.allow[lineKey(pos.Filename, pos.Line)]
+	return set[analyzer] || set["all"]
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}

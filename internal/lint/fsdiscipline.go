@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// FSDiscipline enforces the share-I/O discipline from DESIGN.md §5c: inside
+// the smartFAM and NFS layers, every file operation must go through the
+// smartfam.FS interface so the faultfs chaos layer can interpose on all of
+// it. A direct os.* call in those packages is a hole in crash-safety test
+// coverage — faults can never be injected into it. The os-backed
+// implementations of the boundary itself (dirFS, the NFS server's backing
+// store) opt out per file with //mcsdlint:fsboundary.
+var FSDiscipline = &Analyzer{
+	Name: "fsdiscipline",
+	Doc: "forbid direct os file I/O in smartfam/nfs; all share and journal " +
+		"bytes must flow through smartfam.FS so fault injection stays total",
+	Run: runFSDiscipline,
+}
+
+// fsdisciplinePkgs are the package subtrees under discipline.
+var fsdisciplinePkgs = []string{
+	"mcsd/internal/smartfam",
+	"mcsd/internal/nfs",
+}
+
+// osFileIO is the set of os functions that touch the file system.
+var osFileIO = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Stat": true, "Lstat": true, "Truncate": true,
+	"Chmod": true, "Chown": true, "Chtimes": true, "Symlink": true, "Link": true,
+	"ReadLink": true, "Readlink": true,
+}
+
+func runFSDiscipline(pass *Pass) error {
+	inScope := false
+	for _, p := range fsdisciplinePkgs {
+		if HasPrefixPath(pass.Pkg.Path(), p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.FileIsBoundary(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || !osFileIO[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct os.%s bypasses smartfam.FS; route it through an FS so faultfs can inject faults, or mark the file //mcsdlint:fsboundary -- reason",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+// Package linttest is an analysistest-style fixture runner for mcsdlint
+// analyzers: fixture packages live under a testdata root in GOPATH-like
+// layout (<root>/src/<import path>/*.go), and every line that should
+// trigger a diagnostic carries a trailing
+//
+//	// want "regex"
+//
+// comment (several regexes mean several diagnostics on that line). The
+// runner fails the test on any diagnostic without a matching want and any
+// want without a matching diagnostic, so fixtures pin both the positives
+// and the negatives of each invariant.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mcsd/internal/lint"
+)
+
+// TestData returns the absolute path of the caller's testdata/<elem...>
+// directory, mirroring analysistest.TestData.
+func TestData(t *testing.T, elem ...string) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join(append([]string{"testdata"}, elem...)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads the fixture packages at the given import paths from dir/src,
+// applies the analyzer, and checks the diagnostics against the fixtures'
+// want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer, paths ...string) {
+	t.Helper()
+	src := filepath.Join(dir, "src")
+	loader := lint.NewLoader(func(path string) (string, bool) {
+		d := filepath.Join(src, filepath.FromSlash(path))
+		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+			return d, true
+		}
+		return "", false
+	})
+	var pkgs []*lint.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		key := d.Pos.Filename + ":" + strconv.Itoa(d.Pos.Line)
+		var matched *want
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				matched = w
+				break
+			}
+		}
+		if matched == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		matched.matched = true
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans every fixture file's // want comments into a
+// file:line -> expectations map.
+func collectWants(t *testing.T, pkgs []*lint.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					// The marker may sit mid-comment: a //mcsdlint:
+					// directive that is itself expected to be reported
+					// carries its want in its own text.
+					idx := strings.Index(c.Text, "// want ")
+					if !strings.HasPrefix(c.Text, "//") || idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+					for _, re := range parseWant(t, pos.String(), c.Text[idx+len("// want "):]) {
+						wants[key] = append(wants[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant decodes the quoted regexes after "want".
+func parseWant(t *testing.T, at, s string) []*regexp.Regexp {
+	t.Helper()
+	var res []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want expectation %q: %v", at, s, err)
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatal(fmt.Errorf("%s: %w", at, err))
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", at, lit, err)
+		}
+		res = append(res, re)
+		s = s[len(q):]
+	}
+	if len(res) == 0 {
+		t.Fatalf("%s: want comment with no expectations", at)
+	}
+	return res
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// MetricKey pins every metric and trace name to the checked registries in
+// internal/metrics/names.go and internal/trace/names.go. A typo'd literal
+// ("smartfam.corupt_records") creates a silently-empty counter that no
+// dashboard ever reads; requiring the name argument to reference a
+// registry constant makes that a compile-, well, lint-time error, and
+// deduplicates the strings as a side effect. Dynamic keys (per-op NFS
+// counters, per-module invoke timers) concatenate a registered *Prefix
+// constant with a runtime suffix.
+var MetricKey = &Analyzer{
+	Name: "metrickey",
+	Doc: "metric and trace span names must reference constants from the " +
+		"internal/metrics / internal/trace name registries (or a *Prefix " +
+		"constant plus a dynamic suffix)",
+	Run: runMetricKey,
+}
+
+const (
+	metricsPkgPath = "mcsd/internal/metrics"
+	tracePkgPath   = "mcsd/internal/trace"
+)
+
+// metricKeyMethods maps registry-package path -> receiver type -> method
+// names whose first argument is a checked name.
+var metricKeyMethods = map[string]map[string][]string{
+	metricsPkgPath: {"Registry": {"Counter", "Gauge", "Timer"}},
+	tracePkgPath:   {"Tracer": {"Start"}, "Span": {"Child"}},
+}
+
+func runMetricKey(pass *Pass) error {
+	// The registries themselves (and the lint fixtures' fakes of them) may
+	// use raw strings; everyone else goes through the constants.
+	if pass.Pkg.Path() == metricsPkgPath || pass.Pkg.Path() == tracePkgPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok2 := metricKeyCall(pass, call)
+			if !ok2 || len(call.Args) == 0 {
+				return true
+			}
+			checkMetricName(pass, call.Args[0], pkgPath)
+			return true
+		})
+	}
+	return nil
+}
+
+// metricKeyCall reports whether call is a name-taking method of one of
+// the registry packages, returning that package's path.
+func metricKeyCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	typeMethods, ok := metricKeyMethods[fn.Pkg().Path()]
+	if !ok {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, _ := recv.(*types.Named)
+	if named == nil {
+		return "", false
+	}
+	for _, m := range typeMethods[named.Obj().Name()] {
+		if fn.Name() == m {
+			return fn.Pkg().Path(), true
+		}
+	}
+	return "", false
+}
+
+func checkMetricName(pass *Pass, arg ast.Expr, pkgPath string) {
+	arg = ast.Unparen(arg)
+	// Dynamic suffix: Prefix + expr (left-associated, so the constant is
+	// the leftmost operand).
+	if be, ok := arg.(*ast.BinaryExpr); ok {
+		left := leftmostOperand(be)
+		if c := registryConst(pass, left, pkgPath); c != nil {
+			if !strings.HasSuffix(c.Name(), "Prefix") {
+				pass.Reportf(left.Pos(),
+					"dynamic metric/trace name built on %s, which is not a *Prefix constant; register a dedicated prefix in %s",
+					c.Name(), pkgPath)
+			}
+			return
+		}
+		pass.Reportf(arg.Pos(),
+			"dynamic metric/trace name must start with a *Prefix constant from %s", pkgPath)
+		return
+	}
+	if c := registryConst(pass, arg, pkgPath); c != nil {
+		if strings.HasSuffix(c.Name(), "Prefix") {
+			pass.Reportf(arg.Pos(),
+				"%s is a prefix constant; concatenate a suffix or use a full name constant", c.Name())
+		}
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		pass.Reportf(arg.Pos(),
+			"metric/trace name %s is not a registry constant; add it to %s and reference it by name",
+			tv.Value.ExactString(), pkgPath)
+		return
+	}
+	pass.Reportf(arg.Pos(),
+		"metric/trace name must be a constant from %s (optionally a *Prefix constant plus a suffix)", pkgPath)
+}
+
+// registryConst resolves expr to a constant declared in the registry
+// package pkgPath, or nil.
+func registryConst(pass *Pass, expr ast.Expr, pkgPath string) *types.Const {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, ok := pass.ObjectOf(id).(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Path() != pkgPath {
+		return nil
+	}
+	return c
+}
+
+func leftmostOperand(e ast.Expr) ast.Expr {
+	for {
+		be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+		if !ok {
+			return ast.Unparen(e)
+		}
+		e = be.X
+	}
+}

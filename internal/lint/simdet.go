@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimDet keeps the scale-model layers replayable: the paper's Fig. 6/7
+// reproduction (internal/experiments) runs over sim/memsim/netsim models
+// whose outputs must be a pure function of their inputs, or a regression
+// in the modelled numbers can never be bisected. Three nondeterminism
+// sources are banned: wall-clock reads (inject a clock), the global
+// math/rand source (thread a seeded *rand.Rand), and ranging over a map
+// (iterate sorted keys). Files that deliberately measure the real engine
+// against the wall clock — the calibration path — opt out per line with
+// //mcsdlint:allow simdet -- reason.
+var SimDet = &Analyzer{
+	Name: "simdet",
+	Doc: "no wall clock, global rand, or map-iteration-order dependence in " +
+		"the sim/memsim/netsim/experiments scale-model layers",
+	Run: runSimDet,
+}
+
+// simDetPkgs are the deterministic-by-contract package subtrees.
+var simDetPkgs = []string{
+	"mcsd/internal/sim",
+	"mcsd/internal/memsim",
+	"mcsd/internal/netsim",
+	"mcsd/internal/experiments",
+}
+
+// globalRandFuncs are the math/rand (and v2) top-level functions that
+// draw from the shared process-wide source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"IntN": true, "Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"UintN": true, "Uint": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "Read": true, "N": true,
+}
+
+func runSimDet(pass *Pass) error {
+	inScope := false
+	for _, p := range simDetPkgs {
+		if HasPrefixPath(pass.Pkg.Path(), p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch {
+				case pass.IsPkgFunc(n, "time", "Now"), pass.IsPkgFunc(n, "time", "Since"),
+					pass.IsPkgFunc(n, "time", "Until"):
+					pass.Reportf(n.Pos(),
+						"wall-clock read in a deterministic sim layer; inject a clock func so replays are exact")
+				default:
+					if fn := pass.CalleeFunc(n); fn != nil && fn.Pkg() != nil &&
+						(fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") &&
+						globalRandFuncs[fn.Name()] &&
+						fn.Type().(*types.Signature).Recv() == nil {
+						pass.Reportf(n.Pos(),
+							"global math/rand source in a deterministic sim layer; thread a seeded *rand.Rand")
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(),
+							"map iteration order is nondeterministic; range over sorted keys so sim output is replayable")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

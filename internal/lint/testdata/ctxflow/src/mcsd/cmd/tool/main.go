@@ -1,0 +1,13 @@
+package main
+
+import (
+	"context"
+	"time"
+)
+
+// cmd/ is where context roots belong; ctxflow is silent here.
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	time.Sleep(0)
+}

@@ -1,0 +1,24 @@
+package worker
+
+import (
+	"context"
+	"time"
+)
+
+func roots() {
+	_ = context.Background() // want "context root below cmd/ detaches this path from cancellation"
+	_ = context.TODO()       // want "context root below cmd/ detaches this path from cancellation"
+}
+
+func backoff(ctx context.Context) error {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond) // want "uncancellable time.Sleep below cmd/"
+	}
+	// The blessed backoff shape: cancellable wait.
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(time.Millisecond):
+	}
+	return nil
+}

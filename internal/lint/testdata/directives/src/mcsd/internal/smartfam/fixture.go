@@ -1,0 +1,14 @@
+package smartfam
+
+import "os"
+
+// Directive hygiene: a suppression without a reason is itself reported,
+// and does NOT suppress, so the os call below is still flagged.
+
+//mcsdlint:allow fsdiscipline // want "directive needs a reason"
+func bad() {
+	os.Open("x") // want "direct os.Open bypasses smartfam.FS"
+}
+
+//mcsdlint:frobnicate -- no such verb // want "unknown directive"
+func unknown() {}

@@ -1,0 +1,10 @@
+package other
+
+import "os"
+
+// This package is outside the disciplined subtrees, so direct os I/O is
+// not fsdiscipline's business here.
+func free() {
+	os.Open("x")
+	os.WriteFile("x", nil, 0o644)
+}

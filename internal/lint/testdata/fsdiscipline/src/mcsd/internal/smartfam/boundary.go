@@ -1,0 +1,12 @@
+package smartfam
+
+//mcsdlint:fsboundary -- fixture: this file models the os-backed FS leaf
+
+import "os"
+
+func boundaryImpl() {
+	// A whole-file boundary opt-out: none of these are reported.
+	os.Open("x")
+	os.Create("x")
+	os.Remove("x")
+}

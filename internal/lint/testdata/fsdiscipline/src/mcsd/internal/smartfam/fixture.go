@@ -1,0 +1,21 @@
+package smartfam
+
+import "os"
+
+func direct() {
+	os.Open("x")                      // want "direct os.Open bypasses smartfam.FS"
+	os.Create("x")                    // want "direct os.Create bypasses smartfam.FS"
+	os.ReadFile("x")                  // want "direct os.ReadFile bypasses smartfam.FS"
+	os.WriteFile("x", nil, 0o644)     // want "direct os.WriteFile bypasses smartfam.FS"
+	os.Rename("a", "b")               // want "direct os.Rename bypasses smartfam.FS"
+	os.MkdirAll("d", 0o755)           // want "direct os.MkdirAll bypasses smartfam.FS"
+	os.Stat("x")                      // want "direct os.Stat bypasses smartfam.FS"
+	os.Getenv("HOME")                 // env access is not file I/O: no diagnostic
+	os.OpenFile("x", os.O_RDONLY, 0) // want "direct os.OpenFile bypasses smartfam.FS"
+}
+
+func suppressed() {
+	//mcsdlint:allow fsdiscipline -- fixture: directive covers the next line
+	os.Remove("x")
+	os.Remove("y") //mcsdlint:allow fsdiscipline -- fixture: directive covers its own line
+}

@@ -1,0 +1,29 @@
+package app
+
+import (
+	"mcsd/internal/metrics"
+	"mcsd/internal/trace"
+)
+
+const localName = "app.local"
+
+func counters(r *metrics.Registry, op string) {
+	r.Counter(metrics.DaemonRequests)      // ok: full registry constant
+	r.Gauge(metrics.DaemonRequests)        // ok: all name-taking methods are checked
+	r.Timer(metrics.DaemonRequests)        // ok
+	r.Counter("daemon.requests")           // want "is not a registry constant"
+	r.Counter(localName)                   // want "is not a registry constant"
+	r.Counter(metrics.NFSOpPrefix + op)    // ok: prefix constant + dynamic suffix
+	r.Counter(metrics.NFSOpPrefix)         // want "is a prefix constant; concatenate a suffix"
+	r.Counter(op + metrics.NFSOpPrefix)    // want "dynamic metric/trace name must start with a \\*Prefix constant"
+	r.Counter(metrics.DaemonRequests + op) // want "not a \\*Prefix constant"
+	r.Counter(op)                          // want "must be a constant"
+}
+
+func spans(t *trace.Tracer, job string) {
+	s := t.Start(trace.SpanRecovery)        // ok
+	s.Child(trace.SpanSchedPrefix + job)    // ok
+	s2 := t.Start("adhoc span")             // want "is not a registry constant"
+	_ = s2.Child(job)                       // want "must be a constant"
+	_ = t.Start(trace.SpanSchedPrefix)      // want "is a prefix constant"
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks(t time.Time) {
+	_ = time.Now()      // want "wall-clock read in a deterministic sim layer"
+	_ = time.Since(t)   // want "wall-clock read in a deterministic sim layer"
+	_ = time.Until(t)   // want "wall-clock read in a deterministic sim layer"
+	_ = t.Add(time.Second) // pure time arithmetic is fine
+}
+
+func randomness() {
+	_ = rand.Intn(10)     // want "global math/rand source in a deterministic sim layer"
+	_ = rand.Float64()    // want "global math/rand source in a deterministic sim layer"
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand source in a deterministic sim layer"
+
+	// The blessed form: a seeded local source.
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(10)
+	_ = r.Float64()
+}
+
+func mapOrder(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		sum += v
+	}
+	// The blessed form: sorted keys.
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "map iteration order is nondeterministic"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+func allowedMeasurement() {
+	//mcsdlint:allow simdet -- fixture: calibration measures the real engine
+	_ = time.Now()
+}

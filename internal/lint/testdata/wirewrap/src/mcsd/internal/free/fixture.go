@@ -1,0 +1,17 @@
+package free
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errLocal = errors.New("free: local")
+
+// Outside the wire-crossing subtrees, wirewrap does not apply.
+func unchecked(err error) error {
+	if err == io.EOF {
+		return fmt.Errorf("x: %v", errLocal)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package nfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrDisconnected stands in for the package's wire sentinels.
+var ErrDisconnected = errors.New("nfs: disconnected")
+
+func wrapping(err error) error {
+	// The %w-vs-%v distinction: wrapping keeps errors.Is alive, %v/%s on a
+	// sentinel severs it.
+	if true {
+		return fmt.Errorf("reading: %w", ErrDisconnected) // ok: wrapped
+	}
+	if true {
+		return fmt.Errorf("reading: %v", ErrDisconnected) // want "sentinel ErrDisconnected formatted with %v severs"
+	}
+	if true {
+		return fmt.Errorf("reading: %s", io.EOF) // want "sentinel EOF formatted with %s severs"
+	}
+	if true {
+		return fmt.Errorf("reading: %+v", ErrDisconnected) // want "sentinel ErrDisconnected formatted with %v severs"
+	}
+	// A non-sentinel error under %v with no %w anywhere severs the chain.
+	if true {
+		return fmt.Errorf("op failed: %v", err) // want "error formatted with %v and no %w in the call severs the cause chain"
+	}
+	// ... but alongside a %w it is deliberate identity-erasure: allowed.
+	return fmt.Errorf("op failed: %v: %w", err, ErrDisconnected)
+}
+
+func comparisons(err error) bool {
+	if err == ErrDisconnected { // want "comparing against sentinel ErrDisconnected with == breaks under wrapping"
+		return true
+	}
+	if err != io.EOF { // want "comparing against sentinel EOF with != breaks under wrapping"
+		return true
+	}
+	if err == nil { // nil checks are fine
+		return false
+	}
+	return errors.Is(err, ErrDisconnected) // the blessed form
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WireWrap keeps typed errors alive across the smartFAM/NFS wire. The
+// host decides retry-vs-fail from errors.Is/errors.As on sentinels
+// (sched.ErrQueueFull, nfs.ErrDisconnected, smartfam.ErrUnknownModule...),
+// so anything that severs the Unwrap chain on the wire path silently
+// downgrades backpressure and failover into generic failures. Three rules:
+//
+//  1. a sentinel error formatted into fmt.Errorf must use %w, not %v/%s;
+//  2. an error value formatted with %v/%s in an Errorf call that has no %w
+//     at all severs the chain (format the cause with %w, or keep a %w
+//     sentinel alongside the %v cause when identity erasure is intended);
+//  3. comparing errors with == / != (other than nil checks) breaks once a
+//     wrap is added anywhere upstream — use errors.Is.
+var WireWrap = &Analyzer{
+	Name: "wirewrap",
+	Doc: "errors crossing the smartFAM/NFS boundary must stay errors.Is-able: " +
+		"%w for sentinels, no ==/!= sentinel comparisons",
+	Run: runWireWrap,
+}
+
+// wireWrapPkgs are the layers an error can cross the wire through.
+var wireWrapPkgs = []string{
+	"mcsd/internal/smartfam",
+	"mcsd/internal/nfs",
+	"mcsd/internal/core",
+	"mcsd/internal/sched",
+	"mcsd/cmd/mcsdctl",
+}
+
+func runWireWrap(pass *Pass) error {
+	inScope := false
+	for _, p := range wireWrapPkgs {
+		if HasPrefixPath(pass.Pkg.Path(), p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfCall(pass, n)
+			case *ast.BinaryExpr:
+				checkErrComparison(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrorfCall(pass *Pass, call *ast.CallExpr) {
+	if !pass.IsPkgFunc(call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := parseVerbs(constant.StringVal(tv.Value))
+	hasWrap := false
+	for _, v := range verbs {
+		if v.verb == 'w' {
+			hasWrap = true
+		}
+	}
+	for _, v := range verbs {
+		if v.verb == 'w' || v.arg < 0 || v.arg+1 >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[v.arg+1]
+		if obj := sentinelErrorObj(pass, arg); obj != nil {
+			pass.Reportf(arg.Pos(),
+				"sentinel %s formatted with %%%c severs its errors.Is identity on the wire; use %%w",
+				obj.Name(), v.verb)
+			continue
+		}
+		if !hasWrap && isErrorExpr(pass, arg) && (v.verb == 'v' || v.verb == 's') {
+			pass.Reportf(arg.Pos(),
+				"error formatted with %%%c and no %%w in the call severs the cause chain; wrap with %%w",
+				v.verb)
+		}
+	}
+}
+
+func checkErrComparison(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		obj := sentinelErrorObj(pass, pair[0])
+		if obj == nil {
+			continue
+		}
+		if id, ok := ast.Unparen(pair[1]).(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		pass.Reportf(be.Pos(),
+			"comparing against sentinel %s with %s breaks under wrapping; use errors.Is",
+			obj.Name(), be.Op)
+		return
+	}
+}
+
+// sentinelErrorObj reports whether expr is a reference to a package-level
+// error variable (the sentinel convention: io.EOF, sched.ErrQueueFull...).
+func sentinelErrorObj(pass *Pass, expr ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+func isErrorExpr(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+// fmtVerb is one formatting directive and the operand index it consumes
+// (-1 when it consumes none, e.g. after an explicit-index parse failure).
+type fmtVerb struct {
+	verb rune
+	arg  int
+}
+
+// parseVerbs walks a printf format string, tracking operand positions
+// including '*' widths and '[n]' explicit indexes.
+func parseVerbs(format string) []fmtVerb {
+	var verbs []fmtVerb
+	arg := 0
+outer:
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags, width, precision, explicit index
+		for i < len(format) {
+			c := format[i]
+			switch {
+			case strings.ContainsRune("#+- 0.", rune(c)) || c >= '0' && c <= '9':
+				i++
+			case c == '*':
+				arg++
+				i++
+			case c == '[':
+				j := strings.IndexByte(format[i:], ']')
+				if j < 0 {
+					return verbs
+				}
+				idx := 0
+				for _, d := range format[i+1 : i+j] {
+					if d < '0' || d > '9' {
+						idx = 0
+						break
+					}
+					idx = idx*10 + int(d-'0')
+				}
+				if idx > 0 {
+					arg = idx - 1
+				}
+				i += j + 1
+			default:
+				verbs = append(verbs, fmtVerb{verb: rune(c), arg: arg})
+				arg++
+				continue outer
+			}
+		}
+	}
+	return verbs
+}

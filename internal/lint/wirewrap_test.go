@@ -1,0 +1,32 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []fmtVerb
+	}{
+		{"no verbs", nil},
+		{"%d", []fmtVerb{{'d', 0}}},
+		{"%s then %w", []fmtVerb{{'s', 0}, {'w', 1}}},
+		{"100%% done: %v", []fmtVerb{{'v', 0}}},
+		{"%+v %#x % d", []fmtVerb{{'v', 0}, {'x', 1}, {'d', 2}}},
+		{"%8.3f", []fmtVerb{{'f', 0}}},
+		// '*' consumes an operand for the width before the verb's own.
+		{"%*d %s", []fmtVerb{{'d', 1}, {'s', 2}}},
+		// Explicit index rewinds the operand counter.
+		{"%[2]s %[1]w", []fmtVerb{{'s', 1}, {'w', 0}}},
+		{"%v %[1]v", []fmtVerb{{'v', 0}, {'v', 0}}},
+		// Unterminated index: parse stops without panicking.
+		{"%[2s", nil},
+	}
+	for _, c := range cases {
+		if got := parseVerbs(c.format); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseVerbs(%q) = %v, want %v", c.format, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package metrics
+
+// The metric name registry. Every counter, gauge and timer key used
+// anywhere in the tree is declared here; the metrickey analyzer
+// (internal/lint) rejects any Registry.Counter/Gauge/Timer call whose
+// name is not one of these constants, so a typo'd key can never create a
+// silently-empty metric. Dynamic families (one counter per NFS op, one
+// timer per module) concatenate a *Prefix constant with a runtime suffix;
+// metrickey requires the prefix constant and leaves the suffix free.
+//
+// Naming scheme: <layer>.<subsystem?>.<what>, snake_case leaves, "." as
+// the hierarchy separator.
+const (
+	// smartFAM — wire format and client side.
+	SmartfamCorruptRecords      = "smartfam.corrupt_records"       // CRC/parse failures skipped while scanning a log
+	SmartfamRespondErrors       = "smartfam.respond_errors"        // response appends that exhausted their retries
+	SmartfamClientAppendRetries = "smartfam.client.append_retries" // host-side request-append retries
+
+	// smartFAM — daemon (SD node) side.
+	DaemonRequests      = "smartfam.daemon.requests"       // request records accepted
+	DaemonInvoke        = "smartfam.daemon.invoke"         // module execution timer
+	DaemonErrors        = "smartfam.daemon.errors"         // module executions that returned an error
+	DaemonAborted       = "smartfam.daemon.aborted"        // executions aborted by daemon shutdown
+	DaemonDeduped       = "smartfam.daemon.deduped"        // host retries answered from the response cache
+	DaemonRecovered     = "smartfam.daemon.recovered"      // journal replays (cached response or re-run) after restart
+	DaemonIntentsLost   = "smartfam.daemon.intents_lost"   // journaled intents whose request record vanished
+	DaemonParseErrors   = "smartfam.daemon.parse_errors"   // log scans that failed outright
+	DaemonJournalErrors = "smartfam.daemon.journal_errors" // journal appends that failed
+	DaemonMarshalErrors = "smartfam.daemon.marshal_errors" // response records that failed to encode
+	DaemonAppendErrors  = "smartfam.daemon.append_errors"  // response appends that failed (per attempt)
+	DaemonQueueFull     = "smartfam.daemon.queue_full"     // requests shed by the scheduler's bounded queue
+
+	// Job scheduler (internal/sched).
+	SchedSubmitted          = "sched.submitted"
+	SchedCompleted          = "sched.completed"
+	SchedFailed             = "sched.failed"
+	SchedCancelled          = "sched.cancelled"
+	SchedRetries            = "sched.retries"
+	SchedQueueFullRejects   = "sched.queue_full_rejects"
+	SchedAdmissionDeferrals = "sched.admission_deferrals"
+	SchedQueueDepth         = "sched.queue_depth"
+	SchedRunning            = "sched.running"
+	SchedReservedBytes      = "sched.reserved_bytes"
+	SchedWait               = "sched.wait" // queue-entry -> dispatch timer
+	SchedRun                = "sched.run"  // dispatch -> completion timer
+
+	// Host-side programming framework (internal/core).
+	CoreOffloads         = "core.offloads"
+	CoreFailovers        = "core.failovers"
+	CoreLocalFallbacks   = "core.local_fallbacks"
+	CoreQueueFullRejects = "core.queue_full_rejects"
+	CoreHeartbeatSkips   = "core.heartbeat_skips"
+	CoreInvokePrefix     = "core.invoke." // + module name: per-module invoke timer
+
+	// NFS transport.
+	NFSBytesRead    = "nfs.bytes.read"
+	NFSBytesWritten = "nfs.bytes.written"
+	NFSOpPrefix     = "nfs.ops." // + op name: per-op request counter
+)

@@ -9,12 +9,17 @@ import (
 // Throttle wraps a net.Conn so that reads and writes are paced by the given
 // limiters. Passing the same limiter for several connections models a shared
 // link. Either limiter may be nil to leave that direction unthrottled.
-func Throttle(c net.Conn, read, write *Limiter) net.Conn {
-	return &throttledConn{Conn: c, read: read, write: write}
+//
+// ctx bounds every pacing wait for the connection's lifetime: cancelling it
+// releases blocked Reads/Writes, so a modelled slow link cannot outlive the
+// run that created it (ctxflow: no context roots below cmd/).
+func Throttle(ctx context.Context, c net.Conn, read, write *Limiter) net.Conn {
+	return &throttledConn{Conn: c, ctx: ctx, read: read, write: write}
 }
 
 type throttledConn struct {
 	net.Conn
+	ctx   context.Context
 	read  *Limiter
 	write *Limiter
 }
@@ -22,7 +27,7 @@ type throttledConn struct {
 func (t *throttledConn) Read(p []byte) (int, error) {
 	n, err := t.Conn.Read(p)
 	if n > 0 && t.read != nil {
-		if werr := t.read.WaitN(context.Background(), n); werr != nil && err == nil {
+		if werr := t.read.WaitN(t.ctx, n); werr != nil && err == nil {
 			err = werr
 		}
 	}
@@ -31,7 +36,7 @@ func (t *throttledConn) Read(p []byte) (int, error) {
 
 func (t *throttledConn) Write(p []byte) (int, error) {
 	if t.write != nil {
-		if err := t.write.WaitN(context.Background(), len(p)); err != nil {
+		if err := t.write.WaitN(t.ctx, len(p)); err != nil {
 			return 0, err
 		}
 	}
@@ -39,13 +44,14 @@ func (t *throttledConn) Write(p []byte) (int, error) {
 }
 
 // Listener wraps a net.Listener so every accepted connection is throttled by
-// the shared limiters.
-func Listener(l net.Listener, read, write *Limiter) net.Listener {
-	return &throttledListener{Listener: l, read: read, write: write}
+// the shared limiters, with waits bounded by ctx as in Throttle.
+func Listener(ctx context.Context, l net.Listener, read, write *Limiter) net.Listener {
+	return &throttledListener{Listener: l, ctx: ctx, read: read, write: write}
 }
 
 type throttledListener struct {
 	net.Listener
+	ctx   context.Context
 	read  *Limiter
 	write *Limiter
 }
@@ -55,7 +61,7 @@ func (l *throttledListener) Accept() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Throttle(c, l.read, l.write), nil
+	return Throttle(l.ctx, c, l.read, l.write), nil
 }
 
 // Link is a shared full-duplex medium between two stations, built from one
@@ -81,11 +87,11 @@ func NewLink(p Profile) *Link {
 }
 
 // DialThrottled dials the address and throttles the resulting connection as
-// station A of the link.
-func (l *Link) DialThrottled(network, addr string, timeout time.Duration) (net.Conn, error) {
+// station A of the link. ctx bounds the connection's pacing waits.
+func (l *Link) DialThrottled(ctx context.Context, network, addr string, timeout time.Duration) (net.Conn, error) {
 	c, err := net.DialTimeout(network, addr, timeout)
 	if err != nil {
 		return nil, err
 	}
-	return Throttle(c, l.BtoA, l.AtoB), nil
+	return Throttle(ctx, c, l.BtoA, l.AtoB), nil
 }

@@ -40,15 +40,22 @@ func NewLimiter(rate float64, burst float64) (*Limiter, error) {
 		rate:   rate,
 		burst:  burst,
 		tokens: burst,
-		last:   time.Now(),
 		now:    time.Now,
 		sleep:  time.Sleep,
 	}, nil
 }
 
 // advance refreshes the token count to the current time. Callers must hold mu.
+//
+// last is seeded lazily from the FIRST clock reading rather than in
+// NewLimiter: seeding it from time.Now there would mix the wall clock into
+// a limiter whose now hook a test later replaces, making the first elapsed
+// computation span two unrelated timelines (simdet).
 func (l *Limiter) advance() {
 	now := l.now()
+	if l.last.IsZero() {
+		l.last = now
+	}
 	elapsed := now.Sub(l.last).Seconds()
 	if elapsed > 0 {
 		l.tokens += elapsed * l.rate

@@ -1,0 +1,40 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLimiterInjectedClockOnly pins the fix for a mixed-clock bug: NewLimiter
+// used to seed `last` from time.Now, so a limiter whose `now` hook a test
+// replaces computed its first elapsed interval across two unrelated
+// timelines. With a fake clock whose epoch is far in the wall clock's past,
+// elapsed came out negative forever and the bucket never refilled. `last`
+// must instead be seeded lazily from the first reading of the injected
+// clock.
+func TestLimiterInjectedClockOnly(t *testing.T) {
+	l, err := NewLimiter(100, 100) // 100 B/s, burst 100
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fake timeline rooted decades before the real wall clock.
+	fake := time.Unix(1_000_000_000, 0)
+	l.now = func() time.Time { return fake }
+
+	if !l.AllowN(100) {
+		t.Fatal("initial burst not available")
+	}
+	if l.AllowN(1) {
+		t.Fatal("bucket should be empty after consuming the burst")
+	}
+
+	// One fake second at 100 B/s refills exactly 100 tokens — no more, no
+	// less — regardless of what the wall clock did meanwhile.
+	fake = fake.Add(1 * time.Second)
+	if !l.AllowN(100) {
+		t.Fatal("bucket did not refill on the injected timeline")
+	}
+	if l.AllowN(1) {
+		t.Fatal("bucket refilled beyond the injected elapsed time")
+	}
+}

@@ -204,7 +204,7 @@ func TestThrottledConnEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn := Throttle(raw, nil, lim)
+	conn := Throttle(t.Context(), raw, nil, lim)
 	defer conn.Close()
 
 	start := time.Now()

@@ -1,6 +1,7 @@
 package nfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -62,14 +63,15 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 
 // DialThrottled connects through a modelled link, so all share traffic pays
 // the interconnect's cost (the testbed's 1 GbE switch). Redials go through
-// the same link.
-func DialThrottled(addr string, timeout time.Duration, link *netsim.Link) (*Client, error) {
-	conn, err := link.DialThrottled("tcp", addr, timeout)
+// the same link. ctx bounds the link's pacing waits for the connection's
+// lifetime (and any redialed successor's).
+func DialThrottled(ctx context.Context, addr string, timeout time.Duration, link *netsim.Link) (*Client, error) {
+	conn, err := link.DialThrottled(ctx, "tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("nfs: dial %s: %w", addr, err)
 	}
 	c := NewClient(conn)
-	c.redial = func() (net.Conn, error) { return link.DialThrottled("tcp", addr, timeout) }
+	c.redial = func() (net.Conn, error) { return link.DialThrottled(ctx, "tcp", addr, timeout) }
 	return c, nil
 }
 
@@ -285,6 +287,12 @@ func (c *Client) Remove(name string) error {
 	return err
 }
 
+// Rename implements smartfam.FS.
+func (c *Client) Rename(oldname, newname string) error {
+	_, err := c.call(&Request{Op: OpRename, Name: oldname, To: newname})
+	return err
+}
+
 // WriteFile replaces a file's contents, chunking large payloads through
 // Create+Append.
 func (c *Client) WriteFile(name string, data []byte) error {
@@ -306,7 +314,7 @@ func (c *Client) ReadFile(name string) ([]byte, error) {
 	}
 	buf := make([]byte, size)
 	n, err := c.ReadAt(name, buf, 0)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		return nil, err
 	}
 	return buf[:n], nil

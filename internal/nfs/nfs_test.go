@@ -276,7 +276,7 @@ func TestThrottledTransferPaysNetworkCost(t *testing.T) {
 	// 2 MB/s link with a 256 KiB burst: fetching a 1 MiB file must pace
 	// the ~768 KiB beyond the burst, >= ~300 ms.
 	link := netsim.NewLink(netsim.Profile{Name: "slow", BandwidthBps: 2e6, Latency: 0})
-	c, err := DialThrottled(ln.Addr().String(), 5*time.Second, link)
+	c, err := DialThrottled(t.Context(), ln.Addr().String(), 5*time.Second, link)
 	if err != nil {
 		t.Fatal(err)
 	}

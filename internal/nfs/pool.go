@@ -1,6 +1,7 @@
 package nfs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -31,8 +32,8 @@ func DialPool(addr string, timeout time.Duration, n int) (*Pool, error) {
 
 // DialPoolThrottled opens n connections through a shared modelled link, so
 // the pool's combined traffic still honours the link's bandwidth.
-func DialPoolThrottled(addr string, timeout time.Duration, n int, link *netsim.Link) (*Pool, error) {
-	return dialPool(n, func() (*Client, error) { return DialThrottled(addr, timeout, link) })
+func DialPoolThrottled(ctx context.Context, addr string, timeout time.Duration, n int, link *netsim.Link) (*Pool, error) {
+	return dialPool(n, func() (*Client, error) { return DialThrottled(ctx, addr, timeout, link) })
 }
 
 func dialPool(n int, dial func() (*Client, error)) (*Pool, error) {
@@ -100,6 +101,9 @@ func (p *Pool) List() ([]string, error) { return p.pick().List() }
 
 // Remove implements smartfam.FS.
 func (p *Pool) Remove(name string) error { return p.pick().Remove(name) }
+
+// Rename implements smartfam.FS.
+func (p *Pool) Rename(oldname, newname string) error { return p.pick().Rename(oldname, newname) }
 
 // Ping verifies every pooled connection.
 func (p *Pool) Ping() error {

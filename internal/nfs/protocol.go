@@ -26,7 +26,8 @@ const (
 	OpStat   = "stat"
 	OpList   = "list"
 	OpRemove = "remove"
-	OpWrite  = "write" // whole-file write (truncate + create dirs)
+	OpRename = "rename" // atomic replace of Request.To by Request.Name
+	OpWrite  = "write"  // whole-file write (truncate + create dirs)
 	OpPing   = "ping"
 )
 
@@ -34,6 +35,7 @@ const (
 type Request struct {
 	Op   string
 	Name string
+	To   string // rename destination
 	Data []byte
 	Off  int64
 	N    int
@@ -91,7 +93,7 @@ func (c *codec) writeRequest(r *Request) error {
 
 func (c *codec) readRequest(r *Request) error {
 	err := c.dec.Decode(r)
-	if err == io.EOF || errors.Is(err, net.ErrClosed) {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 		return io.EOF
 	}
 	if err != nil {

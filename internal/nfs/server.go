@@ -1,5 +1,7 @@
 package nfs
 
+//mcsdlint:fsboundary -- the server side of the share: it implements the exported directory, it cannot route through an FS client of itself
+
 import (
 	"errors"
 	"fmt"
@@ -103,7 +105,7 @@ func fail(err error) *Response {
 }
 
 func (s *Server) handle(req *Request) *Response {
-	s.metrics.Counter("nfs.ops." + req.Op).Inc()
+	s.metrics.Counter(metrics.NFSOpPrefix + req.Op).Inc()
 	switch req.Op {
 	case OpPing:
 		return &Response{}
@@ -119,6 +121,8 @@ func (s *Server) handle(req *Request) *Response {
 		return s.handleList(req)
 	case OpRemove:
 		return s.handleRemove(req)
+	case OpRename:
+		return s.handleRename(req)
 	case OpWrite:
 		return s.handleWrite(req)
 	default:
@@ -161,7 +165,7 @@ func (s *Server) handleAppend(req *Request) *Response {
 	if _, err := f.Write(req.Data); err != nil {
 		return fail(err)
 	}
-	s.metrics.Counter("nfs.bytes.written").Add(int64(len(req.Data)))
+	s.metrics.Counter(metrics.NFSBytesWritten).Add(int64(len(req.Data)))
 	return &Response{}
 }
 
@@ -181,11 +185,11 @@ func (s *Server) handleReadAt(req *Request) *Response {
 	defer f.Close()
 	buf := make([]byte, n)
 	read, err := f.ReadAt(buf, req.Off)
-	resp := &Response{Data: buf[:read], EOF: err == io.EOF}
-	if err != nil && err != io.EOF {
+	resp := &Response{Data: buf[:read], EOF: errors.Is(err, io.EOF)}
+	if err != nil && !errors.Is(err, io.EOF) {
 		return fail(err)
 	}
-	s.metrics.Counter("nfs.bytes.read").Add(int64(read))
+	s.metrics.Counter(metrics.NFSBytesRead).Add(int64(read))
 	return resp
 }
 
@@ -235,6 +239,21 @@ func (s *Server) handleRemove(req *Request) *Response {
 	return &Response{}
 }
 
+func (s *Server) handleRename(req *Request) *Response {
+	from, err := s.path(req.Name)
+	if err != nil {
+		return fail(err)
+	}
+	to, err := s.path(req.To)
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(from, to); err != nil {
+		return fail(err)
+	}
+	return &Response{}
+}
+
 func (s *Server) handleWrite(req *Request) *Response {
 	if len(req.Data) > MaxChunk {
 		return &Response{Err: "nfs: write exceeds MaxChunk; use Create+Append"}
@@ -249,6 +268,6 @@ func (s *Server) handleWrite(req *Request) *Response {
 	if err := os.WriteFile(p, req.Data, 0o644); err != nil {
 		return fail(err)
 	}
-	s.metrics.Counter("nfs.bytes.written").Add(int64(len(req.Data)))
+	s.metrics.Counter(metrics.NFSBytesWritten).Add(int64(len(req.Data)))
 	return &Response{}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mcsd/internal/metrics"
 	"mcsd/internal/trace"
 )
 
@@ -121,7 +122,7 @@ func (h *Handle) Cancel() {
 				if q == h {
 					t.queue = append(t.queue[:i], t.queue[i+1:]...)
 					s.queued--
-					s.metrics.Gauge("sched.queue_depth").Set(int64(s.queued))
+					s.metrics.Gauge(metrics.SchedQueueDepth).Set(int64(s.queued))
 					found = true
 					break
 				}
@@ -132,7 +133,7 @@ func (h *Handle) Cancel() {
 		if found {
 			// Not found means a concurrent dispatch pass reaped it first
 			// (dropLocked), which also finishes and counts it.
-			s.metrics.Counter("sched.cancelled").Inc()
+			s.metrics.Counter(metrics.SchedCancelled).Inc()
 			h.finish(nil, ErrCancelled)
 		}
 		return

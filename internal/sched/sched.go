@@ -266,7 +266,7 @@ func (s *Scheduler) Submit(ctx context.Context, job *Job) (*Handle, error) {
 	}
 	if s.queued >= s.cfg.depth() {
 		s.mu.Unlock()
-		s.metrics.Counter("sched.queue_full_rejects").Inc()
+		s.metrics.Counter(metrics.SchedQueueFullRejects).Inc()
 		return nil, fmt.Errorf("%w: %d jobs waiting", ErrQueueFull, s.cfg.depth())
 	}
 	s.seq++
@@ -282,13 +282,13 @@ func (s *Scheduler) Submit(ctx context.Context, job *Job) (*Handle, error) {
 		enqueuedAt: time.Now(),
 	}
 	h.state.Store(int32(StateQueued))
-	h.span = s.cfg.Tracer.Start("sched " + job.Module + " " + job.ID)
-	h.queueSpan = h.span.Child("queued")
+	h.span = s.cfg.Tracer.Start(trace.SpanSchedPrefix + job.Module + " " + job.ID)
+	h.queueSpan = h.span.Child(trace.SpanQueued)
 	t := s.tenantLocked(job.Tenant)
 	t.queue = append(t.queue, h)
 	s.queued++
-	s.metrics.Gauge("sched.queue_depth").Set(int64(s.queued))
-	s.metrics.Counter("sched.submitted").Inc()
+	s.metrics.Gauge(metrics.SchedQueueDepth).Set(int64(s.queued))
+	s.metrics.Counter(metrics.SchedSubmitted).Inc()
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	return h, nil
@@ -359,7 +359,7 @@ func (s *Scheduler) Run(ctx context.Context) error {
 		t.queue = nil
 	}
 	s.queued = 0
-	s.metrics.Gauge("sched.queue_depth").Set(0)
+	s.metrics.Gauge(metrics.SchedQueueDepth).Set(0)
 	s.mu.Unlock()
 	for _, h := range orphans {
 		h.finish(nil, fmt.Errorf("%w: %w", ErrStopped, context.Cause(ctx)))
@@ -381,9 +381,9 @@ func (s *Scheduler) next(ctx context.Context) *Handle {
 			s.reserved += fp
 			h.reservedBytes = fp
 			s.running++
-			s.metrics.Gauge("sched.running").Set(int64(s.running))
-			s.metrics.Gauge("sched.reserved_bytes").Set(s.reserved)
-			s.metrics.Timer("sched.wait").Observe(time.Since(h.enqueuedAt))
+			s.metrics.Gauge(metrics.SchedRunning).Set(int64(s.running))
+			s.metrics.Gauge(metrics.SchedReservedBytes).Set(s.reserved)
+			s.metrics.Timer(metrics.SchedWait).Observe(time.Since(h.enqueuedAt))
 			h.state.Store(int32(StateAdmitted))
 			h.queueSpan.Finish()
 			return h
@@ -450,7 +450,7 @@ func (s *Scheduler) selectLocked() *Handle {
 	})
 	for _, c := range cands {
 		if !s.fitsLocked(c.h.job.footprint()) {
-			s.metrics.Counter("sched.admission_deferrals").Inc()
+			s.metrics.Counter(metrics.SchedAdmissionDeferrals).Inc()
 			continue
 		}
 		// Dequeue c.h from its tenant (it may not be the head when the
@@ -464,7 +464,7 @@ func (s *Scheduler) selectLocked() *Handle {
 		}
 		c.t.served += 1 / c.t.weight
 		s.queued--
-		s.metrics.Gauge("sched.queue_depth").Set(int64(s.queued))
+		s.metrics.Gauge(metrics.SchedQueueDepth).Set(int64(s.queued))
 		return c.h
 	}
 	return nil
@@ -487,13 +487,13 @@ func (s *Scheduler) fitsLocked(fp int64) bool {
 // dropLocked removes a queued job without running it.
 func (s *Scheduler) dropLocked(h *Handle, err error) {
 	s.queued--
-	s.metrics.Gauge("sched.queue_depth").Set(int64(s.queued))
+	s.metrics.Gauge(metrics.SchedQueueDepth).Set(int64(s.queued))
 	if err == nil {
-		s.metrics.Counter("sched.cancelled").Inc()
+		s.metrics.Counter(metrics.SchedCancelled).Inc()
 		go h.finish(nil, ErrCancelled)
 		return
 	}
-	s.metrics.Counter("sched.failed").Inc()
+	s.metrics.Counter(metrics.SchedFailed).Inc()
 	go h.finish(nil, fmt.Errorf("sched: job %s expired in queue: %w", h.job.ID, err))
 }
 
@@ -504,8 +504,8 @@ func (s *Scheduler) execute(runCtx context.Context, h *Handle) {
 		s.mu.Lock()
 		s.reserved -= h.reservedBytes
 		s.running--
-		s.metrics.Gauge("sched.running").Set(int64(s.running))
-		s.metrics.Gauge("sched.reserved_bytes").Set(s.reserved)
+		s.metrics.Gauge(metrics.SchedRunning).Set(int64(s.running))
+		s.metrics.Gauge(metrics.SchedReservedBytes).Set(s.reserved)
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}()
@@ -522,7 +522,7 @@ func (s *Scheduler) execute(runCtx context.Context, h *Handle) {
 	h.mu.Lock()
 	if h.cancelled {
 		h.mu.Unlock()
-		s.metrics.Counter("sched.cancelled").Inc()
+		s.metrics.Counter(metrics.SchedCancelled).Inc()
 		h.finish(nil, ErrCancelled)
 		return
 	}
@@ -530,7 +530,7 @@ func (s *Scheduler) execute(runCtx context.Context, h *Handle) {
 	h.mu.Unlock()
 
 	h.state.Store(int32(StateRunning))
-	runSpan := h.span.Child("running")
+	runSpan := h.span.Child(trace.SpanRunning)
 	runStart := time.Now()
 
 	exec := h.job.Exec
@@ -555,13 +555,13 @@ func (s *Scheduler) execute(runCtx context.Context, h *Handle) {
 			!retryable(err) || attempt >= maxRetries {
 			break
 		}
-		s.metrics.Counter("sched.retries").Inc()
+		s.metrics.Counter(metrics.SchedRetries).Inc()
 		if !sleepCtx(ctx, s.backoff(attempt)) {
 			break
 		}
 	}
 	runSpan.Finish()
-	s.metrics.Timer("sched.run").Observe(time.Since(runStart))
+	s.metrics.Timer(metrics.SchedRun).Observe(time.Since(runStart))
 
 	if err != nil {
 		// Distinguish explicit Cancel from an unrelated failure.
@@ -574,12 +574,12 @@ func (s *Scheduler) execute(runCtx context.Context, h *Handle) {
 	}
 	if err != nil {
 		if errors.Is(err, ErrCancelled) {
-			s.metrics.Counter("sched.cancelled").Inc()
+			s.metrics.Counter(metrics.SchedCancelled).Inc()
 		} else {
-			s.metrics.Counter("sched.failed").Inc()
+			s.metrics.Counter(metrics.SchedFailed).Inc()
 		}
 	} else {
-		s.metrics.Counter("sched.completed").Inc()
+		s.metrics.Counter(metrics.SchedCompleted).Inc()
 	}
 	h.finish(payload, err)
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"mcsd/internal/metrics"
 )
 
 // TenantStatus is one tenant's view in a Status snapshot.
@@ -69,14 +71,14 @@ func (s *Scheduler) Status() Status {
 	s.mu.Unlock()
 	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Name < st.Tenants[j].Name })
 
-	st.Submitted = s.metrics.Counter("sched.submitted").Value()
-	st.Completed = s.metrics.Counter("sched.completed").Value()
-	st.Failed = s.metrics.Counter("sched.failed").Value()
-	st.Cancelled = s.metrics.Counter("sched.cancelled").Value()
-	st.QueueFullRejects = s.metrics.Counter("sched.queue_full_rejects").Value()
-	st.Retries = s.metrics.Counter("sched.retries").Value()
-	st.AdmissionDeferrals = s.metrics.Counter("sched.admission_deferrals").Value()
-	wait := s.metrics.Timer("sched.wait")
+	st.Submitted = s.metrics.Counter(metrics.SchedSubmitted).Value()
+	st.Completed = s.metrics.Counter(metrics.SchedCompleted).Value()
+	st.Failed = s.metrics.Counter(metrics.SchedFailed).Value()
+	st.Cancelled = s.metrics.Counter(metrics.SchedCancelled).Value()
+	st.QueueFullRejects = s.metrics.Counter(metrics.SchedQueueFullRejects).Value()
+	st.Retries = s.metrics.Counter(metrics.SchedRetries).Value()
+	st.AdmissionDeferrals = s.metrics.Counter(metrics.SchedAdmissionDeferrals).Value()
+	wait := s.metrics.Timer(metrics.SchedWait)
 	st.WaitMeanMs = wait.Mean().Milliseconds()
 	st.WaitMaxMs = wait.Max().Milliseconds()
 	return st

@@ -31,9 +31,18 @@ func NewClient(fsys FS, interval time.Duration) *Client {
 // counters). Nil is allowed and is the default.
 func (c *Client) SetMetrics(m *metrics.Registry) { c.metrics = m }
 
-func (c *Client) count(name string, n int64) {
+// countCorrupt bumps the shared corrupt-record counter; metric names are
+// pinned to the registry constants (metrickey), so each counter gets its
+// own accessor instead of a name-taking helper.
+func (c *Client) countCorrupt(n int) {
 	if c.metrics != nil && n != 0 {
-		c.metrics.Counter(name).Add(n)
+		c.metrics.Counter(metrics.SmartfamCorruptRecords).Add(int64(n))
+	}
+}
+
+func (c *Client) countAppendRetry() {
+	if c.metrics != nil {
+		c.metrics.Counter(metrics.SmartfamClientAppendRetries).Inc()
 	}
 }
 
@@ -108,7 +117,7 @@ func (c *Client) InvokeID(ctx context.Context, module, id string, params []byte)
 		if err = c.fs.Append(logName, line); err == nil {
 			break
 		}
-		c.count("smartfam.client.append_retries", 1)
+		c.countAppendRetry()
 		if attempt+1 >= appendAttempts {
 			return nil, fmt.Errorf("smartfam: sending request to %q: %w", module, err)
 		}
@@ -142,7 +151,7 @@ func (c *Client) InvokeID(ctx context.Context, module, id string, params []byte)
 				continue
 			}
 			recs, consumed, corrupt, err := ParseRecords(data)
-			c.count("smartfam.corrupt_records", int64(corrupt))
+			c.countCorrupt(corrupt)
 			if err != nil {
 				return nil, err
 			}

@@ -152,12 +152,12 @@ func TestCompactionRegrowPastStaleOffset(t *testing.T) {
 	if err := fsys.Append(logName, line); err != nil {
 		t.Fatal(err)
 	}
-	got := d.drainRequests(logName)
+	got := d.drainRequests(t.Context(), logName)
 	if len(got) != 1 || got[0].ID != "req-one" {
 		t.Fatalf("first drain = %+v", got)
 	}
 	d.serve(context.Background(), "echo", got[0])
-	if got := d.drainRequests(logName); len(got) != 0 {
+	if got := d.drainRequests(t.Context(), logName); len(got) != 0 {
 		t.Fatalf("drain after serve returned %+v", got)
 	}
 	oldSize, _, err := fsys.Stat(logName)
@@ -181,7 +181,7 @@ func TestCompactionRegrowPastStaleOffset(t *testing.T) {
 		grown += int64(len(line))
 	}
 
-	got = d.drainRequests(logName)
+	got = d.drainRequests(t.Context(), logName)
 	if len(got) != len(ids) {
 		t.Fatalf("drain after regrow returned %d requests, want %d (records lost)",
 			len(got), len(ids))

@@ -163,7 +163,7 @@ func NewDaemon(fsys FS, reg *Registry, opts ...DaemonOption) *Daemon {
 		}
 		d.journal = j
 		d.recovery = state
-		d.metrics.Counter("smartfam.corrupt_records").Add(int64(state.Corrupt))
+		d.metrics.Counter(metrics.SmartfamCorruptRecords).Add(int64(state.Corrupt))
 		// Seed the dedupe cache with every completed execution the
 		// journal remembers.
 		for id, c := range state.Completed {
@@ -208,7 +208,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 		if !ok {
 			return nil
 		}
-		for _, req := range d.drainRequests(logName) {
+		for _, req := range d.drainRequests(ctx, logName) {
 			req := req
 			if d.sched != nil {
 				d.submit(ctx, &wg, module, req)
@@ -275,7 +275,7 @@ type shareIndex struct {
 	responded map[string]struct{}
 }
 
-func (d *Daemon) scanShare() shareIndex {
+func (d *Daemon) scanShare(ctx context.Context) shareIndex {
 	idx := shareIndex{
 		requests:  make(map[string]Record),
 		reqModule: make(map[string]string),
@@ -285,7 +285,7 @@ func (d *Daemon) scanShare() shareIndex {
 	// silently misclassify open intents as lost, so retry with the same
 	// bounded backoff the response path uses.
 	var names []string
-	if err := retryShare(func() error {
+	if err := retryShare(ctx, func() error {
 		var err error
 		names, err = d.fs.List()
 		return err
@@ -298,7 +298,7 @@ func (d *Daemon) scanShare() shareIndex {
 			continue
 		}
 		var data []byte
-		err := retryShare(func() error {
+		err := retryShare(ctx, func() error {
 			var err error
 			data, err = ReadFrom(d.fs, name, 0)
 			return err
@@ -307,7 +307,7 @@ func (d *Daemon) scanShare() shareIndex {
 			continue
 		}
 		recs, _, corrupt, _ := ParseRecords(data)
-		d.metrics.Counter("smartfam.corrupt_records").Add(int64(corrupt))
+		d.metrics.Counter(metrics.SmartfamCorruptRecords).Add(int64(corrupt))
 		for _, rec := range recs {
 			switch rec.Kind {
 			case KindRequest:
@@ -335,9 +335,9 @@ func (d *Daemon) recoverPass(ctx context.Context) {
 	if len(state.Completed) == 0 && len(state.Intents) == 0 {
 		return
 	}
-	span := d.tracer.Start("smartfam.recovery")
+	span := d.tracer.Start(trace.SpanRecovery)
 	defer span.Finish()
-	idx := d.scanShare()
+	idx := d.scanShare(ctx)
 
 	for id, c := range state.Completed {
 		if state.Acked[id] {
@@ -349,12 +349,12 @@ func (d *Daemon) recoverPass(ctx context.Context) {
 			_ = d.journal.Resp(id)
 			continue
 		}
-		child := span.Child("replay-response " + id)
-		if d.respond(c.Module, id, c.Status, c.Payload) {
+		child := span.Child(trace.SpanReplayRespPrefix + id)
+		if d.respond(ctx, c.Module, id, c.Status, c.Payload) {
 			_ = d.journal.Resp(id)
 		}
 		child.Finish()
-		d.metrics.Counter("smartfam.daemon.recovered").Inc()
+		d.metrics.Counter(metrics.DaemonRecovered).Inc()
 	}
 
 	for id, e := range state.Intents {
@@ -365,17 +365,17 @@ func (d *Daemon) recoverPass(ctx context.Context) {
 		if !ok {
 			// The request record is gone (compacted mid-crash with its
 			// pair, or the log was removed). Nothing to re-run.
-			d.metrics.Counter("smartfam.daemon.intents_lost").Inc()
+			d.metrics.Counter(metrics.DaemonIntentsLost).Inc()
 			continue
 		}
 		module := e.Module
 		if module == "" {
 			module = idx.reqModule[id]
 		}
-		child := span.Child("rerun-intent " + id)
+		child := span.Child(trace.SpanRerunIntentPrefix + id)
 		d.serve(ctx, module, req)
 		child.Finish()
-		d.metrics.Counter("smartfam.daemon.recovered").Inc()
+		d.metrics.Counter(metrics.DaemonRecovered).Inc()
 	}
 }
 
@@ -386,7 +386,7 @@ func (d *Daemon) recoverPass(ctx context.Context) {
 // replay of an answered pair) or — when it FOLLOWS the response, i.e. the
 // host retried after missing it — answered again from the cache without
 // re-executing the module.
-func (d *Daemon) drainRequests(logName string) []Record {
+func (d *Daemon) drainRequests(ctx context.Context, logName string) []Record {
 	module, _ := ModuleFromLog(logName)
 	d.mu.Lock()
 	off := d.offsets[logName]
@@ -412,10 +412,10 @@ func (d *Daemon) drainRequests(logName string) []Record {
 	}
 	recs, consumed, corrupt, err := ParseRecords(data)
 	if corrupt > 0 {
-		d.metrics.Counter("smartfam.corrupt_records").Add(int64(corrupt))
+		d.metrics.Counter(metrics.SmartfamCorruptRecords).Add(int64(corrupt))
 	}
 	if err != nil {
-		d.metrics.Counter("smartfam.daemon.parse_errors").Inc()
+		d.metrics.Counter(metrics.DaemonParseErrors).Inc()
 		// Skip the poisoned region to avoid wedging on one bad line.
 		d.mu.Lock()
 		d.offsets[logName] = off + int64(len(data))
@@ -463,7 +463,7 @@ func (d *Daemon) drainRequests(logName string) []Record {
 			// reusing its original ID. Re-append the cached response —
 			// the retrying host watches the log only from its retry
 			// onward — and never re-execute.
-			d.metrics.Counter("smartfam.daemon.deduped").Inc()
+			d.metrics.Counter(metrics.DaemonDeduped).Inc()
 			if inCache {
 				replays = append(replays, cached)
 				replayIDs = append(replayIDs, rec.ID)
@@ -476,7 +476,7 @@ func (d *Daemon) drainRequests(logName string) []Record {
 	d.mu.Unlock()
 
 	for i, c := range replays {
-		d.respond(c.Module, replayIDs[i], c.Status, c.Payload)
+		d.respond(ctx, c.Module, replayIDs[i], c.Status, c.Payload)
 	}
 	return reqs
 }
@@ -485,12 +485,12 @@ func (d *Daemon) drainRequests(logName string) []Record {
 // (steps 3-4 of Fig. 5's parameter passing, step 1 of result return),
 // journaling the INTENT → DONE → RESP transitions around it.
 func (d *Daemon) serve(ctx context.Context, module string, req Record) {
-	d.metrics.Counter("smartfam.daemon.requests").Inc()
-	timer := d.metrics.Timer("smartfam.daemon.invoke")
+	d.metrics.Counter(metrics.DaemonRequests).Inc()
+	timer := d.metrics.Timer(metrics.DaemonInvoke)
 	start := time.Now()
 
 	if err := d.journal.Intent(req.ID, module, req.Pos); err != nil {
-		d.metrics.Counter("smartfam.daemon.journal_errors").Inc()
+		d.metrics.Counter(metrics.DaemonJournalErrors).Inc()
 	}
 	var (
 		payload []byte
@@ -504,32 +504,32 @@ func (d *Daemon) serve(ctx context.Context, module string, req Record) {
 		// The daemon is shutting down mid-execution. Answering now would
 		// turn the crash into a spurious module error at the host; leave
 		// the intent open instead, so the restarted daemon re-runs it.
-		d.metrics.Counter("smartfam.daemon.aborted").Inc()
+		d.metrics.Counter(metrics.DaemonAborted).Inc()
 		return
 	}
 	if err != nil {
 		status = StatusError
 		payload = []byte(err.Error())
-		d.metrics.Counter("smartfam.daemon.errors").Inc()
+		d.metrics.Counter(metrics.DaemonErrors).Inc()
 	}
 	timer.Observe(time.Since(start))
-	d.finish(module, req.ID, status, payload)
+	d.finish(ctx, module, req.ID, status, payload)
 }
 
 // finish journals a completed execution, caches it for dedupe, and
 // appends the response. DONE is journaled BEFORE the response append:
 // should the daemon die in between, the restarted daemon replays the
 // cached result instead of running the module a second time.
-func (d *Daemon) finish(module, reqID, status string, payload []byte) {
+func (d *Daemon) finish(ctx context.Context, module, reqID, status string, payload []byte) {
 	if err := d.journal.Done(reqID, module, status, payload); err != nil {
-		d.metrics.Counter("smartfam.daemon.journal_errors").Inc()
+		d.metrics.Counter(metrics.DaemonJournalErrors).Inc()
 	}
 	d.mu.Lock()
 	d.cacheLocked(reqID, CachedResponse{Module: module, Status: status, Payload: payload})
 	d.mu.Unlock()
-	if d.respond(module, reqID, status, payload) {
+	if d.respond(ctx, module, reqID, status, payload) {
 		if err := d.journal.Resp(reqID); err != nil {
-			d.metrics.Counter("smartfam.daemon.journal_errors").Inc()
+			d.metrics.Counter(metrics.DaemonJournalErrors).Inc()
 		}
 	}
 }
@@ -557,12 +557,16 @@ var respondBackoff = 2 * time.Millisecond
 // retryShare runs a share operation under the same bounded-backoff policy
 // as the response path, for reads whose failure would otherwise be
 // silently absorbed (the recovery scan).
-func retryShare(op func() error) error {
+func retryShare(ctx context.Context, op func() error) error {
 	backoff := respondBackoff
 	var err error
 	for attempt := 0; attempt < respondAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			select {
+			case <-ctx.Done():
+				return err
+			case <-time.After(backoff):
+			}
 			backoff *= 2
 		}
 		if err = op(); err == nil {
@@ -577,11 +581,11 @@ func retryShare(op func() error) error {
 // reports whether the record reached the log; a final failure is counted
 // in smartfam.respond_errors (the reply is then lost until a restart or
 // host retry replays it from the journal cache).
-func (d *Daemon) respond(module, reqID, status string, payload []byte) bool {
+func (d *Daemon) respond(ctx context.Context, module, reqID, status string, payload []byte) bool {
 	res := Record{Kind: KindResponse, ID: reqID, Status: status, Payload: payload}
 	line, err := res.Marshal()
 	if err != nil {
-		d.metrics.Counter("smartfam.daemon.marshal_errors").Inc()
+		d.metrics.Counter(metrics.DaemonMarshalErrors).Inc()
 		return false
 	}
 	d.mu.Lock()
@@ -590,7 +594,14 @@ func (d *Daemon) respond(module, reqID, status string, payload []byte) bool {
 	backoff := respondBackoff
 	for attempt := 0; attempt < respondAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			select {
+			case <-ctx.Done():
+				// Shutdown mid-retry: give up now; the journal replays the
+				// cached response on restart.
+				d.metrics.Counter(metrics.SmartfamRespondErrors).Inc()
+				return false
+			case <-time.After(backoff):
+			}
 			backoff *= 2
 		}
 		// The line's leading newline makes the retry safe after a torn
@@ -599,9 +610,9 @@ func (d *Daemon) respond(module, reqID, status string, payload []byte) bool {
 		if err = d.fs.Append(LogName(module), line); err == nil {
 			return true
 		}
-		d.metrics.Counter("smartfam.daemon.append_errors").Inc()
+		d.metrics.Counter(metrics.DaemonAppendErrors).Inc()
 	}
-	d.metrics.Counter("smartfam.respond_errors").Inc()
+	d.metrics.Counter(metrics.SmartfamRespondErrors).Inc()
 	return false
 }
 
@@ -610,9 +621,9 @@ func (d *Daemon) respond(module, reqID, status string, payload []byte) bool {
 // stopped — is answered immediately with an error response so the remote
 // caller sees backpressure instead of a stall.
 func (d *Daemon) submit(ctx context.Context, wg *sync.WaitGroup, module string, req Record) {
-	d.metrics.Counter("smartfam.daemon.requests").Inc()
+	d.metrics.Counter(metrics.DaemonRequests).Inc()
 	if err := d.journal.Intent(req.ID, module, req.Pos); err != nil {
-		d.metrics.Counter("smartfam.daemon.journal_errors").Inc()
+		d.metrics.Counter(metrics.DaemonJournalErrors).Inc()
 	}
 	in, factor := int64(0), 0.0
 	if d.estimate != nil {
@@ -628,10 +639,10 @@ func (d *Daemon) submit(ctx context.Context, wg *sync.WaitGroup, module string, 
 	})
 	if err != nil {
 		if errors.Is(err, sched.ErrQueueFull) {
-			d.metrics.Counter("smartfam.daemon.queue_full").Inc()
+			d.metrics.Counter(metrics.DaemonQueueFull).Inc()
 		}
-		d.metrics.Counter("smartfam.daemon.errors").Inc()
-		d.finish(module, req.ID, StatusError, []byte(err.Error()))
+		d.metrics.Counter(metrics.DaemonErrors).Inc()
+		d.finish(ctx, module, req.ID, StatusError, []byte(err.Error()))
 		return
 	}
 	wg.Add(1)
@@ -641,15 +652,15 @@ func (d *Daemon) submit(ctx context.Context, wg *sync.WaitGroup, module string, 
 		if err != nil && ctx.Err() != nil {
 			// Shutdown, not a module verdict: leave the intent open for
 			// the restarted daemon (see serve).
-			d.metrics.Counter("smartfam.daemon.aborted").Inc()
+			d.metrics.Counter(metrics.DaemonAborted).Inc()
 			return
 		}
 		if err != nil {
-			d.metrics.Counter("smartfam.daemon.errors").Inc()
-			d.finish(module, req.ID, StatusError, []byte(err.Error()))
+			d.metrics.Counter(metrics.DaemonErrors).Inc()
+			d.finish(ctx, module, req.ID, StatusError, []byte(err.Error()))
 			return
 		}
-		d.finish(module, req.ID, StatusOK, payload)
+		d.finish(ctx, module, req.ID, StatusOK, payload)
 	}()
 }
 
@@ -667,11 +678,11 @@ const DefaultQueueStatusInterval = 250 * time.Millisecond
 // statusExtraCounters are the daemon-side counters published in the
 // snapshot's Extra map for mcsdctl's journal verb.
 var statusExtraCounters = []string{
-	"smartfam.daemon.recovered",
-	"smartfam.daemon.deduped",
-	"smartfam.daemon.aborted",
-	"smartfam.corrupt_records",
-	"smartfam.respond_errors",
+	metrics.DaemonRecovered,
+	metrics.DaemonDeduped,
+	metrics.DaemonAborted,
+	metrics.SmartfamCorruptRecords,
+	metrics.SmartfamRespondErrors,
 }
 
 // publishQueueStatus rewrites QueueStatusName until ctx is done.
@@ -683,6 +694,7 @@ func (d *Daemon) publishQueueStatus(ctx context.Context) error {
 		}
 		st.Extra = make(map[string]int64, len(statusExtraCounters))
 		for _, name := range statusExtraCounters {
+			//mcsdlint:allow metrickey -- statusExtraCounters holds registry constants only
 			st.Extra[name] = d.metrics.Counter(name).Value()
 		}
 		data, err := sched.MarshalStatus(st)

@@ -13,6 +13,8 @@
 // deployment where every log-file byte crosses the modelled network).
 package smartfam
 
+//mcsdlint:fsboundary -- dirFS is the os-backed leaf of the FS abstraction; every other package reaches disk through it
+
 import (
 	"errors"
 	"fmt"
@@ -42,6 +44,9 @@ type FS interface {
 	List() ([]string, error)
 	// Remove deletes the named file.
 	Remove(name string) error
+	// Rename atomically replaces newname with oldname (both inside the
+	// folder). The daemon's journal compaction depends on this atomicity.
+	Rename(oldname, newname string) error
 }
 
 // ErrNotExist mirrors fs.ErrNotExist for FS implementations.
@@ -105,7 +110,7 @@ func (d *dirFS) ReadAt(name string, p []byte, off int64) (int, error) {
 	}
 	defer f.Close()
 	n, err := f.ReadAt(p, off)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		return n, fmt.Errorf("smartfam: read %s: %w", name, err)
 	}
 	return n, err
@@ -155,6 +160,24 @@ func (d *dirFS) Remove(name string) error {
 	return nil
 }
 
+func (d *dirFS) Rename(oldname, newname string) error {
+	from, err := d.path(oldname)
+	if err != nil {
+		return err
+	}
+	to, err := d.path(newname)
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(from, to); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return ErrNotExist
+		}
+		return fmt.Errorf("smartfam: rename %s -> %s: %w", oldname, newname, err)
+	}
+	return nil
+}
+
 // ReadFrom reads everything from off to the current end of the named file.
 func ReadFrom(fsys FS, name string, off int64) ([]byte, error) {
 	size, _, err := fsys.Stat(name)
@@ -166,7 +189,7 @@ func ReadFrom(fsys FS, name string, off int64) ([]byte, error) {
 	}
 	buf := make([]byte, size-off)
 	n, err := fsys.ReadAt(name, buf, off)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		return nil, err
 	}
 	return buf[:n], nil

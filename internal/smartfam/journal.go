@@ -4,8 +4,9 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/base64"
+	"errors"
 	"fmt"
-	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -87,10 +88,16 @@ type JournalState struct {
 // Journal is the daemon's crash-recovery intent log. All methods are safe
 // for concurrent use and nil-receiver safe (a nil journal journals
 // nothing), so the daemon's hot path needs no conditionals.
+//
+// The journal talks to its directory through the same FS abstraction as
+// the share, so faultfs can inject torn appends and transient errors into
+// the journal itself — the chaos suite exercises recovery from a journal
+// that fails, not just a share that fails. Production use stays on the SD
+// node's local disk via DirFS.
 type Journal struct {
 	mu   sync.Mutex
-	path string
-	f    *os.File
+	fsys FS
+	name string
 }
 
 // maxCachedResponses bounds the dedupe/replay cache carried across
@@ -102,16 +109,24 @@ const maxCachedResponses = 4096
 // OpenJournal replays the journal at path (if any), compacts it — acked
 // entries beyond the cache cap and superseded lines are dropped — and
 // opens it for appending. The returned state seeds the daemon's recovery
-// pass and dedupe cache.
+// pass and dedupe cache. It is OpenJournalFS over a DirFS rooted at the
+// path's directory.
 func OpenJournal(path string) (*Journal, *JournalState, error) {
+	return OpenJournalFS(DirFS(filepath.Dir(path)), filepath.Base(path))
+}
+
+// OpenJournalFS is OpenJournal over an arbitrary FS: the journal lives in
+// the file `name` inside fsys. Tests wrap fsys in faultfs to exercise
+// journal-write failures.
+func OpenJournalFS(fsys FS, name string) (*Journal, *JournalState, error) {
 	state := &JournalState{
 		Completed: make(map[string]CachedResponse),
 		Acked:     make(map[string]bool),
 		Intents:   make(map[string]JournalEntry),
 	}
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, nil, fmt.Errorf("smartfam: reading journal %s: %w", path, err)
+	data, err := ReadFrom(fsys, name, 0)
+	if err != nil && !errors.Is(err, ErrNotExist) {
+		return nil, nil, fmt.Errorf("smartfam: reading journal %s: %w", name, err)
 	}
 	var order []string // completed IDs in first-DONE order, for the cache cap
 	if len(data) > 0 {
@@ -145,7 +160,7 @@ func OpenJournal(path string) (*Journal, *JournalState, error) {
 	// Rewrite compacted: live intents, completed entries (with their ack
 	// marks), nothing else. Renaming over the old file keeps a crash
 	// during compaction recoverable (the old journal stays intact).
-	tmp := path + ".tmp"
+	tmp := name + ".tmp"
 	var buf bytes.Buffer
 	for _, e := range state.Intents {
 		buf.Write(journalLine(journalIntent, e.ID, e.Module, strconv.FormatInt(e.Offset, 10)))
@@ -157,25 +172,24 @@ func OpenJournal(path string) (*Journal, *JournalState, error) {
 			buf.Write(journalLine(journalResp, id))
 		}
 	}
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
-		return nil, nil, fmt.Errorf("smartfam: compacting journal %s: %w", path, err)
+	if err := fsys.Create(tmp); err != nil {
+		return nil, nil, fmt.Errorf("smartfam: compacting journal %s: %w", name, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		return nil, nil, fmt.Errorf("smartfam: compacting journal %s: %w", path, err)
+	if err := fsys.Append(tmp, buf.Bytes()); err != nil {
+		return nil, nil, fmt.Errorf("smartfam: compacting journal %s: %w", name, err)
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("smartfam: opening journal %s: %w", path, err)
+	if err := fsys.Rename(tmp, name); err != nil {
+		return nil, nil, fmt.Errorf("smartfam: compacting journal %s: %w", name, err)
 	}
-	return &Journal{path: path, f: f}, state, nil
+	return &Journal{fsys: fsys, name: name}, state, nil
 }
 
-// Path returns the journal's file path.
+// Path returns the journal's file name within its FS.
 func (j *Journal) Path() string {
 	if j == nil {
 		return ""
 	}
-	return j.path
+	return j.name
 }
 
 // Intent records that the daemon is about to dispatch a request. offset is
@@ -196,14 +210,11 @@ func (j *Journal) Resp(id string) error {
 	return j.append(journalLine(journalResp, id))
 }
 
-// Close closes the journal file.
+// Close releases the journal. FS-backed appends hold no file descriptor
+// between writes, so Close is bookkeeping only; it is kept so daemon
+// shutdown reads the same for any future fd-holding implementation.
 func (j *Journal) Close() error {
-	if j == nil {
-		return nil
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.f.Close()
+	return nil
 }
 
 func (j *Journal) append(line []byte) error {
@@ -212,7 +223,7 @@ func (j *Journal) append(line []byte) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(line); err != nil {
+	if err := j.fsys.Append(j.name, line); err != nil {
 		return fmt.Errorf("smartfam: journal append: %w", err)
 	}
 	return nil

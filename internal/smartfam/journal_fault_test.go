@@ -1,0 +1,85 @@
+// Fault-injection tests for the daemon's redo journal. Routing the journal
+// through smartfam.FS (instead of raw os calls) is what makes these
+// possible: faultfs can now tear and fail journal writes exactly like
+// share writes, so crash-recovery is tested against a journal that fails,
+// not just a share that fails.
+package smartfam_test
+
+import (
+	"errors"
+	"testing"
+
+	"mcsd/internal/faultfs"
+	"mcsd/internal/smartfam"
+)
+
+func openFaultJournal(t *testing.T) (*faultfs.FS, *smartfam.Journal, *smartfam.JournalState) {
+	t.Helper()
+	ffs := faultfs.New(smartfam.DirFS(t.TempDir()))
+	j, state, err := smartfam.OpenJournalFS(ffs, "journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ffs, j, state
+}
+
+func TestJournalAppendFaultSurfaces(t *testing.T) {
+	ffs, j, _ := openFaultJournal(t)
+	ffs.FailNext(faultfs.OpAppend, 1)
+	if err := j.Intent("id-1", "wordcount", 0); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Intent under injected append fault = %v, want ErrInjected", err)
+	}
+	// The fault was transient: the next journal write must land.
+	if err := j.Intent("id-1", "wordcount", 0); err != nil {
+		t.Fatalf("Intent after fault cleared: %v", err)
+	}
+}
+
+func TestJournalTornAppendSkippedOnReplay(t *testing.T) {
+	ffs, j, _ := openFaultJournal(t)
+	if err := j.Done("id-good", "wordcount", smartfam.StatusOK, []byte("r1")); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the next DONE mid-line, like a daemon crash mid-write.
+	ffs.TearNext(1, 0.5)
+	if err := j.Done("id-torn", "wordcount", smartfam.StatusOK, []byte("r2")); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	j.Close()
+
+	_, state, err := smartfam.OpenJournalFS(ffs, "journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := state.Completed["id-good"]; !ok {
+		t.Fatal("intact DONE entry lost on replay")
+	}
+	if _, ok := state.Completed["id-torn"]; ok {
+		t.Fatal("torn DONE entry survived replay")
+	}
+	if state.Corrupt == 0 {
+		t.Fatal("torn journal line was not counted as corrupt")
+	}
+}
+
+func TestJournalCompactionRenameFaultSurfaces(t *testing.T) {
+	ffs, j, _ := openFaultJournal(t)
+	if err := j.Done("id-1", "wordcount", smartfam.StatusOK, nil); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Compaction's atomic rename fails -> open must report it, and the old
+	// journal must still replay intact afterwards.
+	ffs.FailNext(faultfs.OpRename, 1)
+	if _, _, err := smartfam.OpenJournalFS(ffs, "journal"); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("open under injected rename fault = %v, want ErrInjected", err)
+	}
+	_, state, err := smartfam.OpenJournalFS(ffs, "journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := state.Completed["id-1"]; !ok {
+		t.Fatal("journal lost after failed compaction rename")
+	}
+}
