@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all vet lint build test race bench-smoke bench-json chaos check
+.PHONY: all vet lint build test race bench-smoke bench-json bench-nfs chaos check
 
 all: check
 
@@ -47,5 +47,13 @@ chaos:
 # heap k-way merge vs linear tournament, pipelined vs sequential driver).
 bench-json:
 	$(GO) run ./cmd/mcsd-bench -engine -engine-out BENCH_mapreduce.json
+
+# bench-nfs regenerates BENCH_nfs.json: the NFS data-path numbers over a
+# modelled 1 GbE link with propagation delay — pipelined vs serial
+# sequential read, random reads, staged vs per-RPC append, and the block
+# cache's warm/cold split. The run fails if the acceptance gates regress
+# (pipelined >= 2x serial; warm cache reads move zero data bytes).
+bench-nfs:
+	$(GO) run ./cmd/mcsd-bench -nfs -nfs-out BENCH_nfs.json
 
 check: vet lint build race bench-smoke

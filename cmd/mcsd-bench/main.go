@@ -71,11 +71,13 @@ func main() {
 		calib  = flag.Bool("calibrate", false, "measure the real engine on this machine and print the model scale factor")
 		engine = flag.Bool("engine", false, "engine hot-path benchmarks: combine/merge/pipeline before-vs-after (slow; excluded from default)")
 		engOut = flag.String("engine-out", "BENCH_mapreduce.json", "where -engine writes its JSON report")
+		nfsb   = flag.Bool("nfs", false, "NFS data-path benchmarks: pipelined vs serial, block cache warm/cold over a modelled 1 GbE link (slow; excluded from default)")
+		nfsOut = flag.String("nfs-out", "BENCH_nfs.json", "where -nfs writes its JSON report")
 		csvDir = flag.String("csv", "", "also write each table/figure as CSV into this directory")
 	)
 	flag.Parse()
 	outDir = *csvDir
-	all := !(*table1 || *fig8a || *fig8b || *fig8c || *fig9 || *fig10 || *claims || *ext || *scale || *calib || *engine)
+	all := !(*table1 || *fig8a || *fig8b || *fig8c || *fig9 || *fig10 || *claims || *ext || *scale || *calib || *engine || *nfsb)
 
 	if err := run(all, *table1, *fig8a, *fig8b, *fig8c, *fig9, *fig10, *claims, *ext); err != nil {
 		log.Fatalf("mcsd-bench: %v", err)
@@ -93,6 +95,11 @@ func main() {
 	if *engine {
 		if err := runEngineBench(*engOut); err != nil {
 			log.Fatalf("mcsd-bench: engine benchmarks: %v", err)
+		}
+	}
+	if *nfsb {
+		if err := runNFSBench(*nfsOut); err != nil {
+			log.Fatalf("mcsd-bench: nfs benchmarks: %v", err)
 		}
 	}
 }

@@ -1,0 +1,301 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"mcsd/internal/metrics"
+	"mcsd/internal/netsim"
+	"mcsd/internal/nfs"
+)
+
+// The NFS data-path benchmark runs a real server and real clients over a
+// modelled 1 GbE link with propagation delay, so the numbers isolate what
+// the wire overhaul bought: tagged pipelining overlaps round trips that the
+// serial RPC loop pays one by one, and the host-side block cache takes warm
+// reads off the wire entirely.
+const (
+	nfsBenchFileBytes  = 8 << 20               // sequential-read working set
+	nfsBenchCacheBytes = 4 << 20               // block-cache scenario file
+	nfsBenchOneWay     = 10 * time.Millisecond // per-direction propagation delay
+	nfsBenchRandReads  = 96                    // 64 KiB random reads
+	nfsBenchRandSize   = 64 << 10
+	nfsBenchAppendLen  = 2 << 20 // bytes appended per append scenario
+	nfsBenchAppendUnit = 64 << 10
+)
+
+// nfsBenchScenario is one row of the BENCH_nfs.json report.
+type nfsBenchScenario struct {
+	Name      string  `json:"name"`
+	Bytes     int64   `json:"bytes"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	MBPerSec  float64 `json:"mb_per_s"`
+}
+
+// nfsBenchReport is the BENCH_nfs.json schema. The two headline fields are
+// the issue's acceptance gates: pipelined sequential read must be at least
+// 2x the serial-RPC loop, and a warm block-cache read must move zero data
+// bytes over the wire (delta of the server's nfs.bytes.read counter).
+type nfsBenchReport struct {
+	GeneratedBy             string             `json:"generated_by"`
+	LinkBandwidthBps        float64            `json:"link_bandwidth_bps"`
+	LinkOneWayLatencyMs     float64            `json:"link_one_way_latency_ms"`
+	FileBytes               int64              `json:"file_bytes"`
+	Scenarios               []nfsBenchScenario `json:"scenarios"`
+	PipelinedSeqReadSpeedup float64            `json:"pipelined_seqread_speedup"`
+	WarmCacheWireReadDelta  int64              `json:"warm_cache_wire_read_delta"`
+	Pass                    bool               `json:"pass"`
+}
+
+// nfsBenchEnv is one live server plus the modelled link its clients dial
+// through: 1 GbE bandwidth both ways, nfsBenchOneWay propagation delay per
+// direction (requests on the client conn, responses on the accepted conn).
+type nfsBenchEnv struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	dir    string
+	srv    *nfs.Server
+	raw    net.Listener
+	link   *netsim.Link
+	addr   string
+}
+
+func newNFSBenchEnv() (*nfsBenchEnv, error) {
+	dir, err := os.MkdirTemp("", "mcsd-nfs-bench-")
+	if err != nil {
+		return nil, err
+	}
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &nfsBenchEnv{
+		ctx:    ctx,
+		cancel: cancel,
+		dir:    dir,
+		srv:    nfs.NewServer(dir),
+		raw:    raw,
+		link:   netsim.NewLink(netsim.ProfileGigabitEthernet),
+		addr:   raw.Addr().String(),
+	}
+	go e.srv.Serve(netsim.DelayListener(ctx, raw, nfsBenchOneWay)) //nolint:errcheck // torn down via close()
+	return e, nil
+}
+
+func (e *nfsBenchEnv) dial() (*nfs.Client, error) {
+	raw, err := net.DialTimeout("tcp", e.addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	conn := netsim.Throttle(e.ctx, netsim.Delay(e.ctx, raw, nfsBenchOneWay), e.link.BtoA, e.link.AtoB)
+	return nfs.NewClient(conn), nil
+}
+
+func (e *nfsBenchEnv) close() {
+	e.raw.Close()
+	e.srv.Shutdown()
+	e.cancel()
+	os.RemoveAll(e.dir)
+}
+
+// wireReadBytes reads the server-side counter of data bytes served over the
+// wire — the warm-cache scenario asserts its delta is zero.
+func (e *nfsBenchEnv) wireReadBytes() int64 {
+	return e.srv.Metrics().Counter(metrics.NFSBytesRead).Value()
+}
+
+// benchPayload builds a deterministic compressible-ish byte pattern.
+func benchPayload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*31 + i>>10)
+	}
+	return p
+}
+
+func runNFSBench(outPath string) error {
+	env, err := newNFSBenchEnv()
+	if err != nil {
+		return err
+	}
+	defer env.close()
+
+	rep := nfsBenchReport{
+		GeneratedBy:         "mcsd-bench -nfs",
+		LinkBandwidthBps:    netsim.ProfileGigabitEthernet.BandwidthBps,
+		LinkOneWayLatencyMs: float64(nfsBenchOneWay) / float64(time.Millisecond),
+		FileBytes:           nfsBenchFileBytes,
+	}
+	add := func(name string, bytes int64, elapsed time.Duration) {
+		row := nfsBenchScenario{Name: name, Bytes: bytes, ElapsedNs: elapsed.Nanoseconds()}
+		if elapsed > 0 {
+			row.MBPerSec = float64(bytes) / 1e6 / elapsed.Seconds()
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
+		fmt.Printf("  %-28s %10.1f MB/s  (%d bytes in %v)\n", name, row.MBPerSec, bytes, elapsed.Round(time.Millisecond))
+	}
+
+	fmt.Printf("NFS data-path benchmarks (1 GbE link, %v one-way latency):\n", nfsBenchOneWay)
+	seed := benchPayload(nfsBenchFileBytes)
+	if err := os.WriteFile(env.dir+"/seq.dat", seed, 0o644); err != nil {
+		return err
+	}
+
+	// Sequential read, serial RPCs: window 1 means every chunk fetch waits
+	// out a full round trip before the next is sent — the pre-overhaul
+	// one-RPC-at-a-time data path.
+	serialElapsed, err := timeNFS(env, func(c *nfs.Client) error {
+		c.SetWindow(1)
+		_, err := c.CopyTo(io.Discard, "seq.dat")
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("seqread/serial: %w", err)
+	}
+	add("seqread/serial-rpc", nfsBenchFileBytes, serialElapsed)
+
+	// Sequential read, pipelined: the default window plus streaming
+	// read-ahead keeps chunks in flight across the latency.
+	pipeElapsed, err := timeNFS(env, func(c *nfs.Client) error {
+		_, err := c.CopyTo(io.Discard, "seq.dat")
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("seqread/pipelined: %w", err)
+	}
+	add("seqread/pipelined", nfsBenchFileBytes, pipeElapsed)
+	if pipeElapsed > 0 {
+		rep.PipelinedSeqReadSpeedup = serialElapsed.Seconds() / pipeElapsed.Seconds()
+	}
+
+	// Random reads: 64 KiB at deterministic offsets, eight concurrent
+	// readers sharing one pipelined connection.
+	rng := rand.New(rand.NewSource(7))
+	offsets := make([]int64, nfsBenchRandReads)
+	for i := range offsets {
+		offsets[i] = rng.Int63n(nfsBenchFileBytes - nfsBenchRandSize)
+	}
+	randElapsed, err := timeNFS(env, func(c *nfs.Client) error {
+		const readers = 8
+		var wg sync.WaitGroup
+		errs := make(chan error, readers)
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				buf := make([]byte, nfsBenchRandSize)
+				for i := r; i < len(offsets); i += readers {
+					if _, err := c.ReadAt("seq.dat", buf, offsets[i]); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	})
+	if err != nil {
+		return fmt.Errorf("randread: %w", err)
+	}
+	add("randread/64k-x8", int64(nfsBenchRandReads)*nfsBenchRandSize, randElapsed)
+
+	// Append, serial RPCs: the host-side log-writing pattern, one 64 KiB
+	// Append round trip at a time.
+	chunk := benchPayload(nfsBenchAppendUnit)
+	serialAppend, err := timeNFS(env, func(c *nfs.Client) error {
+		for off := 0; off < nfsBenchAppendLen; off += nfsBenchAppendUnit {
+			if err := c.Append("app-serial.log", chunk); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("append/serial: %w", err)
+	}
+	add("append/serial-64k", nfsBenchAppendLen, serialAppend)
+
+	// Append, staged: one multi-chunk Append streams its chunks through the
+	// pipeline into a staging file and commits server-side.
+	big := benchPayload(nfsBenchAppendLen)
+	stagedAppend, err := timeNFS(env, func(c *nfs.Client) error {
+		return c.Append("app-staged.log", big)
+	})
+	if err != nil {
+		return fmt.Errorf("append/staged: %w", err)
+	}
+	add("append/staged-pipelined", nfsBenchAppendLen, stagedAppend)
+
+	// Block cache: a cold read pulls every block over the wire; the warm
+	// re-read must be served from host memory — zero data bytes on the wire
+	// (the revalidation Stat is metadata only).
+	if err := os.WriteFile(env.dir+"/cache.dat", seed[:nfsBenchCacheBytes], 0o644); err != nil {
+		return err
+	}
+	cclient, err := env.dial()
+	if err != nil {
+		return err
+	}
+	defer cclient.Close()
+	cfs := nfs.NewCachedFS(cclient, nfs.NewBlockCache(nfs.DefaultCacheBytes, nil))
+	start := time.Now()
+	if _, err := cfs.ReadFile("cache.dat"); err != nil {
+		return fmt.Errorf("cache/cold: %w", err)
+	}
+	add("cacheread/cold", nfsBenchCacheBytes, time.Since(start))
+	before := env.wireReadBytes()
+	start = time.Now()
+	if _, err := cfs.ReadFile("cache.dat"); err != nil {
+		return fmt.Errorf("cache/warm: %w", err)
+	}
+	add("cacheread/warm", nfsBenchCacheBytes, time.Since(start))
+	rep.WarmCacheWireReadDelta = env.wireReadBytes() - before
+
+	rep.Pass = rep.PipelinedSeqReadSpeedup >= 2.0 && rep.WarmCacheWireReadDelta == 0
+	fmt.Printf("\n  pipelined vs serial seqread:  %.2fx  (gate: >= 2.0x)\n", rep.PipelinedSeqReadSpeedup)
+	fmt.Printf("  warm-cache wire data bytes:   %d  (gate: 0)\n", rep.WarmCacheWireReadDelta)
+	if rep.Pass {
+		fmt.Println("  RESULT: PASS")
+	} else {
+		fmt.Println("  RESULT: FAIL")
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (%d scenarios)\n", outPath, len(rep.Scenarios))
+	if !rep.Pass {
+		return fmt.Errorf("nfs bench gates failed (speedup %.2fx, warm delta %d)", rep.PipelinedSeqReadSpeedup, rep.WarmCacheWireReadDelta)
+	}
+	return nil
+}
+
+// timeNFS dials a fresh client, runs fn, and reports its wall time.
+func timeNFS(env *nfsBenchEnv, fn func(c *nfs.Client) error) (time.Duration, error) {
+	c, err := env.dial()
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := fn(c); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

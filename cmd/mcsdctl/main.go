@@ -102,8 +102,14 @@ func run(args []string) error {
 	addr := global.String("addr", "127.0.0.1:9000", "address of the SD node's export")
 	timeout := global.Duration("timeout", 10*time.Minute, "overall invocation timeout")
 	conns := global.Int("conns", 2, "pooled connections to the export")
+	wire := global.String("wire", "binary", "wire framing: \"binary\" (pipelined frames) or \"gob\" for pre-framing daemons")
+	cacheFlag := global.String("cache", "64M", "host-side block cache over the mount (e.g. 128M); \"0\" disables")
 	if err := global.Parse(args); err != nil {
 		return err
+	}
+	cacheBytes, err := units.ParseBytes(*cacheFlag)
+	if err != nil {
+		return fmt.Errorf("-cache: %w", err)
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
@@ -115,12 +121,26 @@ func run(args []string) error {
 		return fmt.Errorf("%w: %s: %v", errUnreachable, *addr, err)
 	}
 	defer client.Close()
+	switch *wire {
+	case "binary":
+	case "gob":
+		client.SetWire(nfs.WireGob)
+	default:
+		return fmt.Errorf("-wire must be \"binary\" or \"gob\", got %q", *wire)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	// The runtime's smartFAM result reads go through the host-side block
+	// cache; the control verbs below keep the raw pool (they want fresh
+	// metadata, not cached blocks).
+	var share smartfam.FS = client
+	if cacheBytes > 0 {
+		share = nfs.NewCachedFS(client, nfs.NewBlockCache(cacheBytes, nil))
+	}
 	rt := core.New()
-	rt.AttachSD(*addr, client)
+	rt.AttachSD(*addr, share)
 
 	switch cmd, cmdArgs := rest[0], rest[1:]; cmd {
 	case "modules":

@@ -51,6 +51,7 @@ func run() error {
 		compact = flag.Duration("compact", 5*time.Minute, "compact module logs after this long idle (0 disables)")
 		queue   = flag.Int("queue", sched.DefaultMaxQueueDepth, "job queue depth before requests are rejected with backpressure (0 disables the scheduler)")
 		journal = flag.String("journal", "auto", "crash-recovery journal path on local disk; \"auto\" = <dir>/.journal, \"none\" disables")
+		wire    = flag.String("wire", "auto", "wire framing: \"auto\" detects binary or legacy gob per connection; \"gob\" forces the legacy codec (rollback)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -87,6 +88,14 @@ func run() error {
 		return fmt.Errorf("listen %s: %w", *listen, err)
 	}
 	srv := nfssrv.NewServer(*dir)
+	switch *wire {
+	case "auto":
+	case "gob":
+		srv.SetGobOnly(true)
+		log.Printf("mcsdd: legacy gob wire codec forced (-wire gob)")
+	default:
+		return fmt.Errorf("-wire must be \"auto\" or \"gob\", got %q", *wire)
+	}
 	go func() {
 		if err := srv.Serve(ln); err != nil {
 			log.Printf("mcsdd: file service: %v", err)

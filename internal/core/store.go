@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"mcsd/internal/nfs"
 )
@@ -75,19 +76,39 @@ func (d *dirStore) Size(name string) (int64, error) {
 	return fi.Size(), nil
 }
 
+// RemoteStore is the slice of the share-client surface a DataStore needs;
+// *nfs.Client, *nfs.Pool and *nfs.CachedFS all satisfy it.
+type RemoteStore interface {
+	OpenReader(name string) (io.ReadCloser, error)
+	Stat(name string) (int64, time.Time, error)
+}
+
 // NFSStore returns a DataStore over a mounted share — host-side access to
 // SD-resident data, paying network costs for every byte.
-func NFSStore(c *nfs.Client) DataStore { return &nfsStore{c: c} }
+func NFSStore(c *nfs.Client) DataStore { return RemoteDataStore(c) }
+
+// RemoteDataStore returns a DataStore over any share client. Wrap the
+// client in an nfs.CachedFS first to serve repeated reads from the
+// host-side block cache instead of the wire.
+func RemoteDataStore(fs RemoteStore) DataStore { return &nfsStore{fs: fs} }
+
+// CachedNFSStore fronts a share client with a host-side block cache and
+// returns both the DataStore and the caching FS (attach the latter with
+// Runtime.AttachSD so smartFAM result reads share the same cache).
+func CachedNFSStore(t nfs.Transport, cacheBytes int64) (DataStore, *nfs.CachedFS) {
+	cfs := nfs.NewCachedFS(t, nfs.NewBlockCache(cacheBytes, nil))
+	return RemoteDataStore(cfs), cfs
+}
 
 type nfsStore struct {
-	c *nfs.Client
+	fs RemoteStore
 }
 
 func (s *nfsStore) Open(name string) (io.ReadCloser, error) {
-	return s.c.OpenReader(name)
+	return s.fs.OpenReader(name)
 }
 
 func (s *nfsStore) Size(name string) (int64, error) {
-	size, _, err := s.c.Stat(name)
+	size, _, err := s.fs.Stat(name)
 	return size, err
 }

@@ -20,6 +20,18 @@ func counters(r *metrics.Registry, op string) {
 	r.Counter(op)                          // want "must be a constant"
 }
 
+// nfsCounters covers the NFS data-path names: client pipeline gauges and
+// block-cache counters are registry constants like any other — hand-rolled
+// strings that happen to collide with them still get flagged.
+func nfsCounters(r *metrics.Registry) {
+	r.Gauge(metrics.NFSClientInflight)         // ok
+	r.Counter(metrics.NFSClientPipelineStalls) // ok
+	r.Counter(metrics.NFSCacheHits)            // ok
+	r.Counter(metrics.NFSCacheBytesSaved)      // ok
+	r.Counter("nfs.client.inflight")           // want "is not a registry constant"
+	r.Counter("nfs.cache.hits")                // want "is not a registry constant"
+}
+
 func spans(t *trace.Tracer, job string) {
 	s := t.Start(trace.SpanRecovery)        // ok
 	s.Child(trace.SpanSchedPrefix + job)    // ok

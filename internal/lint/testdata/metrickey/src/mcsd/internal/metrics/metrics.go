@@ -6,6 +6,11 @@ package metrics
 const (
 	DaemonRequests = "daemon.requests"
 	NFSOpPrefix    = "nfs.ops."
+
+	NFSClientInflight       = "nfs.client.inflight"
+	NFSClientPipelineStalls = "nfs.client.pipeline_stalls"
+	NFSCacheHits            = "nfs.cache.hits"
+	NFSCacheBytesSaved      = "nfs.cache.bytes_saved"
 )
 
 type Registry struct{}

@@ -52,8 +52,22 @@ const (
 	CoreHeartbeatSkips   = "core.heartbeat_skips"
 	CoreInvokePrefix     = "core.invoke." // + module name: per-module invoke timer
 
-	// NFS transport.
+	// NFS transport — server side.
 	NFSBytesRead    = "nfs.bytes.read"
 	NFSBytesWritten = "nfs.bytes.written"
 	NFSOpPrefix     = "nfs.ops." // + op name: per-op request counter
+
+	// NFS transport — client side (pipelining + wire accounting).
+	NFSClientInflight       = "nfs.client.inflight"        // gauge: requests currently in the pipeline window
+	NFSClientPipelineStalls = "nfs.client.pipeline_stalls" // sends that blocked on a full window
+	NFSClientBytesSent      = "nfs.client.bytes_sent"      // raw bytes written to the wire (frames + payload)
+	NFSClientBytesRecv      = "nfs.client.bytes_recv"      // raw bytes read off the wire
+	NFSClientReplays        = "nfs.client.replays"         // idempotent requests replayed after a reconnect
+
+	// NFS host-side block cache.
+	NFSCacheHits          = "nfs.cache.hits"          // block reads served from the cache
+	NFSCacheMisses        = "nfs.cache.misses"        // block reads that went to the wire
+	NFSCacheInvalidations = "nfs.cache.invalidations" // blocks dropped by local writes or version mismatches
+	NFSCacheEvictions     = "nfs.cache.evictions"     // blocks dropped by LRU pressure
+	NFSCacheBytesSaved    = "nfs.cache.bytes_saved"   // payload bytes served locally instead of over the wire
 )

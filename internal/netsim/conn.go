@@ -3,6 +3,7 @@ package netsim
 import (
 	"context"
 	"net"
+	"sync"
 	"time"
 )
 
@@ -62,6 +63,118 @@ func (l *throttledListener) Accept() (net.Conn, error) {
 		return nil, err
 	}
 	return Throttle(l.ctx, c, l.read, l.write), nil
+}
+
+// Delay wraps a conn so every Write is delivered to the underlying conn
+// one-way latency later, asynchronously: the writer returns immediately
+// and a pump goroutine releases each buffered write at its due time. That
+// models propagation delay the way a real link does — back-to-back
+// (pipelined) messages overlap the latency, while strict request/response
+// traffic pays a full round trip per exchange. Wrap both endpoints (or
+// compose with DelayListener) to charge the latency in both directions;
+// compose with Throttle to also charge bandwidth.
+//
+// ctx bounds the pump's lifetime: cancelling it drops undelivered writes
+// and fails subsequent ones.
+func Delay(ctx context.Context, c net.Conn, oneWay time.Duration) net.Conn {
+	if oneWay <= 0 {
+		return c
+	}
+	d := &delayedConn{
+		Conn:   c,
+		ctx:    ctx,
+		oneWay: oneWay,
+		now:    time.Now,
+		sleep:  time.Sleep,
+		q:      make(chan delayedWrite, 1024),
+	}
+	go d.pump()
+	return d
+}
+
+type delayedWrite struct {
+	data []byte
+	due  time.Time
+}
+
+type delayedConn struct {
+	net.Conn
+	ctx    context.Context
+	oneWay time.Duration
+	now    func() time.Time // test hooks, as in Limiter (simdet)
+	sleep  func(time.Duration)
+	q      chan delayedWrite
+
+	mu   sync.Mutex
+	werr error
+}
+
+func (d *delayedConn) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	werr := d.werr
+	d.mu.Unlock()
+	if werr != nil {
+		return 0, werr
+	}
+	data := make([]byte, len(p))
+	copy(data, p)
+	w := delayedWrite{data: data, due: d.now().Add(d.oneWay)}
+	select {
+	case d.q <- w:
+		return len(p), nil
+	case <-d.ctx.Done():
+		return 0, d.ctx.Err()
+	}
+}
+
+// pump delivers buffered writes at their due times, in order. A delivery
+// failure is latched and surfaced by the next Write; the pump keeps
+// draining so writers never wedge on a dead conn.
+func (d *delayedConn) pump() {
+	for {
+		select {
+		case <-d.ctx.Done():
+			return
+		case w := <-d.q:
+			if wait := w.due.Sub(d.now()); wait > 0 {
+				d.sleep(wait)
+			}
+			d.mu.Lock()
+			werr := d.werr
+			d.mu.Unlock()
+			if werr != nil {
+				continue
+			}
+			if _, err := d.Conn.Write(w.data); err != nil {
+				d.mu.Lock()
+				if d.werr == nil {
+					d.werr = err
+				}
+				d.mu.Unlock()
+			}
+		}
+	}
+}
+
+// DelayListener wraps a listener so every accepted connection's writes are
+// delivered one-way latency later (the server->client direction of a
+// modelled link; pair it with Delay on the client side for a full RTT).
+func DelayListener(ctx context.Context, l net.Listener, oneWay time.Duration) net.Listener {
+	return &delayListener{Listener: l, ctx: ctx, oneWay: oneWay}
+}
+
+type delayListener struct {
+	net.Listener
+	ctx    context.Context
+	oneWay time.Duration
+}
+
+func (l *delayListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Delay(l.ctx, c, l.oneWay), nil
 }
 
 // Link is a shared full-duplex medium between two stations, built from one

@@ -1,0 +1,248 @@
+package nfs
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mcsd/internal/metrics"
+)
+
+// startCachedServer spins up a server and returns a caching FS over a
+// connected client, plus the server (for wire-byte counters) and root.
+func startCachedServer(t *testing.T, cacheBytes int64) (*CachedFS, *Server, string) {
+	t.Helper()
+	root := t.TempDir()
+	srv := NewServer(root)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { ln.Close(); srv.Shutdown() })
+	c, err := Dial(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return NewCachedFS(c, NewBlockCache(cacheBytes, nil)), srv, root
+}
+
+func cacheCounter(t *testing.T, cfs *CachedFS, name string) int64 {
+	t.Helper()
+	return cfs.Cache().Metrics().Counter(name).Value()
+}
+
+// TestCachedWarmReadAvoidsWire is the block-cache contract: a warm re-read
+// returns identical bytes while moving zero data bytes over the wire (the
+// revalidation Stat is metadata only).
+func TestCachedWarmReadAvoidsWire(t *testing.T) {
+	cfs, srv, _ := startCachedServer(t, DefaultCacheBytes)
+	payload := bytes.Repeat([]byte("warmth"), 40000) // ~240 KB, one chunk
+	if err := cfs.WriteFile("w.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := cfs.ReadFile("w.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, payload) {
+		t.Fatal("cold read returned wrong bytes")
+	}
+	wireBefore := srv.Metrics().Counter(metrics.NFSBytesRead).Value()
+	hitsBefore := cacheCounter(t, cfs, metrics.NFSCacheHits)
+	warm, err := cfs.ReadFile("w.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warm, payload) {
+		t.Fatal("warm read returned wrong bytes")
+	}
+	if delta := srv.Metrics().Counter(metrics.NFSBytesRead).Value() - wireBefore; delta != 0 {
+		t.Fatalf("warm read moved %d data bytes over the wire, want 0", delta)
+	}
+	if cacheCounter(t, cfs, metrics.NFSCacheHits) <= hitsBefore {
+		t.Fatal("warm read did not count a cache hit")
+	}
+}
+
+// TestCachedMultiChunkReadAssembles covers the block-granular path: a file
+// spanning several MaxChunk blocks reads correctly cold and warm, including
+// via the streaming reader.
+func TestCachedMultiChunkReadAssembles(t *testing.T) {
+	cfs, srv, root := startCachedServer(t, DefaultCacheBytes)
+	payload := make([]byte, 2*MaxChunk+12345)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := os.WriteFile(filepath.Join(root, "big.dat"), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := cfs.ReadFile("big.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, payload) {
+		t.Fatal("cold multi-chunk read mismatch")
+	}
+	wireBefore := srv.Metrics().Counter(metrics.NFSBytesRead).Value()
+	r, err := cfs.OpenReader("big.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if !bytes.Equal(warm, payload) {
+		t.Fatal("warm streaming read mismatch")
+	}
+	if delta := srv.Metrics().Counter(metrics.NFSBytesRead).Value() - wireBefore; delta != 0 {
+		t.Fatalf("warm streaming read moved %d data bytes over the wire, want 0", delta)
+	}
+}
+
+// TestCacheInvalidatedByLocalMutation checks every local write path drops
+// the cached blocks so the next read sees the new bytes.
+func TestCacheInvalidatedByLocalMutation(t *testing.T) {
+	cfs, _, _ := startCachedServer(t, DefaultCacheBytes)
+	if err := cfs.WriteFile("m.dat", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfs.ReadFile("m.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfs.Append("m.dat", []byte("+after")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cfs.ReadFile("m.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "before+after" {
+		t.Fatalf("read after append = %q, want %q", got, "before+after")
+	}
+	if n := cacheCounter(t, cfs, metrics.NFSCacheInvalidations); n < 1 {
+		t.Fatalf("invalidations = %d, want >= 1", n)
+	}
+
+	// Rename must drop both names.
+	if err := cfs.Rename("m.dat", "m2.dat"); err != nil {
+		t.Fatal(err)
+	}
+	got, err = cfs.ReadFile("m2.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "before+after" {
+		t.Fatalf("read after rename = %q", got)
+	}
+	if err := cfs.Remove("m2.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfs.ReadFile("m2.dat"); err == nil {
+		t.Fatal("read of removed file served stale cache data")
+	}
+}
+
+// TestCacheRevalidatesOnExternalChange models another host mutating the
+// share behind the cache's back: the version check (size, mtime) must spot
+// the change and refetch instead of serving stale blocks.
+func TestCacheRevalidatesOnExternalChange(t *testing.T) {
+	cfs, _, root := startCachedServer(t, DefaultCacheBytes)
+	if err := os.WriteFile(filepath.Join(root, "x.dat"), []byte("generation-one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cfs.ReadFile("x.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "generation-one" {
+		t.Fatalf("first read = %q", got)
+	}
+	// Out-of-band mutation (different size so the version cannot collide
+	// even on a coarse-mtime filesystem).
+	if err := os.WriteFile(filepath.Join(root, "x.dat"), []byte("generation-two-longer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = cfs.ReadFile("x.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "generation-two-longer" {
+		t.Fatalf("read after external change = %q, served stale cache", got)
+	}
+}
+
+// TestCacheEvictsUnderPressure bounds memory: filling a small cache must
+// evict least-recently-used blocks, never exceed capacity, and keep
+// serving correct bytes.
+func TestCacheEvictsUnderPressure(t *testing.T) {
+	const capBytes = 3000
+	cfs, _, root := startCachedServer(t, capBytes)
+	files := []string{"a.dat", "b.dat", "c.dat", "d.dat"}
+	for i, name := range files {
+		content := bytes.Repeat([]byte{byte('A' + i)}, 1000)
+		if err := os.WriteFile(filepath.Join(root, name), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, name := range files {
+		got, err := cfs.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte('A' + i)}, 1000)) {
+			t.Fatalf("%s: wrong content", name)
+		}
+	}
+	if used := cfs.Cache().Used(); used > capBytes {
+		t.Fatalf("cache used %d bytes, capacity %d", used, capBytes)
+	}
+	if n := cacheCounter(t, cfs, metrics.NFSCacheEvictions); n < 1 {
+		t.Fatalf("evictions = %d, want >= 1 after overfilling", n)
+	}
+	// Evicted entries still read correctly (as misses).
+	got, err := cfs.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{'A'}, 1000)) {
+		t.Fatal("re-read of evicted file returned wrong bytes")
+	}
+}
+
+// TestCachedReadAtPartialWindow reads unaligned spans through the cache.
+func TestCachedReadAtPartialWindow(t *testing.T) {
+	cfs, _, root := startCachedServer(t, DefaultCacheBytes)
+	payload := make([]byte, MaxChunk+5000)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	if err := os.WriteFile(filepath.Join(root, "p.dat"), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []struct{ off, n int64 }{
+		{0, 100}, {int64(MaxChunk) - 50, 100}, {int64(MaxChunk), 5000}, {int64(len(payload)) - 10, 10},
+	} {
+		buf := make([]byte, span.n)
+		n, err := cfs.ReadAt("p.dat", buf, span.off)
+		if err != nil && err != io.EOF {
+			t.Fatalf("ReadAt(%d,%d): %v", span.off, span.n, err)
+		}
+		if int64(n) != span.n || !bytes.Equal(buf[:n], payload[span.off:span.off+int64(n)]) {
+			t.Fatalf("ReadAt(%d,%d): got %d bytes, mismatch", span.off, span.n, n)
+		}
+	}
+	// A read past EOF reports io.EOF with the served prefix.
+	buf := make([]byte, 100)
+	n, err := cfs.ReadAt("p.dat", buf, int64(len(payload))-20)
+	if n != 20 || err != io.EOF {
+		t.Fatalf("tail read = (%d, %v), want (20, EOF)", n, err)
+	}
+}

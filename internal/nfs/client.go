@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"mcsd/internal/metrics"
 	"mcsd/internal/netsim"
 	"mcsd/internal/smartfam"
 )
@@ -27,19 +28,49 @@ const (
 	defaultRedialMax     = 2 * time.Second
 )
 
+// DefaultWindow is the default pipeline depth: how many tagged requests a
+// client keeps in flight on its one connection before a send blocks. Sized
+// so a MaxChunk-sized window comfortably covers a 1 GbE
+// bandwidth-delay product with millisecond RTTs.
+const DefaultWindow = 32
+
+// readAheadDepth is how many MaxChunk prefetches an OpenReader keeps in
+// flight ahead of the consumer.
+const readAheadDepth = 8
+
+// maxReplays bounds how many times one idempotent request is replayed
+// across reconnects before its failure is surfaced.
+const maxReplays = 2
+
 // Client is the host-node side of the share: it implements smartfam.FS so
 // the smartFAM client runs unchanged over the network, plus whole-file
 // helpers for staging workload data onto (and results off) the SD node.
 //
 // A Client multiplexes all operations over one connection, mirroring one
-// NFS mount. It is safe for concurrent use. A dropped connection fails the
-// in-flight call with ErrDisconnected and is transparently re-established
-// (with exponential backoff) on the next call.
+// NFS mount, but pipelines them: every request carries a tag, up to
+// DefaultWindow requests are on the wire at once, and a demux goroutine
+// matches responses back to callers by tag. Chunked helpers (ReadAt,
+// Append, OpenReader, CopyTo) issue their chunk RPCs through the window so
+// consecutive chunks overlap round trips instead of paying one RTT each.
+//
+// It is safe for concurrent use. A dropped connection fails every
+// in-flight request with ErrDisconnected exactly once; idempotent requests
+// (reads, stats, lists, whole-file writes) are transparently replayed
+// after a successful redial, mutating ones surface the error so the caller
+// can decide (smartFAM retries are safe by request-ID dedupe). Redials are
+// rate-limited by an exponential backoff window.
 type Client struct {
-	mu     sync.Mutex
-	codec  *codec
-	conn   net.Conn
-	closed bool
+	mu      sync.Mutex
+	conn    net.Conn
+	codec   clientCodec
+	closed  bool
+	gen     uint64 // connection generation; bumped on every failure
+	nextTag uint64
+	pending map[uint64]chan outcome
+	wire    Wire
+	window  chan struct{} // in-flight slots; capacity = pipeline depth
+
+	sendMu sync.Mutex // serializes request frames onto the connection
 
 	redial      func() (net.Conn, error)
 	backoffInit time.Duration
@@ -47,6 +78,26 @@ type Client struct {
 	backoffCur  time.Duration // 0 = connected / first retry is free
 	nextDial    time.Time
 	reconnects  int64
+
+	reg *metrics.Registry
+	met clientCounters
+}
+
+// clientCounters caches the client's hot-path metrics so pipelined sends
+// do not take the registry lock per request.
+type clientCounters struct {
+	inflight  *metrics.Gauge
+	stalls    *metrics.Counter
+	bytesSent *metrics.Counter
+	bytesRecv *metrics.Counter
+	replays   *metrics.Counter
+}
+
+// outcome is the terminal state of one tagged request.
+type outcome struct {
+	resp *Response
+	err  error
+	sent bool // the request reached the wire before the failure
 }
 
 // Dial connects to an NFS server at addr. The returned client redials the
@@ -79,12 +130,63 @@ func DialThrottled(ctx context.Context, addr string, timeout time.Duration, link
 // Without a redial function (see SetRedial) a dropped connection is
 // permanent: every later call fails with ErrDisconnected.
 func NewClient(conn net.Conn) *Client {
-	return &Client{
-		codec:       newCodec(conn),
+	c := &Client{
 		conn:        conn,
+		pending:     make(map[uint64]chan outcome),
+		window:      make(chan struct{}, DefaultWindow),
 		backoffInit: defaultRedialInitial,
 		backoffMax:  defaultRedialMax,
 	}
+	c.setMetricsLocked(metrics.NewRegistry())
+	return c
+}
+
+// SetWire selects the wire encoding (binary by default; WireGob speaks the
+// legacy codec to a pre-framing server). Must be called before the first
+// operation on the client.
+func (c *Client) SetWire(w Wire) {
+	c.mu.Lock()
+	c.wire = w
+	c.mu.Unlock()
+}
+
+// SetWindow resizes the pipeline window (minimum 1; 1 disables pipelining,
+// giving strict serial RPC). Must be called before the first operation on
+// the client.
+func (c *Client) SetWindow(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.window = make(chan struct{}, n)
+	c.mu.Unlock()
+}
+
+// SetMetrics points the client's counters (inflight depth, pipeline
+// stalls, wire bytes, replays) at a shared registry. Must be called before
+// the first operation on the client.
+func (c *Client) SetMetrics(r *metrics.Registry) {
+	c.mu.Lock()
+	c.setMetricsLocked(r)
+	c.mu.Unlock()
+}
+
+func (c *Client) setMetricsLocked(r *metrics.Registry) {
+	c.reg = r
+	c.met = clientCounters{
+		inflight:  r.Gauge(metrics.NFSClientInflight),
+		stalls:    r.Counter(metrics.NFSClientPipelineStalls),
+		bytesSent: r.Counter(metrics.NFSClientBytesSent),
+		bytesRecv: r.Counter(metrics.NFSClientBytesRecv),
+		replays:   r.Counter(metrics.NFSClientReplays),
+	}
+}
+
+// Metrics returns the registry the client reports into.
+func (c *Client) Metrics() *metrics.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reg
 }
 
 // SetRedial installs (or replaces) the function used to re-establish a
@@ -115,27 +217,60 @@ func (c *Client) Reconnects() int64 {
 	return c.reconnects
 }
 
-// Close tears down the connection and disables redialing.
+// Close tears down the connection, fails every in-flight request and
+// disables redialing.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closed = true
-	if c.conn == nil {
+	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	c.codec = nil
+	c.closed = true
+	var err error
+	if c.conn != nil {
+		err = c.conn.Close()
+		c.conn = nil
+	}
+	failed := c.failLocked()
+	c.mu.Unlock()
+	for _, ch := range failed {
+		ch <- outcome{err: fmt.Errorf("%w: client closed", ErrDisconnected), sent: false}
+		c.releaseSlot()
+	}
 	return err
 }
 
-// dropLocked discards a connection the caller observed failing; the next
-// call will attempt a redial. Caller holds c.mu.
-func (c *Client) dropLocked() {
+// failLocked discards the live connection state, bumps the generation and
+// detaches the pending set. Caller holds c.mu and must deliver a failure
+// to every returned channel (and release its window slot) after unlocking.
+func (c *Client) failLocked() map[uint64]chan outcome {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
-		c.codec = nil
+	}
+	c.codec = nil
+	c.gen++
+	failed := c.pending
+	c.pending = make(map[uint64]chan outcome)
+	return failed
+}
+
+// failConn tears down generation gen after an I/O failure, delivering
+// ErrDisconnected to every request that was in flight on it — exactly
+// once per tag, because the pending set detaches atomically and stale
+// generations bail out on the gen check.
+func (c *Client) failConn(gen uint64, cause error) {
+	c.mu.Lock()
+	if gen != c.gen {
+		c.mu.Unlock()
+		return
+	}
+	failed := c.failLocked()
+	c.mu.Unlock()
+	err := fmt.Errorf("%w: %v", ErrDisconnected, cause)
+	for _, ch := range failed {
+		ch <- outcome{err: err, sent: true}
+		c.releaseSlot()
 	}
 }
 
@@ -164,149 +299,380 @@ func (c *Client) reconnectLocked() error {
 		return fmt.Errorf("%w: redial: %v", ErrDisconnected, err)
 	}
 	c.conn = conn
-	// The gob streams died with the old connection; start fresh ones.
-	c.codec = newCodec(conn)
 	c.backoffCur = 0
 	c.nextDial = time.Time{}
 	c.reconnects++
 	return nil
 }
 
-// call performs one RPC round trip, redialing first if the connection was
-// previously lost. An IO failure mid-call drops the connection and returns
-// ErrDisconnected — the request may or may not have executed server-side,
-// so only the caller can decide whether a retry is safe (smartFAM retries
-// are, by request-ID dedupe).
-func (c *Client) call(req *Request) (*Response, error) {
+// startLocked builds the codec for the current connection (wrapping it for
+// wire-byte accounting) and starts its demux goroutine. Caller holds c.mu.
+func (c *Client) startLocked() {
+	cc := &countingConn{Conn: c.conn, sent: c.met.bytesSent, recv: c.met.bytesRecv}
+	if c.wire == WireGob {
+		c.codec = newGobCodec(cc, cc)
+	} else {
+		c.codec = newBinClientCodec(cc, cc)
+	}
+	go c.demux(c.codec, c.gen)
+}
+
+// demux is the per-connection response reader: it matches each response to
+// its tag and hands it to the waiting caller. On a read failure it fails
+// the whole generation.
+func (c *Client) demux(codec clientCodec, gen uint64) {
+	for {
+		resp := new(Response)
+		if err := codec.readResponse(resp); err != nil {
+			c.failConn(gen, err)
+			return
+		}
+		c.mu.Lock()
+		if gen != c.gen {
+			c.mu.Unlock()
+			resp.free()
+			return
+		}
+		ch, ok := c.pending[resp.Tag]
+		if ok {
+			delete(c.pending, resp.Tag)
+		}
+		c.mu.Unlock()
+		if !ok {
+			// Tag already failed over (or never ours): drop the frame.
+			resp.free()
+			continue
+		}
+		ch <- outcome{resp: resp, sent: true}
+		c.releaseSlot()
+	}
+}
+
+// acquireSlot claims one window slot, blocking (and counting a pipeline
+// stall) when the window is full.
+func (c *Client) acquireSlot() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	w := c.window
+	c.mu.Unlock()
+	select {
+	case w <- struct{}{}:
+	default:
+		c.met.stalls.Inc()
+		w <- struct{}{}
+	}
+	c.met.inflight.Add(1)
+}
+
+// releaseSlot frees a window slot; called by whichever path delivers the
+// request's outcome.
+func (c *Client) releaseSlot() {
+	c.mu.Lock()
+	w := c.window
+	c.mu.Unlock()
+	select {
+	case <-w:
+	default: // window resized mid-flight (misuse); don't wedge
+	}
+	c.met.inflight.Add(-1)
+}
+
+// transmit assigns req a tag, registers its outcome channel and writes the
+// frame. A returned error means the request never reached the wire (the
+// channel is untouched); a post-registration write failure is delivered
+// through the channel by failConn instead.
+func (c *Client) transmit(req *Request, ch chan outcome) error {
+	c.mu.Lock()
 	if c.conn == nil {
 		if err := c.reconnectLocked(); err != nil {
-			return nil, err
-		}
-	}
-	if err := c.codec.writeRequest(req); err != nil {
-		c.dropLocked()
-		return nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
-	}
-	var resp Response
-	if err := c.codec.readResponse(&resp); err != nil {
-		c.dropLocked()
-		return nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
-	}
-	if resp.Err != "" {
-		if resp.NotExist {
-			return nil, fmt.Errorf("%w: %s: %s", smartfam.ErrNotExist, req.Name, resp.Err)
-		}
-		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err)
-	}
-	return &resp, nil
-}
-
-// Ping round-trips an empty request, verifying the mount.
-func (c *Client) Ping() error {
-	_, err := c.call(&Request{Op: OpPing})
-	return err
-}
-
-// Create makes (or truncates) a file on the share.
-func (c *Client) Create(name string) error {
-	_, err := c.call(&Request{Op: OpCreate, Name: name})
-	return err
-}
-
-// Append atomically appends data, chunking large payloads.
-func (c *Client) Append(name string, data []byte) error {
-	for len(data) > 0 {
-		n := len(data)
-		if n > MaxChunk {
-			n = MaxChunk
-		}
-		if _, err := c.call(&Request{Op: OpAppend, Name: name, Data: data[:n]}); err != nil {
+			c.mu.Unlock()
 			return err
 		}
-		data = data[n:]
+	}
+	if c.codec == nil {
+		c.startLocked()
+	}
+	c.nextTag++
+	req.Tag = c.nextTag
+	gen := c.gen
+	codec := c.codec
+	c.pending[req.Tag] = ch
+	c.mu.Unlock()
+
+	c.sendMu.Lock()
+	err := codec.writeRequest(req)
+	c.sendMu.Unlock()
+	if err != nil {
+		c.failConn(gen, err)
 	}
 	return nil
 }
 
-// ReadAt implements smartfam.FS.
-func (c *Client) ReadAt(name string, p []byte, off int64) (int, error) {
-	total := 0
-	for total < len(p) {
-		want := len(p) - total
-		if want > MaxChunk {
-			want = MaxChunk
+// call is one in-flight tagged request: a future whose wait() yields the
+// response (replaying idempotent requests across a reconnect).
+type call struct {
+	c    *Client
+	req  *Request
+	idem bool
+	ch   chan outcome
+}
+
+// send issues req into the pipeline window and returns its future.
+func (c *Client) send(req *Request, idem bool) *call {
+	f := &call{c: c, req: req, idem: idem, ch: make(chan outcome, 1)}
+	c.acquireSlot()
+	if err := c.transmit(req, f.ch); err != nil {
+		c.releaseSlot()
+		f.ch <- outcome{err: err}
+	}
+	return f
+}
+
+// ready reports whether wait() would return without blocking.
+func (f *call) ready() bool { return len(f.ch) > 0 }
+
+// wait blocks for the request's outcome. Requests that reached the wire
+// and were lost to a disconnect are replayed (bounded) when idempotent.
+// The returned response must be freed by the caller once its Data has been
+// consumed.
+func (f *call) wait() (*Response, error) {
+	out := <-f.ch
+	for attempt := 0; out.err != nil && out.sent && f.idem &&
+		errors.Is(out.err, ErrDisconnected) && attempt < maxReplays; attempt++ {
+		f.c.met.replays.Inc()
+		out = f.c.retry(f.req)
+	}
+	if out.err != nil {
+		return nil, out.err
+	}
+	resp := out.resp
+	if resp.Err != "" {
+		err := respErr(f.req, resp)
+		resp.free()
+		return nil, err
+	}
+	return resp, nil
+}
+
+// retry re-sends a request once, synchronously (the idempotent replay
+// path). It claims its own window slot like any other send.
+func (c *Client) retry(req *Request) outcome {
+	ch := make(chan outcome, 1)
+	c.acquireSlot()
+	if err := c.transmit(req, ch); err != nil {
+		c.releaseSlot()
+		return outcome{err: err}
+	}
+	return <-ch
+}
+
+func respErr(req *Request, resp *Response) error {
+	if resp.NotExist {
+		return fmt.Errorf("%w: %s: %s", smartfam.ErrNotExist, req.Name, resp.Err)
+	}
+	return fmt.Errorf("%w: %s", ErrRemote, resp.Err)
+}
+
+// do performs one RPC round trip through the pipeline.
+func (c *Client) do(req *Request, idem bool) (*Response, error) {
+	return c.send(req, idem).wait()
+}
+
+// doDiscard is do for operations whose response carries no payload.
+func (c *Client) doDiscard(req *Request, idem bool) error {
+	resp, err := c.do(req, idem)
+	if resp != nil {
+		resp.free()
+	}
+	return err
+}
+
+// call performs one non-idempotent RPC round trip. An IO failure mid-call
+// returns ErrDisconnected — the request may or may not have executed
+// server-side, so only the caller can decide whether a retry is safe
+// (smartFAM retries are, by request-ID dedupe).
+func (c *Client) call(req *Request) (*Response, error) {
+	return c.do(req, false)
+}
+
+// Ping round-trips an empty request, verifying the mount.
+func (c *Client) Ping() error {
+	return c.doDiscard(&Request{Op: OpPing}, true)
+}
+
+// Create makes (or truncates) a file on the share.
+func (c *Client) Create(name string) error {
+	return c.doDiscard(&Request{Op: OpCreate, Name: name}, true)
+}
+
+// Append atomically appends data. Payloads up to MaxChunk go out as one
+// RPC. Larger ones are staged: the chunks are pipelined into a uniquely
+// named temp file beside the target, then a single commit RPC splices the
+// staged bytes onto the target under the server's append lock — so a crash
+// or disconnect mid-transfer can never leave a torn tail on the target
+// (the orphaned staging file is invisible to List and harmless).
+func (c *Client) Append(name string, data []byte) error {
+	if len(data) <= MaxChunk {
+		return c.doDiscard(&Request{Op: OpAppend, Name: name, Data: data}, false)
+	}
+	return c.stageAndCommit(name, data, CommitAppend)
+}
+
+// stageAndCommit pipelines data into a staging temp file and commits it
+// onto name in one server-side splice (append or replace).
+func (c *Client) stageAndCommit(name string, data []byte, mode int) error {
+	clean, err := cleanName(name)
+	if err != nil {
+		return err
+	}
+	tmp := clean + ".append-" + smartfam.NewID() + ".tmp"
+	if err := c.Create(tmp); err != nil {
+		return err
+	}
+	futures := make([]*call, 0, (len(data)+MaxChunk-1)/MaxChunk)
+	for off := 0; off < len(data); off += MaxChunk {
+		end := min(off+MaxChunk, len(data))
+		// In-order pipelined appends: one connection handles requests in
+		// send order, so the staged chunks land sequentially.
+		futures = append(futures, c.send(&Request{Op: OpAppend, Name: tmp, Data: data[off:end]}, false))
+	}
+	var firstErr error
+	for _, f := range futures {
+		resp, err := f.wait()
+		if resp != nil {
+			resp.free()
 		}
-		resp, err := c.call(&Request{Op: OpReadAt, Name: name, Off: off + int64(total), N: want})
-		if err != nil {
-			return total, err
-		}
-		n := copy(p[total:], resp.Data)
-		total += n
-		if resp.EOF || n == 0 {
-			if total < len(p) {
-				return total, io.EOF
-			}
-			break
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return total, nil
+	if firstErr == nil {
+		firstErr = c.doDiscard(&Request{Op: OpCommit, Name: tmp, To: name, N: mode}, false)
+		if firstErr == nil {
+			return nil
+		}
+	}
+	// Best-effort cleanup; if the commit raced a disconnect the server may
+	// have already consumed the staging file, and List filters strays.
+	_ = c.doDiscard(&Request{Op: OpRemove, Name: tmp}, false) //nolint:errcheck
+	return firstErr
+}
+
+// ReadAt implements smartfam.FS. Reads larger than MaxChunk fan out as one
+// tagged RPC per chunk through the pipeline window, so a big read costs
+// roughly one RTT plus transfer time instead of one RTT per chunk.
+func (c *Client) ReadAt(name string, p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if len(p) <= MaxChunk {
+		resp, err := c.do(&Request{Op: OpReadAt, Name: name, Off: off, N: len(p)}, true)
+		if err != nil {
+			return 0, err
+		}
+		n := copy(p, resp.Data)
+		resp.free()
+		if n < len(p) {
+			return n, io.EOF
+		}
+		return n, nil
+	}
+	type chunk struct {
+		f    *call
+		pos  int
+		want int
+	}
+	chunks := make([]chunk, 0, (len(p)+MaxChunk-1)/MaxChunk)
+	for pos := 0; pos < len(p); pos += MaxChunk {
+		want := min(len(p)-pos, MaxChunk)
+		f := c.send(&Request{Op: OpReadAt, Name: name, Off: off + int64(pos), N: want}, true)
+		chunks = append(chunks, chunk{f: f, pos: pos, want: want})
+	}
+	contig := 0
+	stopped := false
+	var firstErr error
+	for _, ck := range chunks {
+		resp, err := ck.f.wait()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			stopped = true
+			continue
+		}
+		n := copy(p[ck.pos:ck.pos+ck.want], resp.Data)
+		resp.free()
+		if stopped {
+			continue
+		}
+		contig += n
+		if n < ck.want {
+			stopped = true
+		}
+	}
+	if firstErr != nil {
+		return contig, firstErr
+	}
+	if contig < len(p) {
+		return contig, io.EOF
+	}
+	return contig, nil
 }
 
 // Stat implements smartfam.FS.
 func (c *Client) Stat(name string) (int64, time.Time, error) {
-	resp, err := c.call(&Request{Op: OpStat, Name: name})
+	resp, err := c.do(&Request{Op: OpStat, Name: name}, true)
 	if err != nil {
 		return 0, time.Time{}, err
 	}
-	return resp.Size, time.Unix(0, resp.MTimeNs), nil
+	size, mtime := resp.Size, time.Unix(0, resp.MTimeNs)
+	resp.free()
+	return size, mtime, nil
 }
 
 // List implements smartfam.FS (share root).
 func (c *Client) List() ([]string, error) {
-	resp, err := c.call(&Request{Op: OpList})
+	resp, err := c.do(&Request{Op: OpList}, true)
 	if err != nil {
 		return nil, err
 	}
-	return resp.Names, nil
+	names := resp.Names
+	resp.free()
+	return names, nil
 }
 
 // ListDir lists a subdirectory of the share.
 func (c *Client) ListDir(dir string) ([]string, error) {
-	resp, err := c.call(&Request{Op: OpList, Name: dir})
+	resp, err := c.do(&Request{Op: OpList, Name: dir}, true)
 	if err != nil {
 		return nil, err
 	}
-	return resp.Names, nil
+	names := resp.Names
+	resp.free()
+	return names, nil
 }
 
 // Remove implements smartfam.FS.
 func (c *Client) Remove(name string) error {
-	_, err := c.call(&Request{Op: OpRemove, Name: name})
-	return err
+	return c.doDiscard(&Request{Op: OpRemove, Name: name}, false)
 }
 
 // Rename implements smartfam.FS.
 func (c *Client) Rename(oldname, newname string) error {
-	_, err := c.call(&Request{Op: OpRename, Name: oldname, To: newname})
-	return err
+	return c.doDiscard(&Request{Op: OpRename, Name: oldname, To: newname}, false)
 }
 
-// WriteFile replaces a file's contents, chunking large payloads through
-// Create+Append.
+// WriteFile replaces a file's contents. Payloads over MaxChunk are staged
+// chunk-by-chunk through the pipeline and committed with an atomic
+// server-side rename, so readers never observe a half-written file.
 func (c *Client) WriteFile(name string, data []byte) error {
 	if len(data) <= MaxChunk {
-		_, err := c.call(&Request{Op: OpWrite, Name: name, Data: data})
-		return err
+		return c.doDiscard(&Request{Op: OpWrite, Name: name, Data: data}, true)
 	}
-	if err := c.Create(name); err != nil {
-		return err
-	}
-	return c.Append(name, data)
+	return c.stageAndCommit(name, data, CommitReplace)
 }
 
-// ReadFile fetches a whole file.
+// ReadFile fetches a whole file. The chunk fan-out in ReadAt pipelines the
+// transfer.
 func (c *Client) ReadFile(name string) ([]byte, error) {
 	size, _, err := c.Stat(name)
 	if err != nil {
@@ -320,74 +686,205 @@ func (c *Client) ReadFile(name string) ([]byte, error) {
 	return buf[:n], nil
 }
 
-// CopyTo streams a whole remote file into w without holding it in memory.
+// CopyTo streams a whole remote file into w without holding it in memory,
+// with read-ahead prefetch keeping the wire busy while w consumes.
 func (c *Client) CopyTo(w io.Writer, name string) (int64, error) {
-	var off int64
+	r, err := c.openReaderAt(name, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	var total int64
 	for {
-		resp, err := c.call(&Request{Op: OpReadAt, Name: name, Off: off, N: MaxChunk})
+		resp, err := r.nextChunk()
 		if err != nil {
-			return off, err
+			return total, err
 		}
-		if len(resp.Data) > 0 {
-			if _, werr := w.Write(resp.Data); werr != nil {
-				return off, fmt.Errorf("nfs: copying %s: %w", name, werr)
-			}
-			off += int64(len(resp.Data))
+		if resp == nil {
+			return total, nil
 		}
-		if resp.EOF || len(resp.Data) == 0 {
-			return off, nil
+		n, werr := w.Write(resp.Data)
+		resp.free()
+		total += int64(n)
+		if werr != nil {
+			return total, fmt.Errorf("nfs: copying %s: %w", name, werr)
 		}
 	}
 }
 
 // OpenReader returns a streaming reader over a remote file. Reads page
-// through MaxChunk-sized RPCs, so arbitrarily large files stream without
-// being resident on either side.
+// through MaxChunk-sized RPCs with readAheadDepth chunks prefetched
+// through the pipeline, so arbitrarily large files stream at link speed
+// without being resident on either side.
 func (c *Client) OpenReader(name string) (io.ReadCloser, error) {
+	return c.OpenReaderAt(name, 0)
+}
+
+// OpenReaderAt is OpenReader starting at byte offset off.
+func (c *Client) OpenReaderAt(name string, off int64) (io.ReadCloser, error) {
+	return c.openReaderAt(name, off)
+}
+
+func (c *Client) openReaderAt(name string, off int64) (*remoteReader, error) {
 	// Validate existence up front so callers get ErrNotExist at open time.
 	if _, _, err := c.Stat(name); err != nil {
 		return nil, err
 	}
-	return &remoteReader{c: c, name: name}, nil
+	r := &remoteReader{c: c, name: name, next: off}
+	r.fill()
+	return r, nil
 }
 
+// remoteReader streams a remote file with pipelined read-ahead: up to
+// readAheadDepth chunk requests are in flight ahead of the consumer, so
+// sequential reads overlap round trips and transfer with consumption.
 type remoteReader struct {
 	c      *Client
 	name   string
-	off    int64
-	buf    []byte
-	eof    bool
+	next   int64   // offset of the next prefetch to issue
+	queue  []*call // issued prefetches, in offset order
+	cur    *Response
+	data   []byte // unread tail of cur
+	eof    bool   // a short/empty chunk was seen; stop issuing
+	err    error  // sticky failure: the stream may have a hole past here
 	closed bool
+}
+
+// fill tops the prefetch window back up.
+func (r *remoteReader) fill() {
+	for !r.eof && len(r.queue) < readAheadDepth {
+		f := r.c.send(&Request{Op: OpReadAt, Name: r.name, Off: r.next, N: MaxChunk}, true)
+		r.next += MaxChunk
+		r.queue = append(r.queue, f)
+	}
+}
+
+// nextChunk returns the next chunk response in offset order, nil at EOF.
+// The caller frees the response. Any error is sticky: a failed chunk would
+// leave a hole in the stream, so the reader refuses to continue past it.
+func (r *remoteReader) nextChunk() (*Response, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.queue) == 0 {
+		if r.eof {
+			return nil, nil
+		}
+		r.fill()
+	}
+	f := r.queue[0]
+	r.queue = r.queue[1:]
+	resp, err := f.wait()
+	if err != nil {
+		r.err = err
+		return nil, err
+	}
+	if resp.EOF || len(resp.Data) == 0 {
+		r.eof = true
+		r.drain()
+	} else {
+		r.fill()
+	}
+	if len(resp.Data) == 0 {
+		resp.free()
+		return nil, nil
+	}
+	return resp, nil
+}
+
+// drain settles and discards every outstanding prefetch (they have all
+// been sent; their responses arrive regardless).
+func (r *remoteReader) drain() {
+	for _, f := range r.queue {
+		if resp, err := f.wait(); err == nil && resp != nil {
+			resp.free()
+		}
+	}
+	r.queue = nil
 }
 
 func (r *remoteReader) Read(p []byte) (int, error) {
 	if r.closed {
 		return 0, fmt.Errorf("nfs: read from closed reader for %s", r.name)
 	}
-	if len(r.buf) == 0 {
-		if r.eof {
-			return 0, io.EOF
-		}
-		resp, err := r.c.call(&Request{Op: OpReadAt, Name: r.name, Off: r.off, N: MaxChunk})
-		if err != nil {
-			return 0, err
-		}
-		r.buf = resp.Data
-		r.off += int64(len(resp.Data))
-		r.eof = resp.EOF || len(resp.Data) == 0
-		if len(r.buf) == 0 {
-			return 0, io.EOF
-		}
+	if len(p) == 0 {
+		return 0, nil
 	}
-	n := copy(p, r.buf)
-	r.buf = r.buf[n:]
-	return n, nil
+	total := 0
+	for total < len(p) {
+		if len(r.data) == 0 {
+			if r.cur != nil {
+				r.cur.free()
+				r.cur = nil
+			}
+			if r.err != nil {
+				if total > 0 {
+					return total, nil
+				}
+				return 0, r.err
+			}
+			if r.eof && len(r.queue) == 0 {
+				break
+			}
+			// Batch into large caller buffers while chunks are ready, but
+			// never block once we already have bytes to deliver.
+			if total > 0 && (len(r.queue) == 0 || !r.queue[0].ready()) {
+				break
+			}
+			resp, err := r.nextChunk()
+			if err != nil {
+				if total > 0 {
+					return total, nil // err is sticky; next Read surfaces it
+				}
+				return 0, err
+			}
+			if resp == nil {
+				break
+			}
+			r.cur, r.data = resp, resp.Data
+		}
+		n := copy(p[total:], r.data)
+		r.data = r.data[n:]
+		total += n
+	}
+	if total == 0 {
+		return 0, io.EOF
+	}
+	return total, nil
 }
 
 func (r *remoteReader) Close() error {
+	if r.closed {
+		return nil
+	}
 	r.closed = true
-	r.buf = nil
+	r.drain()
+	if r.cur != nil {
+		r.cur.free()
+		r.cur = nil
+	}
+	r.data = nil
 	return nil
+}
+
+// countingConn tallies raw wire bytes in both directions, independent of
+// which codec frames them.
+type countingConn struct {
+	net.Conn
+	sent *metrics.Counter
+	recv *metrics.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.recv.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sent.Add(int64(n))
+	return n, err
 }
 
 var _ smartfam.FS = (*Client)(nil)

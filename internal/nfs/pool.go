@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mcsd/internal/metrics"
 	"mcsd/internal/netsim"
 	"mcsd/internal/smartfam"
 )
@@ -23,6 +24,7 @@ import (
 type Pool struct {
 	clients []*Client
 	next    atomic.Uint64
+	reg     *metrics.Registry // shared across all pooled clients
 }
 
 // DialPool opens n connections to addr. n < 1 is raised to 1.
@@ -40,13 +42,14 @@ func dialPool(n int, dial func() (*Client, error)) (*Pool, error) {
 	if n < 1 {
 		n = 1
 	}
-	p := &Pool{clients: make([]*Client, 0, n)}
+	p := &Pool{clients: make([]*Client, 0, n), reg: metrics.NewRegistry()}
 	for i := 0; i < n; i++ {
 		c, err := dial()
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("nfs: pool connection %d: %w", i, err)
 		}
+		c.SetMetrics(p.reg)
 		p.clients = append(p.clients, c)
 	}
 	return p, nil
@@ -54,11 +57,23 @@ func dialPool(n int, dial func() (*Client, error)) (*Pool, error) {
 
 // NewPool wraps already-established connections.
 func NewPool(conns []net.Conn) *Pool {
-	p := &Pool{clients: make([]*Client, len(conns))}
+	p := &Pool{clients: make([]*Client, len(conns)), reg: metrics.NewRegistry()}
 	for i, c := range conns {
 		p.clients[i] = NewClient(c)
+		p.clients[i].SetMetrics(p.reg)
 	}
 	return p
+}
+
+// Metrics returns the registry shared by every pooled client.
+func (p *Pool) Metrics() *metrics.Registry { return p.reg }
+
+// SetWire selects the wire encoding on every pooled connection. Must be
+// called before the first operation.
+func (p *Pool) SetWire(w Wire) {
+	for _, c := range p.clients {
+		c.SetWire(w)
+	}
 }
 
 // Size reports the number of pooled connections.
@@ -99,6 +114,9 @@ func (p *Pool) Stat(name string) (int64, time.Time, error) { return p.pick().Sta
 // List implements smartfam.FS.
 func (p *Pool) List() ([]string, error) { return p.pick().List() }
 
+// ListDir lists a subdirectory of the share through one slot.
+func (p *Pool) ListDir(dir string) ([]string, error) { return p.pick().ListDir(dir) }
+
 // Remove implements smartfam.FS.
 func (p *Pool) Remove(name string) error { return p.pick().Remove(name) }
 
@@ -123,5 +141,13 @@ func (p *Pool) ReadFile(name string) ([]byte, error) { return p.pick().ReadFile(
 
 // OpenReader streams a remote file through one slot.
 func (p *Pool) OpenReader(name string) (io.ReadCloser, error) { return p.pick().OpenReader(name) }
+
+// OpenReaderAt streams a remote file from off through one slot.
+func (p *Pool) OpenReaderAt(name string, off int64) (io.ReadCloser, error) {
+	return p.pick().OpenReaderAt(name, off)
+}
+
+// CopyTo streams a whole remote file into w through one slot.
+func (p *Pool) CopyTo(w io.Writer, name string) (int64, error) { return p.pick().CopyTo(w, name) }
 
 var _ smartfam.FS = (*Pool)(nil)

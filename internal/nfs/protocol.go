@@ -4,18 +4,26 @@
 // files — so that every byte of host-side access to SD-resident data
 // crosses the network, exactly the data movement McSD exists to avoid.
 //
-// The protocol is a simple length-delimited gob RPC over one TCP
-// connection per client. Wrap the connection (or the listener) with
-// netsim.Throttle to make the traffic pay Gigabit-Ethernet costs.
+// The wire protocol is a hand-rolled length-prefixed binary framing over
+// one TCP connection per client, with a per-request Tag so many requests
+// can be in flight at once (the client pipelines them through a bounded
+// window and demultiplexes responses by tag). The previous gob codec is
+// kept behind a compat switch (WireGob) for one release; the server
+// auto-detects which framing a connection speaks from its first byte.
+// Wrap the connection (or the listener) with netsim.Throttle to make the
+// traffic pay Gigabit-Ethernet costs.
 package nfs
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strings"
+	"sync"
 )
 
 // Op codes.
@@ -29,20 +37,33 @@ const (
 	OpRename = "rename" // atomic replace of Request.To by Request.Name
 	OpWrite  = "write"  // whole-file write (truncate + create dirs)
 	OpPing   = "ping"
+	OpCommit = "commit" // splice staged temp Request.Name into Request.To server-side
 )
 
-// Request is one client->server message.
+// Commit modes, carried in Request.N of an OpCommit: whether the staged
+// temp file is appended to the target or atomically replaces it.
+const (
+	CommitAppend  = 0
+	CommitReplace = 1
+)
+
+// Request is one client->server message. Tag correlates the response on a
+// pipelined connection; the server echoes it verbatim.
 type Request struct {
+	Tag  uint64
 	Op   string
 	Name string
-	To   string // rename destination
+	To   string // rename destination / commit target
 	Data []byte
 	Off  int64
 	N    int
 }
 
-// Response is one server->client message.
+// Response is one server->client message. Data, when framed binary, is a
+// zero-copy subslice of a pooled frame buffer; the client releases it back
+// to the pool once the payload has been consumed.
 type Response struct {
+	Tag      uint64
 	Data     []byte
 	Size     int64
 	MTimeNs  int64
@@ -50,14 +71,47 @@ type Response struct {
 	Err      string
 	NotExist bool
 	EOF      bool
+
+	frame *frameBuf // pooled backing buffer of Data (binary framing only)
+}
+
+// free returns the response's pooled frame buffer, if any. The response's
+// Data must not be used afterwards.
+func (r *Response) free() {
+	if r.frame != nil {
+		putFrame(r.frame)
+		r.frame = nil
+		r.Data = nil
+	}
 }
 
 // MaxChunk bounds one ReadAt/Append payload so a single RPC cannot pin
 // unbounded memory; larger operations are chunked by the client.
 const MaxChunk = 1 << 20
 
+// maxFrame bounds one binary frame body: a MaxChunk payload plus generous
+// header/name-list room. The decoder rejects anything larger outright, so
+// a corrupt length prefix cannot balloon into an arbitrary allocation.
+const maxFrame = MaxChunk + 1<<20
+
 // ErrRemote wraps a server-side failure.
 var ErrRemote = errors.New("nfs: remote error")
+
+// ErrFrame marks a malformed binary frame (bad length prefix, truncated
+// body, unknown op code, inconsistent field lengths).
+var ErrFrame = errors.New("nfs: malformed frame")
+
+// Wire selects the on-the-wire encoding a client speaks.
+type Wire int
+
+const (
+	// WireBinary is the length-prefixed binary framing (default).
+	WireBinary Wire = iota
+	// WireGob is the legacy gob codec, kept for one release so a fleet can
+	// roll the framing change forward and back half at a time. The server
+	// auto-detects it per connection.
+	WireGob
+)
 
 // cleanName validates a share-relative path: non-empty, slash-separated,
 // no "." or ".." components, no leading slash.
@@ -73,25 +127,41 @@ func cleanName(name string) (string, error) {
 	return name, nil
 }
 
-// codec pairs a gob encoder/decoder over one connection.
-type codec struct {
+// clientCodec is the client's half of a connection: frame requests out,
+// demultiplexable responses in.
+type clientCodec interface {
+	writeRequest(*Request) error
+	readResponse(*Response) error
+}
+
+// serverCodec is the server's half.
+type serverCodec interface {
+	readRequest(*Request) error
+	writeResponse(*Response) error
+}
+
+// ---------------------------------------------------------------------------
+// Legacy gob codec (WireGob).
+
+// gobCodec pairs a gob encoder/decoder over one connection.
+type gobCodec struct {
 	enc *gob.Encoder
 	dec *gob.Decoder
-	c   net.Conn
 }
 
-func newCodec(c net.Conn) *codec {
-	return &codec{enc: gob.NewEncoder(c), dec: gob.NewDecoder(c), c: c}
+func newGobCodec(r io.Reader, w io.Writer) *gobCodec {
+	return &gobCodec{enc: gob.NewEncoder(w), dec: gob.NewDecoder(r)}
 }
 
-func (c *codec) writeRequest(r *Request) error {
+func (c *gobCodec) writeRequest(r *Request) error {
 	if err := c.enc.Encode(r); err != nil {
 		return fmt.Errorf("nfs: encoding request: %w", err)
 	}
 	return nil
 }
 
-func (c *codec) readRequest(r *Request) error {
+func (c *gobCodec) readRequest(r *Request) error {
+	*r = Request{}
 	err := c.dec.Decode(r)
 	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 		return io.EOF
@@ -102,16 +172,398 @@ func (c *codec) readRequest(r *Request) error {
 	return nil
 }
 
-func (c *codec) writeResponse(r *Response) error {
+func (c *gobCodec) writeResponse(r *Response) error {
 	if err := c.enc.Encode(r); err != nil {
 		return fmt.Errorf("nfs: encoding response: %w", err)
 	}
 	return nil
 }
 
-func (c *codec) readResponse(r *Response) error {
+func (c *gobCodec) readResponse(r *Response) error {
+	*r = Response{}
 	if err := c.dec.Decode(r); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return io.EOF
+		}
 		return fmt.Errorf("nfs: decoding response: %w", err)
 	}
 	return nil
 }
+
+// ---------------------------------------------------------------------------
+// Binary framing (WireBinary).
+//
+// Every message is one frame:
+//
+//	uint32 length (big-endian, body length, high byte always 0x00) | body
+//
+// The high length byte doubles as the protocol discriminator: maxFrame
+// keeps every length below 2^24, so a binary connection's first byte is
+// always 0x00, while gob's first byte — an unsigned varint message length —
+// never is. The server peeks one byte to pick the codec.
+//
+// Request body:
+//
+//	tag u64 | op u8 | off i64 | n i32 | nameLen u16 | name | toLen u16 | to | data…
+//
+// Response body:
+//
+//	tag u64 | flags u8 | size i64 | mtimeNs i64 | errLen u16 | err |
+//	nameCount u32 | { nameLen u16 | name }… | data…
+//
+// The payload is the unframed tail in both directions, so decoding hands
+// out a zero-copy subslice of the frame buffer instead of re-allocating
+// per chunk.
+
+// Response flag bits.
+const (
+	flagEOF      = 1 << 0
+	flagNotExist = 1 << 1
+)
+
+// opCodes maps op names to their single-byte wire codes; opNames is the
+// inverse. Code 0 is reserved (it marks an unknown op on decode).
+var opCodes = map[string]byte{
+	OpCreate: 1, OpAppend: 2, OpReadAt: 3, OpStat: 4, OpList: 5,
+	OpRemove: 6, OpRename: 7, OpWrite: 8, OpPing: 9, OpCommit: 10,
+}
+
+var opNames = func() [11]string {
+	var names [11]string
+	for name, code := range opCodes {
+		names[code] = name
+	}
+	return names
+}()
+
+// frameBuf is a pooled frame body. Responses decoded from the wire keep a
+// reference so the payload subslice can be released explicitly once copied
+// out (or fully streamed) instead of churning a MaxChunk allocation per RPC.
+type frameBuf struct {
+	b []byte
+}
+
+var framePool = sync.Pool{
+	New: func() any { return &frameBuf{b: make([]byte, 0, 64<<10)} },
+}
+
+func getFrame(n int) *frameBuf {
+	fb := framePool.Get().(*frameBuf)
+	if cap(fb.b) < n {
+		fb.b = make([]byte, n)
+	}
+	fb.b = fb.b[:n]
+	return fb
+}
+
+func putFrame(fb *frameBuf) {
+	framePool.Put(fb)
+}
+
+// frameEncoder serializes messages into one reused buffer and emits each
+// frame with a single Write, so a paced (netsim-throttled) connection sees
+// one contiguous burst per message rather than a dribble of header writes.
+type frameEncoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+func newFrameEncoder(w io.Writer) *frameEncoder {
+	return &frameEncoder{w: w, buf: make([]byte, 0, 4<<10)}
+}
+
+func (e *frameEncoder) flushFrame() error {
+	body := len(e.buf) - 4
+	if body > maxFrame {
+		return fmt.Errorf("%w: frame body %d exceeds %d", ErrFrame, body, maxFrame)
+	}
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(body))
+	if _, err := e.w.Write(e.buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+func appendU16Bytes(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func (e *frameEncoder) writeRequest(r *Request) error {
+	code, ok := opCodes[r.Op]
+	if !ok {
+		// Unknown ops still cross the wire (the server answers with its
+		// "unknown op" error) so probing tests behave like the gob codec.
+		code = 0
+	}
+	if len(r.Name) > 0xffff || len(r.To) > 0xffff {
+		return fmt.Errorf("%w: path too long", ErrFrame)
+	}
+	b := append(e.buf[:0], 0, 0, 0, 0) // length backpatched by flushFrame
+	b = binary.BigEndian.AppendUint64(b, r.Tag)
+	b = append(b, code)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Off))
+	b = binary.BigEndian.AppendUint32(b, uint32(int32(r.N)))
+	b = appendU16Bytes(b, r.Name)
+	b = appendU16Bytes(b, r.To)
+	b = append(b, r.Data...)
+	e.buf = b
+	if err := e.flushFrame(); err != nil {
+		return fmt.Errorf("nfs: encoding request: %w", err)
+	}
+	return nil
+}
+
+func (e *frameEncoder) writeResponse(r *Response) error {
+	if len(r.Err) > 0xffff {
+		r = &Response{Tag: r.Tag, Err: r.Err[:0xffff], NotExist: r.NotExist, EOF: r.EOF}
+	}
+	var flags byte
+	if r.EOF {
+		flags |= flagEOF
+	}
+	if r.NotExist {
+		flags |= flagNotExist
+	}
+	b := append(e.buf[:0], 0, 0, 0, 0)
+	b = binary.BigEndian.AppendUint64(b, r.Tag)
+	b = append(b, flags)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Size))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.MTimeNs))
+	b = appendU16Bytes(b, r.Err)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Names)))
+	for _, n := range r.Names {
+		if len(n) > 0xffff {
+			return fmt.Errorf("%w: name too long", ErrFrame)
+		}
+		b = appendU16Bytes(b, n)
+	}
+	b = append(b, r.Data...)
+	e.buf = b
+	if err := e.flushFrame(); err != nil {
+		return fmt.Errorf("nfs: encoding response: %w", err)
+	}
+	return nil
+}
+
+// frameDecoder reads frames off a buffered connection. The server side
+// reuses one grow-only scratch buffer (requests are handled one at a time
+// per connection); the client side pulls pooled buffers so many decoded
+// responses can be alive at once under pipelining.
+type frameDecoder struct {
+	r       *bufio.Reader
+	lenBuf  [4]byte
+	scratch []byte // server-side reuse; nil selects pooled frames
+	pooled  bool
+}
+
+func newFrameDecoder(r *bufio.Reader, pooled bool) *frameDecoder {
+	return &frameDecoder{r: r, pooled: pooled}
+}
+
+// readFrame returns the next frame body. With pooling, the returned
+// *frameBuf owns the bytes and must be released via putFrame; without, the
+// body aliases the decoder's scratch and is valid until the next call.
+func (d *frameDecoder) readFrame() ([]byte, *frameBuf, error) {
+	if _, err := io.ReadFull(d.r, d.lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return nil, nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, nil, fmt.Errorf("%w: truncated length prefix", ErrFrame)
+		}
+		return nil, nil, err
+	}
+	n := binary.BigEndian.Uint32(d.lenBuf[:])
+	if n > maxFrame {
+		return nil, nil, fmt.Errorf("%w: body length %d exceeds %d", ErrFrame, n, maxFrame)
+	}
+	var body []byte
+	var fb *frameBuf
+	if d.pooled {
+		fb = getFrame(int(n))
+		body = fb.b
+	} else {
+		if cap(d.scratch) < int(n) {
+			d.scratch = make([]byte, n)
+		}
+		body = d.scratch[:n]
+	}
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		if fb != nil {
+			putFrame(fb)
+		}
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, nil, fmt.Errorf("%w: truncated body (want %d bytes)", ErrFrame, n)
+		}
+		return nil, nil, err
+	}
+	return body, fb, nil
+}
+
+// cursor walks a frame body with bounds checking; ok flips false on the
+// first short read and stays false.
+type cursor struct {
+	b  []byte
+	ok bool
+}
+
+func (c *cursor) u8() byte {
+	if !c.ok || len(c.b) < 1 {
+		c.ok = false
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if !c.ok || len(c.b) < 2 {
+		c.ok = false
+		return 0
+	}
+	v := binary.BigEndian.Uint16(c.b)
+	c.b = c.b[2:]
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if !c.ok || len(c.b) < 4 {
+		c.ok = false
+		return 0
+	}
+	v := binary.BigEndian.Uint32(c.b)
+	c.b = c.b[4:]
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if !c.ok || len(c.b) < 8 {
+		c.ok = false
+		return 0
+	}
+	v := binary.BigEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v
+}
+
+func (c *cursor) bytes(n int) []byte {
+	if !c.ok || n < 0 || len(c.b) < n {
+		c.ok = false
+		return nil
+	}
+	v := c.b[:n]
+	c.b = c.b[n:]
+	return v
+}
+
+// decodeRequest parses a request frame body into r. r.Data aliases body.
+func decodeRequest(body []byte, r *Request) error {
+	cur := cursor{b: body, ok: true}
+	*r = Request{}
+	r.Tag = cur.u64()
+	code := cur.u8()
+	r.Off = int64(cur.u64())
+	r.N = int(int32(cur.u32()))
+	r.Name = string(cur.bytes(int(cur.u16())))
+	r.To = string(cur.bytes(int(cur.u16())))
+	if !cur.ok {
+		return fmt.Errorf("%w: truncated request header", ErrFrame)
+	}
+	if int(code) < len(opNames) {
+		r.Op = opNames[code]
+	}
+	if r.Op == "" {
+		r.Op = fmt.Sprintf("op#%d", code)
+	}
+	r.Data = cur.b
+	return nil
+}
+
+// decodeResponse parses a response frame body into r. r.Data aliases body.
+func decodeResponse(body []byte, r *Response) error {
+	cur := cursor{b: body, ok: true}
+	*r = Response{}
+	r.Tag = cur.u64()
+	flags := cur.u8()
+	r.Size = int64(cur.u64())
+	r.MTimeNs = int64(cur.u64())
+	r.Err = string(cur.bytes(int(cur.u16())))
+	nNames := cur.u32()
+	if !cur.ok {
+		return fmt.Errorf("%w: truncated response header", ErrFrame)
+	}
+	// Each listed name costs at least its 2-byte length, which bounds the
+	// count before any allocation happens.
+	if int64(nNames)*2 > int64(len(cur.b)) {
+		return fmt.Errorf("%w: name count %d exceeds frame", ErrFrame, nNames)
+	}
+	if nNames > 0 {
+		r.Names = make([]string, 0, nNames)
+		for i := uint32(0); i < nNames; i++ {
+			r.Names = append(r.Names, string(cur.bytes(int(cur.u16()))))
+		}
+		if !cur.ok {
+			return fmt.Errorf("%w: truncated name list", ErrFrame)
+		}
+	}
+	r.EOF = flags&flagEOF != 0
+	r.NotExist = flags&flagNotExist != 0
+	r.Data = cur.b
+	return nil
+}
+
+// binClientCodec is the client end of the binary framing: responses come
+// out of pooled frame buffers so a pipelined window of chunk payloads can
+// be alive at once without per-RPC allocations.
+type binClientCodec struct {
+	enc *frameEncoder
+	dec *frameDecoder
+}
+
+func newBinClientCodec(r io.Reader, w io.Writer) *binClientCodec {
+	return &binClientCodec{
+		enc: newFrameEncoder(w),
+		dec: newFrameDecoder(bufio.NewReaderSize(r, 64<<10), true),
+	}
+}
+
+func (c *binClientCodec) writeRequest(r *Request) error { return c.enc.writeRequest(r) }
+
+func (c *binClientCodec) readResponse(r *Response) error {
+	body, fb, err := c.dec.readFrame()
+	if err != nil {
+		return err
+	}
+	if err := decodeResponse(body, r); err != nil {
+		if fb != nil {
+			putFrame(fb)
+		}
+		return err
+	}
+	r.frame = fb
+	return nil
+}
+
+// binServerCodec is the server end: one scratch buffer per connection,
+// reused across requests (the server finishes each request before reading
+// the next on that connection).
+type binServerCodec struct {
+	enc *frameEncoder
+	dec *frameDecoder
+}
+
+func newBinServerCodec(r *bufio.Reader, w io.Writer) *binServerCodec {
+	return &binServerCodec{enc: newFrameEncoder(w), dec: newFrameDecoder(r, false)}
+}
+
+func (c *binServerCodec) readRequest(r *Request) error {
+	body, _, err := c.dec.readFrame()
+	if err != nil {
+		return err
+	}
+	return decodeRequest(body, r)
+}
+
+func (c *binServerCodec) writeResponse(r *Response) error { return c.enc.writeResponse(r) }

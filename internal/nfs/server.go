@@ -3,6 +3,7 @@ package nfs
 //mcsdlint:fsboundary -- the server side of the share: it implements the exported directory, it cannot route through an FS client of itself
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"mcsd/internal/metrics"
@@ -18,14 +20,20 @@ import (
 // Server exports a local directory over the wire — the SD node's NFS-server
 // role in the testbed ("the McSD node is configured as an NFS server",
 // §III-B).
+//
+// Each connection's framing is auto-detected from its first byte: binary
+// frames always start with 0x00 (the high byte of a length below 16 MB),
+// gob streams never do (their first byte is a nonzero varint). SetGobOnly
+// forces the legacy codec for rollback.
 type Server struct {
 	root    string
 	metrics *metrics.Registry
 
 	mu      sync.Mutex
-	applock sync.Mutex // serializes appends for cross-client atomicity
+	applock sync.Mutex // serializes appends/commits for cross-client atomicity
 	conns   map[net.Conn]struct{}
 	closed  bool
+	gobOnly bool
 }
 
 // NewServer returns a server exporting root.
@@ -39,6 +47,15 @@ func NewServer(root string) *Server {
 
 // Metrics returns the server's metrics registry (bytes served, ops).
 func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// SetGobOnly forces every connection through the legacy gob codec,
+// disabling binary-frame auto-detection (a rollback escape hatch while the
+// framing change shakes out). Call before Serve.
+func (s *Server) SetGobOnly(on bool) {
+	s.mu.Lock()
+	s.gobOnly = on
+	s.mu.Unlock()
+}
 
 // Serve accepts connections on ln until ln is closed or Shutdown is called.
 func (s *Server) Serve(ln net.Listener) error {
@@ -79,13 +96,27 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	c := newCodec(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	gobOnly := s.gobOnly
+	s.mu.Unlock()
+	var c serverCodec
+	if first[0] == 0x00 && !gobOnly {
+		c = newBinServerCodec(br, conn)
+	} else {
+		c = newGobCodec(br, conn)
+	}
 	for {
 		var req Request
 		if err := c.readRequest(&req); err != nil {
 			return // io.EOF on clean close; anything else also ends the conn
 		}
 		resp := s.handle(&req)
+		resp.Tag = req.Tag // correlate on the client's pipelined demux
 		if err := c.writeResponse(resp); err != nil {
 			return
 		}
@@ -125,6 +156,8 @@ func (s *Server) handle(req *Request) *Response {
 		return s.handleRename(req)
 	case OpWrite:
 		return s.handleWrite(req)
+	case OpCommit:
+		return s.handleCommit(req)
 	default:
 		return &Response{Err: fmt.Sprintf("nfs: unknown op %q", req.Op)}
 	}
@@ -220,9 +253,12 @@ func (s *Server) handleList(req *Request) *Response {
 	}
 	var names []string
 	for _, e := range entries {
-		if !e.IsDir() {
-			names = append(names, e.Name())
+		// Staging temps (client-side multi-chunk append/write commits in
+		// progress, or orphans from a crashed transfer) stay invisible.
+		if e.IsDir() || isStagingTemp(e.Name()) {
+			continue
 		}
+		names = append(names, e.Name())
 	}
 	sort.Strings(names)
 	return &Response{Names: names}
@@ -251,6 +287,57 @@ func (s *Server) handleRename(req *Request) *Response {
 	if err := os.Rename(from, to); err != nil {
 		return fail(err)
 	}
+	return &Response{}
+}
+
+// isStagingTemp reports whether name is a client staging file for a
+// multi-chunk append/write commit.
+func isStagingTemp(name string) bool {
+	return strings.HasSuffix(name, ".tmp") && strings.Contains(name, ".append-")
+}
+
+// handleCommit splices a staged temp file onto its target in one atomic
+// step under the append lock: CommitReplace renames it over the target,
+// CommitAppend copies it onto the target's tail server-side (no data
+// re-crosses the wire) and removes it. Either way the target goes from
+// old-state to fully-committed with no observable torn intermediate.
+func (s *Server) handleCommit(req *Request) *Response {
+	src, err := s.path(req.Name)
+	if err != nil {
+		return fail(err)
+	}
+	dst, err := s.path(req.To)
+	if err != nil {
+		return fail(err)
+	}
+	s.applock.Lock()
+	defer s.applock.Unlock()
+	if req.N == CommitReplace {
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return fail(err)
+		}
+		if err := os.Rename(src, dst); err != nil {
+			return fail(err)
+		}
+		return &Response{}
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return fail(err)
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return fail(err)
+	}
+	if err := out.Close(); err != nil {
+		return fail(err)
+	}
+	os.Remove(src) //nolint:errcheck // staging file: best-effort cleanup
 	return &Response{}
 }
 

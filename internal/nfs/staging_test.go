@@ -1,0 +1,175 @@
+package nfs
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMultiChunkAppendCommitsAtomically drives the staged append path (a
+// payload larger than MaxChunk) and checks the target lands as exactly
+// old-bytes + new-bytes, with the staging temp gone afterwards.
+func TestMultiChunkAppendCommitsAtomically(t *testing.T) {
+	c, root := startServer(t)
+	if err := c.WriteFile("log.bin", []byte("HEAD|")); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 2*MaxChunk+777)
+	for i := range big {
+		big[i] = byte(i * 11)
+	}
+	if err := c.Append("log.bin", big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(root, "log.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte("HEAD|"), big...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("staged append produced %d bytes, want %d (content mismatch: %v)",
+			len(got), len(want), !bytes.Equal(got[:5], want[:5]))
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if isStagingTemp(e.Name()) {
+			t.Fatalf("staging temp %s left behind after commit", e.Name())
+		}
+	}
+}
+
+// TestMultiChunkWriteFileReplaces drives the staged whole-file path: the
+// target must hold exactly the new payload, not a torn mix.
+func TestMultiChunkWriteFileReplaces(t *testing.T) {
+	c, root := startServer(t)
+	if err := c.WriteFile("w.bin", bytes.Repeat([]byte("old"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, MaxChunk+4096)
+	for i := range big {
+		big[i] = byte(i * 3)
+	}
+	if err := c.WriteFile("w.bin", big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(root, "w.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatalf("staged write produced %d bytes, want %d", len(got), len(big))
+	}
+}
+
+// TestListNeverShowsStagingTemps polls List while a staged multi-chunk
+// append is in flight: the in-progress temp must stay invisible to other
+// share users, before, during and after the commit.
+func TestListNeverShowsStagingTemps(t *testing.T) {
+	root := t.TempDir()
+	srv := NewServer(root)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { ln.Close(); srv.Shutdown() })
+	c, err := Dial(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	observer, err := Dial(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer observer.Close()
+
+	var done atomic.Bool
+	errCh := make(chan error, 1)
+	go func() {
+		defer done.Store(true)
+		errCh <- c.Append("big.log", make([]byte, 4*MaxChunk))
+	}()
+	for !done.Load() {
+		names, err := observer.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range names {
+			if strings.Contains(n, ".append-") || strings.HasSuffix(n, ".tmp") {
+				t.Fatalf("List exposed staging temp %q mid-append", n)
+			}
+		}
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	names, err := observer.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "big.log" {
+		t.Fatalf("List after commit = %v, want [big.log]", names)
+	}
+}
+
+// TestCommitWithoutStagingLeavesTargetUntouched simulates a client that
+// died before uploading its staging file: the commit fails and the target
+// keeps its prior bytes — the failure mode the old in-place chunk loop
+// could not guarantee.
+func TestCommitWithoutStagingLeavesTargetUntouched(t *testing.T) {
+	c, root := startServer(t)
+	if err := c.WriteFile("t.log", []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.call(&Request{Op: OpCommit, Name: "t.log.append-gone.tmp", To: "t.log", N: CommitAppend})
+	if err == nil {
+		t.Fatal("commit of a missing staging file succeeded")
+	}
+	got, err := os.ReadFile(filepath.Join(root, "t.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "intact" {
+		t.Fatalf("target mutated by failed commit: %q", got)
+	}
+}
+
+// TestInterruptedStagedAppendLeavesTargetUntouched kills the connection
+// mid-stage: the target file never sees a partial suffix because no commit
+// ran; the orphaned temp stays hidden from List.
+func TestInterruptedStagedAppendLeavesTargetUntouched(t *testing.T) {
+	c, root := startServer(t)
+	if err := c.WriteFile("t.log", []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	// Plant an orphan staging temp, as a crashed transfer would leave.
+	orphan := filepath.Join(root, "t.log.append-deadbeef.tmp")
+	if err := os.WriteFile(orphan, bytes.Repeat([]byte{0xFF}, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("t.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original" {
+		t.Fatalf("target = %q, want untouched %q", got, "original")
+	}
+	names, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if isStagingTemp(n) {
+			t.Fatalf("List exposed orphan staging temp %q", n)
+		}
+	}
+}
