@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all vet lint build test race bench-smoke bench-json bench-nfs chaos check
+.PHONY: all vet lint build test race bench-smoke bench-json bench-nfs bench-compare chaos check
 
 all: check
 
@@ -42,11 +42,23 @@ chaos:
 	$(GO) test -run TestChaos -count=10 -v .
 	$(GO) test -race -run TestChaos -count=3 .
 
-# bench-json regenerates BENCH_mapreduce.json: the before/after numbers
-# for the shuffle/merge hot path (streaming combine vs staged emit,
-# heap k-way merge vs linear tournament, pipelined vs sequential driver).
+# bench-json regenerates BENCH_mapreduce.json: the engine hot-path numbers
+# across the GOMAXPROCS sweep (zero-copy streaming combine vs staged emit,
+# the k-adaptive merge vs its forced strategies, parallel vs sequential
+# partition driver) plus the acceptance targets vs the pre-overhaul
+# baseline. Commit the regenerated file; bench-compare gates against it.
 bench-json:
 	$(GO) run ./cmd/mcsd-bench -engine -engine-out BENCH_mapreduce.json
+
+# bench-compare is the engine-performance regression gate: re-measure the
+# engine hot paths on this machine and compare against the committed
+# BENCH_mapreduce.json, failing on >10% throughput loss (ns/op rise for
+# rows without a MB/s figure) or >20% allocs/op growth per matched
+# (benchmark, gomaxprocs) row. Improvements never fail; regenerate the
+# committed file with bench-json when numbers legitimately move.
+bench-compare:
+	$(GO) run ./cmd/mcsd-bench -engine -engine-out /tmp/bench-new.json
+	$(GO) run ./cmd/mcsd-bench -compare BENCH_mapreduce.json /tmp/bench-new.json
 
 # bench-nfs regenerates BENCH_nfs.json: the NFS data-path numbers over a
 # modelled 1 GbE link with propagation delay — pipelined vs serial

@@ -365,9 +365,9 @@ func BenchmarkEngineKMeans(b *testing.B) {
 	}
 }
 
-// BenchmarkPartitionPipelined compares the sequential out-of-core driver
-// against the read/compute-overlapped one on the same input.
-func BenchmarkPartitionPipelined(b *testing.B) {
+// BenchmarkPartitionDrivers compares the sequential out-of-core driver
+// against the fragment-parallel worker-pool driver on the same input.
+func BenchmarkPartitionDrivers(b *testing.B) {
 	input := benchEngineInput(b)
 	drivers := []struct {
 		name string
@@ -379,8 +379,8 @@ func BenchmarkPartitionPipelined(b *testing.B) {
 				partition.Options{FragmentSize: 512 << 10}, workloads.WordCountMerge)
 			return err
 		}},
-		{"pipelined-driver", func() error {
-			_, err := partition.RunPipelined(context.Background(), mapreduce.Config{},
+		{"parallel-driver", func() error {
+			_, err := partition.RunParallel(context.Background(), mapreduce.Config{},
 				workloads.WordCountSpec(), bytes.NewReader(input),
 				partition.Options{FragmentSize: 512 << 10}, workloads.WordCountMerge)
 			return err

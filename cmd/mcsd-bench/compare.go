@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Regression tolerances for the bench-compare gate. Throughput rows may
+// lose up to 10% MB/s to machine noise before the gate trips; rows without
+// a throughput number are held to the same 10% on ns/op instead. Allocation
+// counts are far more stable than wall time, but tiny counts (1–2 allocs)
+// still jitter by whole units, hence the absolute slack.
+const (
+	compareSpeedTol    = 0.10
+	compareAllocTol    = 0.20
+	compareAllocSlackN = 2
+)
+
+// compareRow is one matched (name, gomaxprocs) pair across two reports.
+type compareRow struct {
+	Name       string
+	GOMAXPROCS int
+
+	OldNs, NewNs         int64
+	OldMB, NewMB         float64
+	OldAllocs, NewAllocs int64
+
+	// SpeedDelta is the fractional speed change, positive = faster
+	// (MB/s-based when both rows carry it, ns/op-based otherwise).
+	SpeedDelta float64
+	// AllocDelta is the fractional allocs/op change, positive = more.
+	AllocDelta float64
+
+	Fail   bool
+	Reason string
+}
+
+// rowKey identifies a benchmark row across reports.
+type rowKey struct {
+	name string
+	gmp  int
+}
+
+// rowGMP resolves a row's GOMAXPROCS, falling back to the report-level
+// value for reports written before rows carried their own (the pre-sweep
+// schema), and to 1 when neither is present.
+func rowGMP(r engineBenchResult, rep engineBenchReport) int {
+	if r.GOMAXPROCS > 0 {
+		return r.GOMAXPROCS
+	}
+	if rep.GOMAXPROCS > 0 {
+		return rep.GOMAXPROCS
+	}
+	return 1
+}
+
+// compareReports matches benchmark rows by (name, gomaxprocs) and flags
+// regressions beyond the noise tolerances. Rows present in only one report
+// are ignored: benchmarks come and go across refactors, and the gate's job
+// is to catch the surviving ones getting slower, not to freeze the suite.
+// It is pure — no I/O — so the red path is unit-testable.
+func compareReports(oldRep, newRep engineBenchReport) []compareRow {
+	oldRows := make(map[rowKey]engineBenchResult, len(oldRep.Benchmarks))
+	for _, r := range oldRep.Benchmarks {
+		oldRows[rowKey{r.Name, rowGMP(r, oldRep)}] = r
+	}
+	var rows []compareRow
+	for _, nr := range newRep.Benchmarks {
+		key := rowKey{nr.Name, rowGMP(nr, newRep)}
+		or, ok := oldRows[key]
+		if !ok {
+			continue
+		}
+		row := compareRow{
+			Name:       key.name,
+			GOMAXPROCS: key.gmp,
+			OldNs:      or.NsPerOp, NewNs: nr.NsPerOp,
+			OldMB: or.MBPerSec, NewMB: nr.MBPerSec,
+			OldAllocs: or.AllocsPerOp, NewAllocs: nr.AllocsPerOp,
+		}
+		switch {
+		case or.MBPerSec > 0 && nr.MBPerSec > 0:
+			row.SpeedDelta = nr.MBPerSec/or.MBPerSec - 1
+			if nr.MBPerSec < or.MBPerSec*(1-compareSpeedTol) {
+				row.Fail = true
+				row.Reason = fmt.Sprintf("throughput fell %.1f%% (%.2f -> %.2f MB/s, tolerance %.0f%%)",
+					-100*row.SpeedDelta, or.MBPerSec, nr.MBPerSec, 100*compareSpeedTol)
+			}
+		case or.NsPerOp > 0:
+			row.SpeedDelta = float64(or.NsPerOp)/float64(nr.NsPerOp) - 1
+			if float64(nr.NsPerOp) > float64(or.NsPerOp)*(1+compareSpeedTol) {
+				row.Fail = true
+				row.Reason = fmt.Sprintf("ns/op rose %.1f%% (%d -> %d, tolerance %.0f%%)",
+					-100*row.SpeedDelta, or.NsPerOp, nr.NsPerOp, 100*compareSpeedTol)
+			}
+		}
+		if or.AllocsPerOp > 0 {
+			row.AllocDelta = float64(nr.AllocsPerOp)/float64(or.AllocsPerOp) - 1
+		}
+		if float64(nr.AllocsPerOp) > float64(or.AllocsPerOp)*(1+compareAllocTol)+compareAllocSlackN {
+			row.Fail = true
+			reason := fmt.Sprintf("allocs/op grew %.1f%% (%d -> %d, tolerance %.0f%%)",
+				100*row.AllocDelta, or.AllocsPerOp, nr.AllocsPerOp, 100*compareAllocTol)
+			if row.Reason != "" {
+				row.Reason += "; " + reason
+			} else {
+				row.Reason = reason
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Name != rows[j].Name {
+			return rows[i].Name < rows[j].Name
+		}
+		return rows[i].GOMAXPROCS < rows[j].GOMAXPROCS
+	})
+	return rows
+}
+
+// runCompare loads two -engine reports and prints a benchstat-style delta
+// table, returning an error when any row regressed beyond tolerance — the
+// CI bench gate (`make bench-compare`) rides on that exit status.
+func runCompare(oldPath, newPath string) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	rows := compareReports(oldRep, newRep)
+	if len(rows) == 0 {
+		return fmt.Errorf("no benchmark rows in common between %s and %s", oldPath, newPath)
+	}
+
+	fmt.Printf("bench-compare: %s (old) vs %s (new), %d matched rows\n", oldPath, newPath, len(rows))
+	fmt.Printf("  %-28s %4s  %14s  %14s  %8s  %9s -> %-9s  %s\n",
+		"benchmark", "gmp", "old", "new", "speed", "allocs", "allocs", "verdict")
+	failures := 0
+	for _, r := range rows {
+		oldCol := fmt.Sprintf("%d ns/op", r.OldNs)
+		newCol := fmt.Sprintf("%d ns/op", r.NewNs)
+		if r.OldMB > 0 && r.NewMB > 0 {
+			oldCol = fmt.Sprintf("%.2f MB/s", r.OldMB)
+			newCol = fmt.Sprintf("%.2f MB/s", r.NewMB)
+		}
+		verdict := "ok"
+		if r.Fail {
+			failures++
+			verdict = "FAIL: " + r.Reason
+		}
+		fmt.Printf("  %-28s %4d  %14s  %14s  %+7.1f%%  %9d -> %-9d  %s\n",
+			r.Name, r.GOMAXPROCS, oldCol, newCol, 100*r.SpeedDelta,
+			r.OldAllocs, r.NewAllocs, verdict)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed beyond tolerance (>%.0f%% speed or >%.0f%% allocs)",
+			failures, len(rows), 100*compareSpeedTol, 100*compareAllocTol)
+	}
+	fmt.Printf("  all %d rows within tolerance\n", len(rows))
+	return nil
+}
+
+// loadReport reads an -engine JSON report from disk.
+func loadReport(path string) (engineBenchReport, error) {
+	var rep engineBenchReport
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return rep, nil
+}

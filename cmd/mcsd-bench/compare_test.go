@@ -1,0 +1,141 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchRow(name string, gmp int, ns, allocs int64, mbps float64) engineBenchResult {
+	return engineBenchResult{
+		Name: name, GOMAXPROCS: gmp,
+		NsPerOp: ns, AllocsPerOp: allocs, MBPerSec: mbps,
+	}
+}
+
+func baselineReport() engineBenchReport {
+	return engineBenchReport{
+		GOMAXPROCS: 1,
+		Benchmarks: []engineBenchResult{
+			benchRow("wordcount/with-combine", 1, 50_000_000, 60_000, 80.0),
+			benchRow("wordcount/with-combine", 4, 47_000_000, 61_000, 89.0),
+			benchRow("merge/loser-tree/k=64", 1, 24_000_000, 2, 0),
+		},
+	}
+}
+
+func TestCompareReportsIdenticalPasses(t *testing.T) {
+	rows := compareReports(baselineReport(), baselineReport())
+	if len(rows) != 3 {
+		t.Fatalf("matched %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Fail {
+			t.Fatalf("identical reports flagged a regression: %s gmp=%d: %s",
+				r.Name, r.GOMAXPROCS, r.Reason)
+		}
+	}
+}
+
+// Injected regressions must turn the gate red: a throughput drop beyond
+// 10%, an allocation blow-up beyond 20%, and an ns/op rise on a row with
+// no MB/s figure each trip their own check.
+func TestCompareReportsInjectedRegressionFails(t *testing.T) {
+	old := baselineReport()
+	bad := baselineReport()
+	bad.Benchmarks[0].MBPerSec = 80.0 * 0.7        // -30% throughput
+	bad.Benchmarks[1].AllocsPerOp = 61_000 * 2     // 2x allocs
+	bad.Benchmarks[2].NsPerOp = 24_000_000 * 3 / 2 // +50% ns/op
+	rows := compareReports(old, bad)
+	if len(rows) != 3 {
+		t.Fatalf("matched %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Fail {
+			t.Fatalf("%s gmp=%d: injected regression not flagged (speed %+.1f%%, allocs %+.1f%%)",
+				r.Name, r.GOMAXPROCS, 100*r.SpeedDelta, 100*r.AllocDelta)
+		}
+	}
+	var throughput, allocs, nsop bool
+	for _, r := range rows {
+		switch {
+		case strings.Contains(r.Reason, "throughput fell"):
+			throughput = true
+		case strings.Contains(r.Reason, "allocs/op grew"):
+			allocs = true
+		case strings.Contains(r.Reason, "ns/op rose"):
+			nsop = true
+		}
+	}
+	if !throughput || !allocs || !nsop {
+		t.Fatalf("missing failure kinds: throughput=%v allocs=%v nsop=%v", throughput, allocs, nsop)
+	}
+}
+
+func TestCompareReportsWithinTolerancePasses(t *testing.T) {
+	old := baselineReport()
+	noisy := baselineReport()
+	noisy.Benchmarks[0].MBPerSec = 80.0 * 0.93 // -7%: inside the 10% band
+	noisy.Benchmarks[1].AllocsPerOp = 61_000 * 115 / 100
+	noisy.Benchmarks[2].NsPerOp = 24_000_000 * 105 / 100
+	for _, r := range compareReports(old, noisy) {
+		if r.Fail {
+			t.Fatalf("%s gmp=%d: within-tolerance noise flagged: %s", r.Name, r.GOMAXPROCS, r.Reason)
+		}
+	}
+}
+
+func TestCompareReportsImprovementPasses(t *testing.T) {
+	old := baselineReport()
+	better := baselineReport()
+	better.Benchmarks[0].MBPerSec = 160.0
+	better.Benchmarks[1].AllocsPerOp = 100
+	better.Benchmarks[2].NsPerOp = 1_000_000
+	for _, r := range compareReports(old, better) {
+		if r.Fail {
+			t.Fatalf("%s gmp=%d: improvement flagged as regression: %s", r.Name, r.GOMAXPROCS, r.Reason)
+		}
+	}
+}
+
+// Pre-sweep reports carried gomaxprocs only at the top level; their rows
+// must match new per-row gomaxprocs entries via the report-level fallback.
+func TestCompareReportsOldSchemaFallback(t *testing.T) {
+	old := engineBenchReport{
+		GOMAXPROCS: 1,
+		Benchmarks: []engineBenchResult{
+			{Name: "wordcount/with-combine", NsPerOp: 114_485_897, AllocsPerOp: 826_998, MBPerSec: 36.636},
+		},
+	}
+	improved := engineBenchReport{
+		GOMAXPROCS: 1,
+		Benchmarks: []engineBenchResult{
+			benchRow("wordcount/with-combine", 1, 50_000_000, 60_000, 83.0),
+			benchRow("wordcount/with-combine", 4, 47_000_000, 61_000, 89.0),
+		},
+	}
+	rows := compareReports(old, improved)
+	if len(rows) != 1 {
+		t.Fatalf("matched %d rows, want 1 (old gmp=1 row vs new gmp=1 row only)", len(rows))
+	}
+	r := rows[0]
+	if r.GOMAXPROCS != 1 || r.Fail {
+		t.Fatalf("fallback row: gmp=%d fail=%v reason=%q", r.GOMAXPROCS, r.Fail, r.Reason)
+	}
+	if r.SpeedDelta < 1.0 {
+		t.Fatalf("SpeedDelta = %+.2f, want > +100%% for 36.6 -> 83 MB/s", r.SpeedDelta)
+	}
+}
+
+// Rows that exist in only one report are skipped, not failed — suites
+// evolve; only surviving benchmarks are gated.
+func TestCompareReportsUnmatchedRowsSkipped(t *testing.T) {
+	old := engineBenchReport{Benchmarks: []engineBenchResult{
+		benchRow("partition/pipelined-driver", 1, 90_000_000, 1000, 44.0),
+	}}
+	now := engineBenchReport{Benchmarks: []engineBenchResult{
+		benchRow("partition/parallel-driver", 1, 88_000_000, 900, 46.0),
+	}}
+	if rows := compareReports(old, now); len(rows) != 0 {
+		t.Fatalf("matched %d rows across disjoint suites, want 0", len(rows))
+	}
+}

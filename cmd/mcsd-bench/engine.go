@@ -20,37 +20,91 @@ import (
 // the whole suite stays in seconds.
 const engineCorpusBytes = 4 << 20
 
+// Pre-overhaul engine baseline: the committed BENCH_mapreduce.json numbers
+// before the zero-copy/pooled-emit rework, measured at GOMAXPROCS=1 on the
+// reference container. The overhaul's acceptance targets are evaluated
+// against these.
+const (
+	baselineWordCountMBPerSec = 36.636
+	baselineWordCountAllocs   = 826998
+
+	targetWordCountSpeedup = 2.0
+	targetAllocCut         = 5.0
+)
+
+// engineSweep is the GOMAXPROCS ladder every parallel-sensitive benchmark
+// is measured at.
+var engineSweep = []int{1, 2, 4, 8}
+
 // engineBenchResult is one row of the BENCH_mapreduce.json report.
 type engineBenchResult struct {
 	Name        string  `json:"name"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	// MergeStrategy is recorded on merge/adaptive rows: the strategy
+	// MergeStrategyFor picked at that fan-in.
+	MergeStrategy string `json:"merge_strategy,omitempty"`
 }
 
-// engineBenchReport is the BENCH_mapreduce.json schema: the measured
-// before/after numbers for the shuffle/merge hot-path overhaul.
+// engineBenchTargets evaluates the overhaul's acceptance targets against
+// the embedded pre-overhaul baseline.
+type engineBenchTargets struct {
+	BaselineMBPerSec    float64 `json:"baseline_wordcount_mb_per_s"`
+	BaselineAllocsPerOp int64   `json:"baseline_wordcount_allocs_per_op"`
+	MBPerSecAtGmp4      float64 `json:"wordcount_mb_per_s_gomaxprocs4"`
+	Speedup             float64 `json:"wordcount_speedup"`
+	SpeedupRequired     float64 `json:"speedup_required"`
+	AllocsPerOpAtGmp4   int64   `json:"wordcount_allocs_per_op_gomaxprocs4"`
+	AllocCut            float64 `json:"alloc_cut"`
+	AllocCutRequired    float64 `json:"alloc_cut_required"`
+	Met                 bool    `json:"met"`
+}
+
+// engineBenchReport is the BENCH_mapreduce.json schema. gomaxprocs at the
+// top level is the process default the run started with (kept for older
+// readers); every benchmark row carries its own gomaxprocs from the sweep.
 type engineBenchReport struct {
 	GeneratedBy string              `json:"generated_by"`
 	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	NumCPU      int                 `json:"num_cpu"`
 	CorpusBytes int                 `json:"corpus_bytes"`
+	Targets     *engineBenchTargets `json:"targets,omitempty"`
 	Benchmarks  []engineBenchResult `json:"benchmarks"`
 }
 
-// runEngineBench measures the real engine's hot paths — the streaming
-// combine against the staged emit path, the loser-tree k-way merge against
-// the linear tournament, and the pipelined against the sequential
-// partition driver — prints the results, and records them in outPath.
+// bench3 runs a benchmark three times and keeps the fastest sample, the
+// usual defense against scheduler noise on a shared machine (benchstat
+// would take the median of many more; best-of-3 keeps the suite fast while
+// stabilizing the committed numbers the CI gate compares against).
+func bench3(f func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(f)
+	for i := 0; i < 2; i++ {
+		if r := testing.Benchmark(f); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+// runEngineBench measures the real engine's hot paths — the zero-copy
+// streaming-combine path against the staged emit path across a GOMAXPROCS
+// sweep, the k-adaptive merge against its forced strategies across the
+// fan-in sweep, and the fragment-parallel against the sequential partition
+// driver — prints the results, and records them in outPath.
 func runEngineBench(outPath string) error {
 	rep := engineBenchReport{
 		GeneratedBy: "mcsd-bench -engine",
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		CorpusBytes: engineCorpusBytes,
 	}
-	add := func(name string, setBytes int64, r testing.BenchmarkResult) {
+	add := func(name string, gmp int, setBytes int64, r testing.BenchmarkResult) *engineBenchResult {
 		row := engineBenchResult{
 			Name:        name,
+			GOMAXPROCS:  gmp,
 			NsPerOp:     r.NsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -59,57 +113,78 @@ func runEngineBench(outPath string) error {
 			row.MBPerSec = float64(setBytes) / 1e6 * 1e9 / float64(r.NsPerOp())
 		}
 		rep.Benchmarks = append(rep.Benchmarks, row)
-		fmt.Printf("  %-32s %12d ns/op %12d B/op %9d allocs/op\n",
-			name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+		fmt.Printf("  %-32s gmp=%d %12d ns/op %12d B/op %9d allocs/op\n",
+			name, gmp, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+		return &rep.Benchmarks[len(rep.Benchmarks)-1]
 	}
 
-	fmt.Println("Engine hot-path benchmarks (this machine):")
+	fmt.Printf("Engine hot-path benchmarks (this machine, %d CPU(s)):\n", rep.NumCPU)
 	input := workloads.GenerateTextBytes(engineCorpusBytes, 1)
 	ctx := context.Background()
 
-	// Streaming combine vs the staged raw-pair path.
+	// Zero-copy streaming combine vs the staged raw-pair path, across the
+	// GOMAXPROCS sweep. Engine workers follow min(GOMAXPROCS, NumCPU), so
+	// on a single-CPU host the sweep measures scheduling overhead, not
+	// scaling — num_cpu in the report says which reading applies.
 	withCombine := workloads.WordCountSpec()
 	noCombine := workloads.WordCountSpec()
 	noCombine.Combine = nil
-	add("wordcount/with-combine", int64(len(input)), testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := mapreduce.Run(ctx, mapreduce.Config{}, withCombine, input); err != nil {
-				b.Fatal(err)
+	defer runtime.GOMAXPROCS(rep.GOMAXPROCS)
+	for _, gmp := range engineSweep {
+		runtime.GOMAXPROCS(gmp)
+		add("wordcount/with-combine", gmp, int64(len(input)), bench3(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapreduce.Run(ctx, mapreduce.Config{}, withCombine, input); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	}))
-	add("wordcount/no-combine", int64(len(input)), testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := mapreduce.Run(ctx, mapreduce.Config{}, noCombine, input); err != nil {
-				b.Fatal(err)
+		}))
+		add("wordcount/no-combine", gmp, int64(len(input)), bench3(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapreduce.Run(ctx, mapreduce.Config{}, noCombine, input); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	}))
+		}))
+	}
+	runtime.GOMAXPROCS(rep.GOMAXPROCS)
 
-	// Loser-tree/heap k-way merge vs the linear tournament.
+	// The k-adaptive merge against its forced strategies across the
+	// fan-in sweep — the measurement behind the engine's crossover
+	// constant (mergeTreeMinK).
 	const mergeTotal = 1 << 17
-	for _, k := range []int{2, 8, 64} {
+	for _, k := range []int{2, 8, 16, 64} {
 		runs := sortedRuns(mergeTotal, k)
 		less := func(a, b int) bool { return a < b }
-		add(fmt.Sprintf("merge/loser-tree/k=%d", k), 0, testing.Benchmark(func(b *testing.B) {
+		add(fmt.Sprintf("merge/loser-tree/k=%d", k), 1, 0, bench3(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mapreduce.MergeSortedWith(runs, less, mapreduce.MergeTree)
+			}
+		}))
+		add(fmt.Sprintf("merge/linear/k=%d", k), 1, 0, bench3(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mapreduce.MergeSortedWith(runs, less, mapreduce.MergeLinear)
+			}
+		}))
+		row := add(fmt.Sprintf("merge/adaptive/k=%d", k), 1, 0, bench3(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mapreduce.MergeSorted(runs, less)
 			}
 		}))
-		add(fmt.Sprintf("merge/linear/k=%d", k), 0, testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				mapreduce.MergeSortedLinear(runs, less)
-			}
-		}))
+		_, strat := mapreduce.MergeSortedStats(runs, less)
+		row.MergeStrategy = strat.String()
 	}
 
-	// Three-stage pipelined driver vs the sequential out-of-core driver.
+	// Fragment-parallel vs sequential out-of-core driver. The sequential
+	// driver is GOMAXPROCS-insensitive by construction, so it is measured
+	// once.
 	opts := partition.Options{FragmentSize: 512 << 10}
-	add("partition/sequential-driver", int64(len(input)), testing.Benchmark(func(b *testing.B) {
+	add("partition/sequential-driver", 1, int64(len(input)), bench3(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := partition.Run(ctx, mapreduce.Config{}, workloads.WordCountSpec(),
@@ -118,15 +193,44 @@ func runEngineBench(outPath string) error {
 			}
 		}
 	}))
-	add("partition/pipelined-driver", int64(len(input)), testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := partition.RunPipelined(ctx, mapreduce.Config{}, workloads.WordCountSpec(),
-				bytes.NewReader(input), opts, workloads.WordCountMerge); err != nil {
-				b.Fatal(err)
+	for _, gmp := range engineSweep {
+		runtime.GOMAXPROCS(gmp)
+		add("partition/parallel-driver", gmp, int64(len(input)), bench3(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.RunParallel(ctx, mapreduce.Config{}, workloads.WordCountSpec(),
+					bytes.NewReader(input), opts, workloads.WordCountMerge); err != nil {
+					b.Fatal(err)
+				}
 			}
+		}))
+	}
+	runtime.GOMAXPROCS(rep.GOMAXPROCS)
+
+	// Acceptance targets vs the embedded pre-overhaul baseline.
+	for _, row := range rep.Benchmarks {
+		if row.Name == "wordcount/with-combine" && row.GOMAXPROCS == 4 {
+			t := &engineBenchTargets{
+				BaselineMBPerSec:    baselineWordCountMBPerSec,
+				BaselineAllocsPerOp: baselineWordCountAllocs,
+				MBPerSecAtGmp4:      row.MBPerSec,
+				Speedup:             row.MBPerSec / baselineWordCountMBPerSec,
+				SpeedupRequired:     targetWordCountSpeedup,
+				AllocsPerOpAtGmp4:   row.AllocsPerOp,
+				AllocCutRequired:    targetAllocCut,
+			}
+			if row.AllocsPerOp > 0 {
+				t.AllocCut = float64(baselineWordCountAllocs) / float64(row.AllocsPerOp)
+			}
+			t.Met = t.Speedup >= t.SpeedupRequired && t.AllocCut >= t.AllocCutRequired
+			rep.Targets = t
+			fmt.Printf("\n  targets vs pre-overhaul baseline (%.1f MB/s, %d allocs/op at GOMAXPROCS=1):\n",
+				t.BaselineMBPerSec, t.BaselineAllocsPerOp)
+			fmt.Printf("    wordcount speedup at GOMAXPROCS=4:  %.2fx  (required >= %.1fx)\n", t.Speedup, t.SpeedupRequired)
+			fmt.Printf("    wordcount alloc cut:                %.1fx  (required >= %.1fx)\n", t.AllocCut, t.AllocCutRequired)
+			fmt.Printf("    met: %v\n", t.Met)
 		}
-	}))
+	}
 
 	// One instrumented run: where does the wall clock go?
 	res, err := mapreduce.Run(ctx, mapreduce.Config{}, workloads.WordCountSpec(), input)
@@ -150,6 +254,7 @@ func runEngineBench(outPath string) error {
 	if err := emitCSV(tbl.Title, tbl.CSV()); err != nil {
 		return err
 	}
+	fmt.Printf("  final merge strategy: %s\n", s.MergeStrategy)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -59,24 +59,34 @@ func emitFigure(fig *metrics.Figure) error {
 
 func main() {
 	var (
-		table1 = flag.Bool("table1", false, "Table I: cluster configuration")
-		fig8a  = flag.Bool("fig8a", false, "Fig. 8(a): single-application speedups")
-		fig8b  = flag.Bool("fig8b", false, "Fig. 8(b): WC growth curves")
-		fig8c  = flag.Bool("fig8c", false, "Fig. 8(c): SM growth curves")
-		fig9   = flag.Bool("fig9", false, "Fig. 9: MM/WC pair speedups")
-		fig10  = flag.Bool("fig10", false, "Fig. 10: MM/SM pair speedups")
-		claims = flag.Bool("claims", false, "quantitative prose claims (PASS/FAIL)")
-		ext    = flag.Bool("ext", false, "extension studies: multi-SD, interconnect, SMB sweep")
-		scale  = flag.Bool("scale", false, "measured scale model: real engine + throttled TCP (slow; excluded from default)")
-		calib  = flag.Bool("calibrate", false, "measure the real engine on this machine and print the model scale factor")
-		engine = flag.Bool("engine", false, "engine hot-path benchmarks: combine/merge/pipeline before-vs-after (slow; excluded from default)")
-		engOut = flag.String("engine-out", "BENCH_mapreduce.json", "where -engine writes its JSON report")
-		nfsb   = flag.Bool("nfs", false, "NFS data-path benchmarks: pipelined vs serial, block cache warm/cold over a modelled 1 GbE link (slow; excluded from default)")
-		nfsOut = flag.String("nfs-out", "BENCH_nfs.json", "where -nfs writes its JSON report")
-		csvDir = flag.String("csv", "", "also write each table/figure as CSV into this directory")
+		table1  = flag.Bool("table1", false, "Table I: cluster configuration")
+		fig8a   = flag.Bool("fig8a", false, "Fig. 8(a): single-application speedups")
+		fig8b   = flag.Bool("fig8b", false, "Fig. 8(b): WC growth curves")
+		fig8c   = flag.Bool("fig8c", false, "Fig. 8(c): SM growth curves")
+		fig9    = flag.Bool("fig9", false, "Fig. 9: MM/WC pair speedups")
+		fig10   = flag.Bool("fig10", false, "Fig. 10: MM/SM pair speedups")
+		claims  = flag.Bool("claims", false, "quantitative prose claims (PASS/FAIL)")
+		ext     = flag.Bool("ext", false, "extension studies: multi-SD, interconnect, SMB sweep")
+		scale   = flag.Bool("scale", false, "measured scale model: real engine + throttled TCP (slow; excluded from default)")
+		calib   = flag.Bool("calibrate", false, "measure the real engine on this machine and print the model scale factor")
+		engine  = flag.Bool("engine", false, "engine hot-path benchmarks: combine/merge/pipeline before-vs-after (slow; excluded from default)")
+		engOut  = flag.String("engine-out", "BENCH_mapreduce.json", "where -engine writes its JSON report")
+		nfsb    = flag.Bool("nfs", false, "NFS data-path benchmarks: pipelined vs serial, block cache warm/cold over a modelled 1 GbE link (slow; excluded from default)")
+		nfsOut  = flag.String("nfs-out", "BENCH_nfs.json", "where -nfs writes its JSON report")
+		csvDir  = flag.String("csv", "", "also write each table/figure as CSV into this directory")
+		compare = flag.Bool("compare", false, "compare two -engine reports: mcsd-bench -compare old.json new.json (exits non-zero on regression)")
 	)
 	flag.Parse()
 	outDir = *csvDir
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("mcsd-bench: -compare needs exactly two arguments: old.json new.json")
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+			log.Fatalf("mcsd-bench: compare: %v", err)
+		}
+		return
+	}
 	all := !(*table1 || *fig8a || *fig8b || *fig8c || *fig9 || *fig10 || *claims || *ext || *scale || *calib || *engine || *nfsb)
 
 	if err := run(all, *table1, *fig8a, *fig8b, *fig8c, *fig9, *fig10, *claims, *ext); err != nil {

@@ -25,13 +25,13 @@ type WordCountParams struct {
 	Workers int `json:"workers,omitempty"`
 	// TopN bounds the returned frequency table (0 = 100).
 	TopN int `json:"top_n,omitempty"`
-	// Sequential opts out of the default three-stage pipelined driver
-	// (partition.RunPipelined) and processes fragments strictly one at a
+	// Sequential opts out of the default fragment-parallel driver
+	// (partition.RunParallel) and processes fragments strictly one at a
 	// time — the choice when the node's memory budget cannot spare the
-	// pipeline's extra resident fragment and in-flight fragment output.
+	// pool's extra resident fragments and in-flight fragment outputs.
 	Sequential bool `json:"sequential,omitempty"`
-	// Pipelined is accepted for backward compatibility; the pipelined
-	// driver is now the default, so the field has no effect.
+	// Pipelined is accepted for backward compatibility; concurrent
+	// fragment processing is now the default, so the field has no effect.
 	Pipelined bool `json:"pipelined,omitempty"`
 }
 
@@ -68,10 +68,10 @@ type StringMatchParams struct {
 	// SampleLines bounds how many matching lines are returned verbatim
 	// (counts are always complete). 0 = 10.
 	SampleLines int `json:"sample_lines,omitempty"`
-	// Sequential opts out of the default pipelined driver.
+	// Sequential opts out of the default fragment-parallel driver.
 	Sequential bool `json:"sequential,omitempty"`
 	// Pipelined is accepted for backward compatibility; it has no effect
-	// now that the pipelined driver is the default.
+	// now that concurrent fragment processing is the default.
 	Pipelined bool `json:"pipelined,omitempty"`
 }
 

@@ -25,10 +25,10 @@ type DBSelectParams struct {
 	MinPrice       float64 `json:"min_price,omitempty"`
 	PartitionBytes int64   `json:"partition_bytes,omitempty"`
 	Workers        int     `json:"workers,omitempty"`
-	// Sequential opts out of the default pipelined driver.
+	// Sequential opts out of the default fragment-parallel driver.
 	Sequential bool `json:"sequential,omitempty"`
 	// Pipelined is accepted for backward compatibility; it has no effect
-	// now that the pipelined driver is the default.
+	// now that concurrent fragment processing is the default.
 	Pipelined bool `json:"pipelined,omitempty"`
 }
 
@@ -64,7 +64,7 @@ func DBSelectModule(cfg ModuleConfig) smartfam.Module {
 			defer f.Close()
 
 			start := time.Now()
-			driver := partition.RunPipelined[string, float64, float64]
+			driver := partition.RunParallel[string, float64, float64]
 			if p.Sequential {
 				driver = partition.Run[string, float64, float64]
 			}

@@ -97,10 +97,10 @@ func WordCountModule(cfg ModuleConfig) smartfam.Module {
 			defer f.Close()
 
 			start := time.Now()
-			// The three-stage pipelined driver is the module default; the
+			// The fragment-parallel driver is the module default; the
 			// strictly-sequential driver stays available for memory-tight
 			// nodes via Sequential.
-			driver := partition.RunPipelined[string, int, int]
+			driver := partition.RunParallel[string, int, int]
 			if p.Sequential {
 				driver = partition.Run[string, int, int]
 			}
@@ -162,7 +162,7 @@ func StringMatchModule(cfg ModuleConfig) smartfam.Module {
 			defer f.Close()
 
 			start := time.Now()
-			driver := partition.RunPipelined[string, string, []string]
+			driver := partition.RunParallel[string, string, []string]
 			if p.Sequential {
 				driver = partition.Run[string, string, []string]
 			}

@@ -1,0 +1,107 @@
+package mapreduce
+
+import (
+	"hash/maphash"
+	"reflect"
+)
+
+// wordTable is the task-local key index of the zero-copy emit path: an
+// open-addressing hash table from byte-string keys to their emit records.
+// It exists because the generic built-in map pays for features this path
+// does not need — per-probe group matching over a sparse layout, tombstone
+// bookkeeping, iteration support. Here a probe is one 16-byte slot load, a
+// stored-hash compare, and (on hash match) one string compare against the
+// record's interned key; iteration is never done through the table at all
+// (the record arena is scanned linearly instead), so reset is a bulk clear.
+//
+// Slots store the full hash, biased so zero always means empty; capacity is
+// a power of two, grown at 3/4 load by rehashing slots only (keys are never
+// re-hashed — the stored hash is reused).
+type wordTable[V any] struct {
+	slots []internSlot[V]
+	mask  uint64
+	n     int
+}
+
+type internSlot[V any] struct {
+	hash uint64
+	rec  *kvrec[string, V]
+}
+
+// internInitSlots is the initial slot count; the table doubles as needed
+// and keeps its size across tasks (successive tasks of one worker see
+// similar vocabularies).
+const internInitSlots = 1 << 10
+
+func newWordTable[V any]() *wordTable[V] {
+	return &wordTable[V]{slots: make([]internSlot[V], internInitSlots), mask: internInitSlots - 1}
+}
+
+// getWordTable hands a worker a recycled (empty, pre-grown) intern table.
+func getWordTable[V any]() *wordTable[V] {
+	if v := poolFor(reflect.TypeFor[wordTable[V]]()).Get(); v != nil {
+		return v.(*wordTable[V])
+	}
+	return newWordTable[V]()
+}
+
+func putWordTable[V any](t *wordTable[V]) {
+	t.reset()
+	poolFor(reflect.TypeFor[wordTable[V]]()).Put(t)
+}
+
+// internHash hashes a key's bytes, biased non-zero so it can double as the
+// slot occupancy marker.
+func internHash(kb []byte) uint64 {
+	return maphash.Bytes(hashSeed, kb) | 1
+}
+
+// lookup returns the record interned for kb (whose hash is h), or nil.
+func (t *wordTable[V]) lookup(kb []byte, h uint64) *kvrec[string, V] {
+	i := h & t.mask
+	for {
+		s := &t.slots[i]
+		if s.hash == 0 {
+			return nil
+		}
+		if s.hash == h && s.rec.key == string(kb) {
+			return s.rec
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert adds a record under hash h. The key must not already be present.
+func (t *wordTable[V]) insert(h uint64, rec *kvrec[string, V]) {
+	if 4*(t.n+1) > 3*len(t.slots) {
+		t.grow()
+	}
+	i := h & t.mask
+	for t.slots[i].hash != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = internSlot[V]{hash: h, rec: rec}
+	t.n++
+}
+
+func (t *wordTable[V]) grow() {
+	old := t.slots
+	t.slots = make([]internSlot[V], 2*len(old))
+	t.mask = uint64(len(t.slots)) - 1
+	for _, s := range old {
+		if s.hash == 0 {
+			continue
+		}
+		i := s.hash & t.mask
+		for t.slots[i].hash != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = s
+	}
+}
+
+// reset empties the table, keeping its capacity for the next task.
+func (t *wordTable[V]) reset() {
+	clear(t.slots)
+	t.n = 0
+}

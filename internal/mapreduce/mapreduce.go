@@ -45,6 +45,16 @@ type Spec[K comparable, V any, R any] struct {
 	// only.
 	Map func(chunk []byte, emit func(K, V)) error
 
+	// MapBytes is the zero-copy alternative to Map for specs whose key
+	// type is string: it emits keys as byte subslices of the chunk (no
+	// per-emission string conversion). The runtime interns each distinct
+	// key at most once per task and never retains the emitted bytes, so
+	// the callback may pass subslices of the chunk — or of a reusable
+	// scratch buffer — directly. When both Map and MapBytes are set the
+	// runtime prefers MapBytes; Run fails with ErrMapBytesKey when
+	// MapBytes is set on a spec whose K is not string.
+	MapBytes func(chunk []byte, emit func(word []byte, v V)) error
+
 	// Combine optionally folds a key's values worker-locally after the map
 	// phase (Phoenix's combiner), shrinking the intermediate footprint.
 	// It must be associative and commutative over values.
@@ -75,7 +85,11 @@ type Spec[K comparable, V any, R any] struct {
 // Config tunes the runtime for one node.
 type Config struct {
 	// Workers is the number of concurrent map (and reduce) workers —
-	// the core count of the node. Zero means GOMAXPROCS.
+	// the core count of the node. Zero means the smaller of GOMAXPROCS
+	// and the physical CPU count: workers are CPU-bound, so runnable
+	// workers beyond real cores add per-worker shuffle state (and merge
+	// work) without adding speed. Phoenix sizes its worker pool the same
+	// way — one thread per core.
 	Workers int
 	// NumReducers is the number of hash partitions of the intermediate
 	// key space. Zero means Workers.
@@ -94,11 +108,22 @@ type Config struct {
 	MaxTaskRetries int
 }
 
+// EffectiveWorkers is the worker count a zero-value-tolerant Config
+// resolves to (see Workers). Drivers that schedule whole engine runs —
+// internal/partition's parallel driver sizes its fragment pool with it —
+// use this so their pool and the engine agree on what "one core each"
+// means.
+func (c Config) EffectiveWorkers() int { return c.workers() }
+
 func (c Config) workers() int {
 	if c.Workers > 0 {
 		return c.Workers
 	}
-	return runtime.GOMAXPROCS(0)
+	n := runtime.GOMAXPROCS(0)
+	if cpus := runtime.NumCPU(); n > cpus {
+		n = cpus
+	}
+	return n
 }
 
 func (c Config) reducers() int {
@@ -157,6 +182,12 @@ type Stats struct {
 	ShuffleTime time.Duration
 	ReduceTime  time.Duration
 	MergeTime   time.Duration
+	// MergeStrategy is the k-way merge strategy the final merge stage
+	// chose (see MergeStrategyFor): runs below the measured crossover use
+	// the linear tournament, larger fans the tree merge, and large
+	// multicore merges the range-split parallel merge. Empty when the
+	// run had no ordering (concatenation).
+	MergeStrategy string
 }
 
 // Total returns the summed phase wall time. ShuffleTime is a component of
@@ -183,8 +214,13 @@ func (r *Result[K, R]) Map() map[K]R {
 	return m
 }
 
-// ErrSpecIncomplete reports a Spec missing Map or Reduce.
-var ErrSpecIncomplete = errors.New("mapreduce: spec requires Map and Reduce")
+// ErrSpecIncomplete reports a Spec missing Map (or MapBytes) or Reduce.
+var ErrSpecIncomplete = errors.New("mapreduce: spec requires Map (or MapBytes) and Reduce")
+
+// ErrMapBytesKey reports a Spec whose MapBytes is set but whose key type
+// is not string — the zero-copy emit path interns byte keys into strings
+// and has no meaning for other key types.
+var ErrMapBytesKey = errors.New("mapreduce: MapBytes requires the spec key type to be string")
 
 // taskError wraps a recovered panic or returned error from a user callback.
 type taskError struct {

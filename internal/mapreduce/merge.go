@@ -6,54 +6,165 @@ import (
 	"sync"
 )
 
+// MergeStrategy identifies how the final k-way merge combined the sorted
+// partition runs. The strategy is picked at runtime from the fan-in and
+// output size (MergeStrategyFor) and reported in Stats.MergeStrategy.
+type MergeStrategy int
+
+const (
+	// MergeCopy: zero or one non-empty run — a straight copy.
+	MergeCopy MergeStrategy = iota
+	// MergeBinary: exactly two non-empty runs — two-pointer merge.
+	MergeBinary
+	// MergeLinear: a linear tournament over run heads, O(total·k). Below
+	// the tree crossover its branch-predictable scan beats the heap's
+	// sift cost.
+	MergeLinear
+	// MergeTree: a tournament-tree (min-heap) merge, O(total·log k).
+	MergeTree
+	// MergeParallel: disjoint key ranges merged concurrently, for large
+	// outputs on a multicore node.
+	MergeParallel
+)
+
+func (s MergeStrategy) String() string {
+	switch s {
+	case MergeCopy:
+		return "copy"
+	case MergeBinary:
+		return "binary"
+	case MergeLinear:
+		return "linear"
+	case MergeTree:
+		return "tree"
+	case MergeParallel:
+		return "parallel"
+	}
+	return "unknown"
+}
+
+// mergeTreeMinK is the fan-in at which the tree merge starts beating the
+// linear tournament. Below it the linear scan's predictable branches win;
+// the crossover is measured by the merge k-sweep in mcsd-bench (see
+// BENCH_mapreduce.json, merge/* rows).
+const mergeTreeMinK = 12
+
 // parallelMergeMin is the output size below which a parallel final merge is
 // not worth the goroutine and boundary-search overhead.
 const parallelMergeMin = 1 << 16
 
-// MergeSorted k-way merges sorted runs into one sorted slice. Small inputs
-// use a two-pointer or heap merge (O(total·log k) against the O(total·k)
-// linear tournament it replaced); large outputs on a multicore node are
-// split into disjoint key ranges that merge in parallel.
+// MergeStrategyFor picks the merge strategy for the given total output
+// length and number of non-empty runs.
+func MergeStrategyFor(total, live int) MergeStrategy {
+	switch {
+	case live <= 1:
+		return MergeCopy
+	case live == 2:
+		return MergeBinary
+	case total >= parallelMergeMin && live >= 4 && runtime.GOMAXPROCS(0) > 1:
+		return MergeParallel
+	case live < mergeTreeMinK:
+		return MergeLinear
+	default:
+		return MergeTree
+	}
+}
+
+// MergeSorted k-way merges sorted runs into one sorted slice, picking the
+// strategy from the fan-in (see MergeStrategyFor).
 //
-// Ties between runs are broken by run index, matching the stable order of
-// the linear tournament, so output is deterministic for any input.
+// Ties between runs are broken by run index, so output is deterministic
+// for any input regardless of strategy.
 func MergeSorted[K comparable, R any](runs [][]Pair[K, R], less func(a, b K) bool) []Pair[K, R] {
-	total := 0
-	live := make([][]Pair[K, R], 0, len(runs))
-	for _, r := range runs {
-		if len(r) > 0 {
-			live = append(live, r)
-			total += len(r)
-		}
-	}
-	out := make([]Pair[K, R], total)
-	switch len(live) {
-	case 0:
-		return out
-	case 1:
-		copy(out, live[0])
-		return out
-	}
-	if total >= parallelMergeMin && len(live) >= 4 && runtime.GOMAXPROCS(0) > 1 {
-		parallelMergeInto(out, live, less)
-		return out
-	}
-	mergeInto(out, live, less)
+	out, _ := MergeSortedStats(runs, less)
 	return out
 }
 
-// MergeSortedLinear is the pre-overhaul baseline: a linear tournament over
-// run heads, O(total·k). It is retained (and exported) so benchmarks can
-// pin the loser-tree/heap merge against it; production code paths use
-// MergeSorted.
+// MergeSortedStats is MergeSorted, also reporting the strategy it chose.
+func MergeSortedStats[K comparable, R any](runs [][]Pair[K, R], less func(a, b K) bool) ([]Pair[K, R], MergeStrategy) {
+	total, live := 0, 0
+	for _, r := range runs {
+		if len(r) > 0 {
+			live++
+			total += len(r)
+		}
+	}
+	strat := MergeStrategyFor(total, live)
+	return mergeAs(strat, runs, less, total, live), strat
+}
+
+// MergeSortedWith merges with a forced strategy. It exists so benchmarks
+// and tests can pin strategies against each other at a given fan-in (the
+// crossover measurement behind mergeTreeMinK); production paths use
+// MergeSorted. A strategy that cannot handle the run shape (e.g.
+// MergeBinary over three non-empty runs) falls back to MergeTree.
+func MergeSortedWith[K comparable, R any](runs [][]Pair[K, R], less func(a, b K) bool, strat MergeStrategy) []Pair[K, R] {
+	total, live := 0, 0
+	for _, r := range runs {
+		if len(r) > 0 {
+			live++
+			total += len(r)
+		}
+	}
+	if (strat == MergeCopy && live > 1) || (strat == MergeBinary && live != 2) {
+		strat = MergeTree
+	}
+	return mergeAs(strat, runs, less, total, live)
+}
+
+func mergeAs[K comparable, R any](strat MergeStrategy, runs [][]Pair[K, R], less func(a, b K) bool, total, live int) []Pair[K, R] {
+	out := make([]Pair[K, R], total)
+	if live == 0 {
+		return out
+	}
+	switch strat {
+	case MergeCopy:
+		n := 0
+		for _, r := range runs {
+			n += copy(out[n:], r)
+		}
+	case MergeBinary:
+		var a, b []Pair[K, R]
+		for _, r := range runs {
+			if len(r) == 0 {
+				continue
+			}
+			if a == nil {
+				a = r
+			} else {
+				b = r
+			}
+		}
+		mergeTwoInto(out, a, b, less)
+	case MergeLinear:
+		linearMergeInto(out, runs, less)
+	case MergeParallel:
+		parallelMergeInto(out, runs, less)
+	default:
+		mergeInto(out, runs, less)
+	}
+	return out
+}
+
+// MergeSortedLinear is the linear tournament exposed with the MergeSorted
+// signature: O(total·k) over run heads. Retained as the baseline the
+// adaptive strategies are benchmarked against, and used by MergeSorted
+// itself below the tree crossover.
 func MergeSortedLinear[K comparable, R any](runs [][]Pair[K, R], less func(a, b K) bool) []Pair[K, R] {
 	total := 0
 	for _, r := range runs {
 		total += len(r)
 	}
-	out := make([]Pair[K, R], 0, total)
+	out := make([]Pair[K, R], total)
+	linearMergeInto(out, runs, less)
+	return out
+}
+
+// linearMergeInto merges runs into dst (len(dst) = total run length) with
+// a linear tournament: each step scans every run head. One allocation.
+func linearMergeInto[K comparable, R any](dst []Pair[K, R], runs [][]Pair[K, R], less func(a, b K) bool) {
 	idx := make([]int, len(runs))
-	for len(out) < total {
+	for n := range dst {
 		best := -1
 		for i, r := range runs {
 			if idx[i] >= len(r) {
@@ -63,23 +174,35 @@ func MergeSortedLinear[K comparable, R any](runs [][]Pair[K, R], less func(a, b 
 				best = i
 			}
 		}
-		out = append(out, runs[best][idx[best]])
+		dst[n] = runs[best][idx[best]]
 		idx[best]++
 	}
-	return out
 }
 
-// mergeInto merges the non-empty sorted runs into dst, which must have
-// length equal to the total run length. Two runs take the two-pointer fast
-// path; more use a min-heap of run heads.
+// mergeInto merges the sorted runs (empty runs allowed) into dst, which
+// must have length equal to the total run length. Two live runs take the
+// two-pointer fast path; more use a min-heap of run heads. The heap and
+// cursor arrays share one backing allocation, so the whole merge costs
+// exactly one allocation beyond dst — matching the linear baseline's
+// profile.
 func mergeInto[K comparable, R any](dst []Pair[K, R], runs [][]Pair[K, R], less func(a, b K) bool) {
-	if len(runs) == 2 {
-		mergeTwoInto(dst, runs[0], runs[1], less)
-		return
+	k := len(runs)
+	backing := make([]int, 2*k)
+	h := runHeap[K, R]{runs: runs, idx: backing[:k], heap: backing[k:k], less: less}
+	for i, r := range runs {
+		if len(r) > 0 {
+			h.heap = append(h.heap, i)
+		}
 	}
-	h := runHeap[K, R]{runs: runs, idx: make([]int, len(runs)), heap: make([]int, len(runs)), less: less}
-	for i := range h.heap {
-		h.heap[i] = i
+	switch len(h.heap) {
+	case 0:
+		return
+	case 1:
+		copy(dst, runs[h.heap[0]])
+		return
+	case 2:
+		mergeTwoInto(dst, runs[h.heap[0]], runs[h.heap[1]], less)
+		return
 	}
 	for i := len(h.heap)/2 - 1; i >= 0; i-- {
 		h.siftDown(i)

@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"context"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -24,8 +25,15 @@ const streamFoldLen = 64
 // admit the estimated footprint, with ctx.Err() when cancelled, and with a
 // task error when a map or reduce task keeps failing past its retry budget.
 func Run[K comparable, V any, R any](ctx context.Context, cfg Config, spec Spec[K, V, R], input []byte) (*Result[K, R], error) {
-	if spec.Map == nil || spec.Reduce == nil {
+	if (spec.Map == nil && spec.MapBytes == nil) || spec.Reduce == nil {
 		return nil, ErrSpecIncomplete
+	}
+	useBytes := spec.MapBytes != nil
+	if useBytes {
+		var zk K
+		if _, ok := any(zk).(string); !ok {
+			return nil, fmt.Errorf("mapreduce: %q: %w", spec.Name, ErrMapBytesKey)
+		}
 	}
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
@@ -61,9 +69,11 @@ func Run[K comparable, V any, R any](ctx context.Context, cfg Config, spec Spec[
 	workers := cfg.workers()
 	numReducers := cfg.reducers()
 
-	// Map phase: dynamic task scheduling over a shared channel; each
-	// worker emits into its own per-partition buffers (no locking on the
-	// hot path, as in Phoenix).
+	// Map phase: dynamic task scheduling over a shared channel. Each
+	// worker accumulates one task-local keyed map (no locking on the hot
+	// path, as in Phoenix) and splices it into its per-partition buffers
+	// on task success — partition hashing happens once per distinct key
+	// per task, not once per emission.
 	start = time.Now()
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -90,25 +100,31 @@ func Run[K comparable, V any, R any](ctx context.Context, cfg Config, spec Spec[
 		retries:     &retries,
 		fail:        fail,
 	}
-	mp.stagingPool.New = func() any {
-		s := make([]Pair[K, V], 0, 512)
-		return &s
-	}
 
 	states := make([]*mapWorker[K, V], workers)
 	taskCh := make(chan int)
 	for w := 0; w < workers; w++ {
-		st := &mapWorker[K, V]{parts: make([]map[K][]V, numReducers)}
+		st := &mapWorker[K, V]{parts: make([]map[K][]V, numReducers), free: getFreeList[V]()}
 		for r := range st.parts {
-			st.parts[r] = make(map[K][]V)
+			st.parts[r] = getPartMap[K, V]()
 		}
 		states[w] = st
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if spec.Combine != nil {
+			defer func() {
+				// Retire the worker's buffer free list into the
+				// process-wide pool for the next job.
+				fl := st.free
+				st.free = nil
+				putFreeList(fl)
+			}()
+			switch {
+			case useBytes:
+				mp.runBytes(st, taskCh)
+			case spec.Combine != nil:
 				mp.runStreaming(st, taskCh)
-			} else {
+			default:
 				mp.runStaged(st, taskCh)
 			}
 		}()
@@ -173,19 +189,26 @@ feed:
 					return
 				}
 				shStart := time.Now()
-				// Pre-size the shuffle map from the worker-buffer key
-				// counts — an upper bound on the partition's cardinality,
-				// so the map never rehashes while absorbing the buffers.
-				size := 0
-				for _, st := range states {
-					size += len(st.parts[p])
+				// The first worker's buffer becomes the shuffle map
+				// directly (zero copying for single-worker runs); the
+				// remaining workers fold in, moving each value run on
+				// its key's first appearance.
+				merged := states[0].parts[p]
+				states[0].parts[p] = nil
+				if merged == nil {
+					merged = make(map[K][]V)
 				}
-				merged := make(map[K][]V, size)
-				for _, st := range states {
-					for k, vs := range st.parts[p] {
-						merged[k] = append(merged[k], vs...)
+				for _, st := range states[1:] {
+					donor := st.parts[p]
+					for k, vs := range donor {
+						if cur, ok := merged[k]; ok {
+							merged[k] = append(cur, vs...)
+						} else {
+							merged[k] = vs
+						}
 					}
-					st.parts[p] = nil // release as we go
+					st.parts[p] = nil
+					putPartMap(donor) // contents moved; recycle the buckets
 				}
 				uniq[p] = len(merged)
 				keys := make([]K, 0, len(merged))
@@ -221,6 +244,7 @@ feed:
 					out = append(out, Pair[K, R]{Key: k, Value: rv})
 				}
 				partOut[p] = out
+				putPartMap(merged) // reduced; keys live on in out, buckets recycle
 			}
 		}()
 	}
@@ -250,7 +274,8 @@ feedReduce:
 	res.Stats.ReduceTime = time.Since(start)
 
 	// Merge phase: concatenate, or k-way merge the sorted partitions into
-	// a globally sorted result (Phoenix's final merge stage).
+	// a globally sorted result (Phoenix's final merge stage), with the
+	// strategy picked from the fan-in (see MergeStrategyFor).
 	start = time.Now()
 	if spec.Less == nil {
 		total := 0
@@ -262,16 +287,19 @@ feedReduce:
 			res.Pairs = append(res.Pairs, po...)
 		}
 	} else {
-		res.Pairs = MergeSorted(partOut, spec.Less)
+		var strat MergeStrategy
+		res.Pairs, strat = MergeSortedStats(partOut, spec.Less)
+		res.Stats.MergeStrategy = strat.String()
 	}
 	res.Stats.MergeTime = time.Since(start)
 	return res, nil
 }
 
 // mapWorker is one map worker's shuffle-side state: per-partition keyed
-// buffers plus its raw emission count.
+// buffers, a value-buffer free list, and its raw emission count.
 type mapWorker[K comparable, V any] struct {
 	parts   []map[K][]V
+	free    [][]V
 	emitted int64
 }
 
@@ -284,10 +312,100 @@ type mapPhase[K comparable, V any, R any] struct {
 	maxRetries  int
 	retries     *atomic.Int64
 	fail        func(error)
-	// stagingPool recycles the raw-pair staging buffers of the staged
-	// emit path across tasks and workers, so steady state allocates no
-	// staging memory at all.
-	stagingPool sync.Pool
+}
+
+// partition maps a key to its reduce partition. Single-reducer runs (the
+// common single-worker shape) skip hashing entirely.
+func (mp *mapPhase[K, V, R]) partition(k K) int {
+	if mp.numReducers == 1 {
+		return 0
+	}
+	return partitionOf(k, mp.numReducers, mp.spec.PartitionFn)
+}
+
+// splice folds a finished task's records into the worker's per-partition
+// buffers: a key new to its partition adopts the task's value run
+// outright (move, no copy); a known key appends and recycles the run.
+// Partition hashing happens here — once per distinct key per task.
+func (mp *mapPhase[K, V, R]) splice(st *mapWorker[K, V], task map[K]*kvrec[K, V], arena *recArena[K, V]) {
+	arena.each(func(e *kvrec[K, V]) {
+		p := mp.partition(e.key)
+		dst := st.parts[p]
+		if cur, ok := dst[e.key]; ok {
+			cur = append(cur, e.vs...)
+			if mp.spec.Combine != nil && len(cur) >= streamFoldLen {
+				cur = mp.spec.Combine(e.key, cur)
+			}
+			dst[e.key] = cur
+			st.putBuf(e.vs)
+		} else {
+			dst[e.key] = e.vs
+		}
+	})
+	clear(task)
+	arena.reset()
+}
+
+// discard drops a failed attempt's task-local records, recycling their
+// value runs, so the retry starts from a clean slate.
+func (mp *mapPhase[K, V, R]) discard(st *mapWorker[K, V], task map[K]*kvrec[K, V], arena *recArena[K, V]) {
+	arena.each(func(e *kvrec[K, V]) { st.putBuf(e.vs) })
+	clear(task)
+	arena.reset()
+}
+
+// runStreaming is the emit path when the spec has a combiner: emissions
+// fold into a task-local record map during the map call itself — no raw
+// pair is ever staged — and the combiner compacts each key's run as it
+// crosses streamFoldLen. The task-local records are discarded on a failed
+// attempt (preserving retry idempotence) and spliced into the worker's
+// buffers on success.
+func (mp *mapPhase[K, V, R]) runStreaming(st *mapWorker[K, V], taskCh <-chan int) {
+	task := getTaskMap[K, V]()
+	defer putTaskMap(task)
+	arena := getArena[K, V]()
+	defer putArena(arena)
+	var taskEmitted int64
+	emit := func(k K, v V) {
+		e, ok := task[k]
+		if !ok {
+			e = arena.alloc()
+			e.key = k
+			e.vs = st.getBuf()
+			task[k] = e
+		}
+		e.vs = append(e.vs, v)
+		if len(e.vs) >= streamFoldLen {
+			e.vs = mp.spec.Combine(k, e.vs)
+		}
+		taskEmitted++
+	}
+	for idx := range taskCh {
+		if ctxErr(mp.ctx) != nil {
+			return
+		}
+		chunk := mp.chunks[idx]
+		var err error
+		for attempt := 0; ; attempt++ {
+			err = guard(func() error { return mp.spec.Map(chunk, emit) })
+			if err == nil {
+				break
+			}
+			mp.discard(st, task, arena)
+			taskEmitted = 0
+			if attempt >= mp.maxRetries {
+				break
+			}
+			mp.retries.Add(1)
+		}
+		if err != nil {
+			mp.fail(&taskError{phase: "map", spec: mp.spec.Name, err: err})
+			return
+		}
+		mp.splice(st, task, arena)
+		st.emitted += taskEmitted
+		taskEmitted = 0
+	}
 }
 
 // runStaged is the emit path when the spec has no combiner: emissions are
@@ -295,12 +413,8 @@ type mapPhase[K comparable, V any, R any] struct {
 // partition buffers only on success, so a retried task cannot leave
 // duplicates behind.
 func (mp *mapPhase[K, V, R]) runStaged(st *mapWorker[K, V], taskCh <-chan int) {
-	sp := mp.stagingPool.Get().(*[]Pair[K, V])
-	staging := (*sp)[:0]
-	defer func() {
-		*sp = staging[:0]
-		mp.stagingPool.Put(sp)
-	}()
+	staging := getStaging[K, V]()
+	defer func() { putStaging(staging) }()
 	emit := func(k K, v V) {
 		staging = append(staging, Pair[K, V]{Key: k, Value: v})
 	}
@@ -326,33 +440,75 @@ func (mp *mapPhase[K, V, R]) runStaged(st *mapWorker[K, V], taskCh <-chan int) {
 			return
 		}
 		for _, kv := range staging {
-			p := partitionOf(kv.Key, mp.numReducers, mp.spec.PartitionFn)
-			st.parts[p][kv.Key] = append(st.parts[p][kv.Key], kv.Value)
+			p := mp.partition(kv.Key)
+			dst := st.parts[p]
+			vs, ok := dst[kv.Key]
+			if !ok {
+				vs = st.getBuf()
+			}
+			dst[kv.Key] = append(vs, kv.Value)
 		}
 		st.emitted += int64(len(staging))
 	}
 }
 
-// runStreaming is the emit path when the spec has a combiner: emissions
-// fold into task-local partition maps during the map call itself — no raw
-// pair is ever staged — and the combiner compacts each key's buffer as it
-// crosses streamFoldLen. The task-local maps are discarded on a failed
-// attempt (preserving retry idempotence) and spliced into the worker's
-// buffers on success.
-func (mp *mapPhase[K, V, R]) runStreaming(st *mapWorker[K, V], taskCh <-chan int) {
-	task := make([]map[K][]V, mp.numReducers)
-	for i := range task {
-		task[i] = make(map[K][]V)
+// runBytes is the zero-copy emit path for string-keyed specs using
+// MapBytes: the callback emits keys as byte subslices of the chunk, and
+// the runtime interns each distinct key into a string at most once per
+// task — a repeated key costs one map probe and zero allocations. The
+// generic callbacks are specialized to string once up front (K is
+// guaranteed to be string here, so the assertions cannot fail).
+func (mp *mapPhase[K, V, R]) runBytes(st *mapWorker[K, V], taskCh <-chan int) {
+	var combine func(string, []V) []V
+	if mp.spec.Combine != nil {
+		combine = any(mp.spec.Combine).(func(string, []V) []V)
 	}
-	var taskEmitted int64
-	emit := func(k K, v V) {
-		p := partitionOf(k, mp.numReducers, mp.spec.PartitionFn)
-		vs := append(task[p][k], v)
-		if len(vs) >= streamFoldLen {
-			vs = mp.spec.Combine(k, vs)
+	var partFn func(string, int) int
+	if mp.spec.PartitionFn != nil {
+		partFn = any(mp.spec.PartitionFn).(func(string, int) int)
+	}
+	parts := make([]map[string][]V, len(st.parts))
+	for i, m := range st.parts {
+		parts[i] = any(m).(map[string][]V)
+	}
+	partition := func(k string) int {
+		if mp.numReducers == 1 {
+			return 0
 		}
-		task[p][k] = vs
+		if partFn != nil {
+			p := partFn(k, mp.numReducers) % mp.numReducers
+			if p < 0 {
+				p += mp.numReducers
+			}
+			return p
+		}
+		return int(maphash.String(hashSeed, k) % uint64(mp.numReducers))
+	}
+
+	tbl := getWordTable[V]()
+	defer putWordTable(tbl)
+	arena := getArena[string, V]()
+	defer putArena(arena)
+	var taskEmitted int64
+	emit := func(kb []byte, v V) {
+		h := internHash(kb)
+		e := tbl.lookup(kb, h)
+		if e == nil {
+			e = arena.alloc()
+			e.key = string(kb) // the one allocation: intern on first sight
+			e.vs = st.getBuf()
+			tbl.insert(h, e)
+		}
+		e.vs = append(e.vs, v)
+		if combine != nil && len(e.vs) >= streamFoldLen {
+			e.vs = combine(e.key, e.vs)
+		}
 		taskEmitted++
+	}
+	discard := func() {
+		arena.each(func(e *kvrec[string, V]) { st.putBuf(e.vs) })
+		tbl.reset()
+		arena.reset()
 	}
 	for idx := range taskCh {
 		if ctxErr(mp.ctx) != nil {
@@ -361,15 +517,11 @@ func (mp *mapPhase[K, V, R]) runStreaming(st *mapWorker[K, V], taskCh <-chan int
 		chunk := mp.chunks[idx]
 		var err error
 		for attempt := 0; ; attempt++ {
-			err = guard(func() error { return mp.spec.Map(chunk, emit) })
+			err = guard(func() error { return mp.spec.MapBytes(chunk, emit) })
 			if err == nil {
 				break
 			}
-			// Discard the failed attempt's partial emissions so the retry
-			// starts from a clean slate.
-			for _, m := range task {
-				clear(m)
-			}
+			discard()
 			taskEmitted = 0
 			if attempt >= mp.maxRetries {
 				break
@@ -380,17 +532,22 @@ func (mp *mapPhase[K, V, R]) runStreaming(st *mapWorker[K, V], taskCh <-chan int
 			mp.fail(&taskError{phase: "map", spec: mp.spec.Name, err: err})
 			return
 		}
-		for p, m := range task {
-			dst := st.parts[p]
-			for k, vs := range m {
-				wvs := append(dst[k], vs...)
-				if len(wvs) >= streamFoldLen {
-					wvs = mp.spec.Combine(k, wvs)
+		// Splice by scanning the arena (emission order), not the table.
+		arena.each(func(e *kvrec[string, V]) {
+			dst := parts[partition(e.key)]
+			if cur, ok := dst[e.key]; ok {
+				cur = append(cur, e.vs...)
+				if combine != nil && len(cur) >= streamFoldLen {
+					cur = combine(e.key, cur)
 				}
-				dst[k] = wvs
+				dst[e.key] = cur
+				st.putBuf(e.vs)
+			} else {
+				dst[e.key] = e.vs
 			}
-			clear(m)
-		}
+		})
+		tbl.reset()
+		arena.reset()
 		st.emitted += taskEmitted
 		taskEmitted = 0
 	}

