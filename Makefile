@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all vet lint build test race bench-smoke bench-json bench-nfs bench-compare chaos check
+.PHONY: all vet lint build test race bench-smoke bench-json bench-nfs bench-cluster bench-compare chaos check
 
 all: check
 
@@ -67,5 +67,14 @@ bench-compare:
 # (pipelined >= 2x serial; warm cache reads move zero data bytes).
 bench-nfs:
 	$(GO) run ./cmd/mcsd-bench -nfs -nfs-out BENCH_nfs.json
+
+# bench-cluster regenerates BENCH_cluster.json: the multi-SD scale-out
+# numbers — a fleet word count scattered over N=1/2/4/8 in-process SD nodes,
+# each reading through a bandwidth-limited self-mount standing in for its
+# local disk, gathered and merged by the host over a modelled 1 GbE link.
+# The run fails if the near-linear-speedup gates regress (>= 1.7x at N=2,
+# >= 3.0x at N=4) or if any merged output differs from the N=1 bytes.
+bench-cluster:
+	$(GO) run ./cmd/mcsd-bench -cluster -cluster-out BENCH_cluster.json
 
 check: vet lint build race bench-smoke

@@ -7,14 +7,20 @@
 package mcsd_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
+	"mcsd/internal/core"
 	"mcsd/internal/faultfs"
+	"mcsd/internal/fleet"
 	"mcsd/internal/smartfam"
+	"mcsd/internal/workloads"
 )
 
 func TestChaosCrashRestartExactlyOnce(t *testing.T) {
@@ -79,8 +85,8 @@ func TestChaosCrashRestartExactlyOnce(t *testing.T) {
 		_, _, err := share.Stat(smartfam.QueueStatusName)
 		return err == nil
 	})
-	ffs1.TearNext(1, 0.5)                // first response append is torn mid-record
-	ffs1.FailNext(faultfs.OpStat, 3)     // plus a burst of transient errors
+	ffs1.TearNext(1, 0.5)            // first response append is torn mid-record
+	ffs1.FailNext(faultfs.OpStat, 3) // plus a burst of transient errors
 	ffs1.FailNextWith(faultfs.OpRead, 1, faultfs.ErrInjected)
 
 	// The batch: 12 concurrent invocations over the (unfaulted) share,
@@ -221,6 +227,157 @@ func TestChaosCrashRestartExactlyOnce(t *testing.T) {
 	}
 	if v := d1.Metrics().Counter("smartfam.daemon.aborted").Value(); v < 1 {
 		t.Errorf("daemon1 aborted = %d, want >= 1 (the blocker died with the daemon)", v)
+	}
+}
+
+// TestChaosFleetNodeKillMidJob scatters a word count over three SD
+// daemons, then kills one mid-job — while it is provably executing a
+// fragment and with transient faults injected into its share. The fleet
+// coordinator must mark the node down, re-place its fragments on the
+// survivors, and still produce output byte-identical to a single-node run
+// with every fragment answered exactly once.
+func TestChaosFleetNodeKillMidJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	dataDir := t.TempDir()
+	corpus := workloads.GenerateTextBytes(150_000, 83)
+	if err := os.WriteFile(filepath.Join(dataDir, "corpus.txt"), corpus, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-node reference: the bytes every fleet run must reproduce.
+	refMod := core.WordCountModule(core.ModuleConfig{Store: core.DirStore(dataDir), Workers: 1})
+	refParams, err := json.Marshal(core.WordCountParams{DataFile: "corpus.txt", EmitPairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRaw, err := refMod.Run(context.Background(), refParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refOut core.WordCountOutput
+	if err := core.Decode(refRaw, &refOut); err != nil {
+		t.Fatal(err)
+	}
+	want := fleet.CanonicalWordCount(&refOut)
+
+	// Three daemons over their own shares; node 0 is the victim. Its first
+	// word-count invocation parks mid-execution (closing started) until its
+	// daemon dies, so the kill is guaranteed to land mid-fragment.
+	const victim = 0
+	started := make(chan struct{})
+	var startedOnce sync.Once
+	nodes := make([]fleet.Node, 3)
+	shares := make([]smartfam.FS, 3)
+	victimKill := context.CancelFunc(nil)
+	for i := range nodes {
+		share := smartfam.DirFS(t.TempDir())
+		mod := core.WordCountModule(core.ModuleConfig{Store: core.DirStore(dataDir), Workers: 1})
+		if i == victim {
+			inner := mod
+			first := true
+			var mu sync.Mutex
+			mod = smartfam.ModuleFunc{ModuleName: inner.Name(), Fn: func(ctx context.Context, p []byte) ([]byte, error) {
+				mu.Lock()
+				blocking := first
+				first = false
+				mu.Unlock()
+				if blocking {
+					startedOnce.Do(func() { close(started) })
+					<-ctx.Done() // park until the daemon dies
+					return nil, ctx.Err()
+				}
+				return inner.Run(ctx, p)
+			}}
+		}
+		reg := smartfam.NewRegistry(share)
+		if err := reg.Register(mod); err != nil {
+			t.Fatal(err)
+		}
+		// The victim's daemon AND its host-side session run through a fault
+		// layer with transient errors armed: recovery must ride them out.
+		var nodeFS smartfam.FS = share
+		if i == victim {
+			ffs := faultfs.New(share)
+			ffs.FailNext(faultfs.OpStat, 2)
+			ffs.FailNext(faultfs.OpAppend, 1)
+			nodeFS = ffs
+		}
+		daemon := smartfam.NewDaemon(nodeFS, reg,
+			smartfam.WithPollInterval(time.Millisecond),
+			smartfam.WithHeartbeat(-1),
+			smartfam.WithWorkers(2))
+		dctx, dcancel := context.WithCancel(context.Background())
+		if i == victim {
+			victimKill = dcancel
+		} else {
+			defer dcancel()
+		}
+		go daemon.Run(dctx) //nolint:errcheck
+		shares[i] = nodeFS
+		nodes[i] = fleet.Node{
+			Name:    []string{"sd-a", "sd-b", "sd-c"}[i],
+			Session: smartfam.NewClient(nodeFS, time.Millisecond),
+		}
+	}
+
+	coord := fleet.NewCoordinator(nodes, fleet.Config{
+		AttemptTimeout:  1500 * time.Millisecond,
+		MinStragglerAge: time.Hour, // isolate the failover path from speculation
+	})
+	type outcome struct {
+		res *fleet.WordCountResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := coord.WordCount(context.Background(), fleet.WordCountJob{
+			DataFile:      "corpus.txt",
+			TotalBytes:    int64(len(corpus)),
+			FragmentBytes: 12 << 10,
+		})
+		done <- outcome{res, err}
+	}()
+
+	// Kill the victim only once it is provably mid-fragment.
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the victim to start a fragment")
+	}
+	victimKill()
+
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("fleet job did not finish after the node kill")
+	}
+	if out.err != nil {
+		t.Fatalf("fleet word count failed after node kill: %v", out.err)
+	}
+	if got := fleet.CanonicalWordCount(&out.res.Output); !bytes.Equal(got, want) {
+		t.Fatal("merged output differs from the single-node reference after a mid-job node kill")
+	}
+	if out.res.Stats.NodeFailures < 1 {
+		t.Errorf("NodeFailures = %d, want >= 1 (the killed daemon)", out.res.Stats.NodeFailures)
+	}
+	if out.res.Stats.MovedFragments < 1 {
+		t.Errorf("MovedFragments = %d, want >= 1 (re-placement off the dead node)", out.res.Stats.MovedFragments)
+	}
+
+	// Exactly once: every fragment has one winning result, and none of the
+	// winners is the dead node's parked fragment.
+	seen := make(map[int]bool)
+	for _, fr := range out.res.Fragments {
+		if seen[fr.Index] {
+			t.Fatalf("fragment %d returned twice", fr.Index)
+		}
+		seen[fr.Index] = true
+	}
+	if len(seen) != len(out.res.Fragments) {
+		t.Fatalf("fragment set inconsistent: %d unique of %d", len(seen), len(out.res.Fragments))
 	}
 }
 

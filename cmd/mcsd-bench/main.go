@@ -73,6 +73,8 @@ func main() {
 		engOut  = flag.String("engine-out", "BENCH_mapreduce.json", "where -engine writes its JSON report")
 		nfsb    = flag.Bool("nfs", false, "NFS data-path benchmarks: pipelined vs serial, block cache warm/cold over a modelled 1 GbE link (slow; excluded from default)")
 		nfsOut  = flag.String("nfs-out", "BENCH_nfs.json", "where -nfs writes its JSON report")
+		clus    = flag.Bool("cluster", false, "multi-SD scale-out benchmark: fleet word count at N=1/2/4/8 in-process SD nodes over modelled links (slow; excluded from default)")
+		clusOut = flag.String("cluster-out", "BENCH_cluster.json", "where -cluster writes its JSON report")
 		csvDir  = flag.String("csv", "", "also write each table/figure as CSV into this directory")
 		compare = flag.Bool("compare", false, "compare two -engine reports: mcsd-bench -compare old.json new.json (exits non-zero on regression)")
 	)
@@ -87,7 +89,7 @@ func main() {
 		}
 		return
 	}
-	all := !(*table1 || *fig8a || *fig8b || *fig8c || *fig9 || *fig10 || *claims || *ext || *scale || *calib || *engine || *nfsb)
+	all := !(*table1 || *fig8a || *fig8b || *fig8c || *fig9 || *fig10 || *claims || *ext || *scale || *calib || *engine || *nfsb || *clus)
 
 	if err := run(all, *table1, *fig8a, *fig8b, *fig8c, *fig9, *fig10, *claims, *ext); err != nil {
 		log.Fatalf("mcsd-bench: %v", err)
@@ -110,6 +112,11 @@ func main() {
 	if *nfsb {
 		if err := runNFSBench(*nfsOut); err != nil {
 			log.Fatalf("mcsd-bench: nfs benchmarks: %v", err)
+		}
+	}
+	if *clus {
+		if err := runClusterBench(*clusOut); err != nil {
+			log.Fatalf("mcsd-bench: cluster benchmarks: %v", err)
 		}
 	}
 }

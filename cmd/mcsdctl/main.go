@@ -10,6 +10,7 @@
 //	mcsdctl -addr 127.0.0.1:9000 modules
 //	mcsdctl -addr 127.0.0.1:9000 put corpus.txt data/corpus.txt
 //	mcsdctl -addr 127.0.0.1:9000 wordcount -file data/corpus.txt -partition 64M -top 10
+//	mcsdctl -sds 10.0.0.1:9000,10.0.0.2:9000 wordcount -file data/corpus.txt -fragment 64M
 //	mcsdctl -addr 127.0.0.1:9000 stringmatch -file data/enc.txt -keys data/keys.txt
 //	mcsdctl -addr 127.0.0.1:9000 dbselect -file data/sales.csv -group-by region -min-price 100
 //	mcsdctl -addr 127.0.0.1:9000 kmeans -file data/points.bin -dim 2 -k 4 -partition 16M
@@ -22,9 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mcsd/internal/core"
+	"mcsd/internal/fleet"
 	"mcsd/internal/nfs"
 	"mcsd/internal/sched"
 	"mcsd/internal/smartfam"
@@ -100,6 +103,7 @@ func exitCode(err error) int {
 func run(args []string) error {
 	global := flag.NewFlagSet("mcsdctl", flag.ContinueOnError)
 	addr := global.String("addr", "127.0.0.1:9000", "address of the SD node's export")
+	sds := global.String("sds", "", "comma-separated exports of a multi-SD fleet (wordcount only); overrides -addr")
 	timeout := global.Duration("timeout", 10*time.Minute, "overall invocation timeout")
 	conns := global.Int("conns", 2, "pooled connections to the export")
 	wire := global.String("wire", "binary", "wire framing: \"binary\" (pipelined frames) or \"gob\" for pre-framing daemons")
@@ -114,6 +118,15 @@ func run(args []string) error {
 	rest := global.Args()
 	if len(rest) == 0 {
 		return fmt.Errorf("usage: mcsdctl [-addr host:port] <status|queue|journal|modules|put|wordcount|stringmatch|matmul|dbselect|kmeans> ...")
+	}
+
+	if *sds != "" {
+		if rest[0] != "wordcount" {
+			return fmt.Errorf("-sds drives the fleet scatter/gather path, which supports only wordcount (got %q)", rest[0])
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		return fleetWordcount(ctx, strings.Split(*sds, ","), *conns, *wire, rest[1:])
 	}
 
 	client, err := nfs.DialPool(*addr, 10*time.Second, *conns)
@@ -320,6 +333,90 @@ func wordcount(ctx context.Context, rt *core.Runtime, args []string) error {
 	if out.Fragments > 1 {
 		fmt.Printf("fragment keys: %d  shuffle: %dms  merge: %dms\n",
 			out.FragmentKeys, out.ShuffleMs, out.MergeMs)
+	}
+	for _, wf := range out.Top {
+		fmt.Printf("%8d  %s\n", wf.Count, wf.Word)
+	}
+	return nil
+}
+
+// fleetWordcount scatters one word count across several SD nodes through
+// the fleet coordinator: HRW placement, per-node windows, straggler
+// re-execution, and a host-side merge that is byte-identical to a
+// single-node run.
+func fleetWordcount(ctx context.Context, addrs []string, conns int, wire string, args []string) error {
+	fs := flag.NewFlagSet("wordcount", flag.ContinueOnError)
+	file := fs.String("file", "", "data file reachable from every SD node")
+	fragFlag := fs.String("fragment", "", "scatter fragment size (e.g. 64M); empty = 4 fragments per node")
+	partFlag := fs.String("partition", "", "node-side partition size within a fragment; empty = native")
+	top := fs.Int("top", 20, "rows of the frequency table to print")
+	workers := fs.Int("workers", 0, "per-node worker override (0 = node default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("wordcount: -file is required")
+	}
+
+	nodes := make([]fleet.Node, 0, len(addrs))
+	var total int64
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		pool, err := nfs.DialPool(a, 10*time.Second, conns)
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", errUnreachable, a, err)
+		}
+		defer pool.Close()
+		if wire == "gob" {
+			pool.SetWire(nfs.WireGob)
+		}
+		if total == 0 {
+			if total, _, err = pool.Stat(*file); err != nil {
+				return fmt.Errorf("stat %s on %s: %w", *file, a, err)
+			}
+		}
+		nodes = append(nodes, fleet.Node{Name: a, Session: smartfam.NewClient(pool, 0)})
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("-sds lists no nodes")
+	}
+
+	job := fleet.WordCountJob{DataFile: *file, TotalBytes: total, Workers: *workers, TopN: *top}
+	if *fragFlag != "" {
+		n, err := units.ParseBytes(*fragFlag)
+		if err != nil {
+			return err
+		}
+		job.FragmentBytes = n
+	} else {
+		per := int64(4 * len(nodes))
+		job.FragmentBytes = (total + per - 1) / per
+	}
+	if *partFlag != "" {
+		n, err := units.ParseBytes(*partFlag)
+		if err != nil {
+			return err
+		}
+		job.PartitionBytes = n
+	}
+
+	coord := fleet.NewCoordinator(nodes, fleet.Config{AttemptTimeout: 10 * time.Minute})
+	res, err := coord.WordCount(ctx, job)
+	if err != nil {
+		return err
+	}
+	out := res.Output
+	fmt.Printf("total words: %d  unique: %d  fragments: %d  (scattered over %d nodes)\n",
+		out.TotalWords, out.UniqueWords, len(res.Fragments), len(nodes))
+	for _, n := range nodes {
+		fmt.Printf("node %-22s %d fragments\n", n.Name, res.Stats.PerNode[n.Name])
+	}
+	if res.Stats.Speculations+res.Stats.NodeFailures+res.Stats.QueueSteals > 0 {
+		fmt.Printf("speculated: %d  re-placed: %d  stolen: %d  node failures: %d\n",
+			res.Stats.Speculations, res.Stats.MovedFragments, res.Stats.QueueSteals, res.Stats.NodeFailures)
 	}
 	for _, wf := range out.Top {
 		fmt.Printf("%8d  %s\n", wf.Count, wf.Word)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -101,5 +102,41 @@ func TestTableIReport(t *testing.T) {
 	}
 	if rep.NumRows() != 5 {
 		t.Fatalf("report has %d rows, want 5", rep.NumRows())
+	}
+}
+
+func TestTableIWithSDs(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		c := TableIWithSDs(k)
+		sds := c.SDs()
+		if len(sds) != k {
+			t.Fatalf("k=%d: %d SD nodes", k, len(sds))
+		}
+		for i, sd := range sds {
+			if want := fmt.Sprintf("sd%d", i); sd.Name != want {
+				t.Fatalf("k=%d: SD %d named %q, want %q", k, i, sd.Name, want)
+			}
+			if sd.CPU.Model != cpuE4400.Model || sd.CPU.Cores != 2 {
+				t.Fatalf("k=%d: SD %d is not an E4400 duo: %+v", k, i, sd.CPU)
+			}
+		}
+		// SD() stays the N=1-compatible accessor: the first fleet node.
+		if c.SD() != sds[0] {
+			t.Fatalf("k=%d: SD() != SDs()[0]", k)
+		}
+		if c.Host() == nil || len(c.ComputeNodes()) != 3 {
+			t.Fatalf("k=%d: host/compute layout broken", k)
+		}
+		if len(c.Nodes) != 1+k+3 {
+			t.Fatalf("k=%d: %d nodes", k, len(c.Nodes))
+		}
+	}
+	if got := len(TableIWithSDs(0).SDs()); got != 1 {
+		t.Fatalf("k=0 should clamp to 1, got %d SDs", got)
+	}
+	// Table I itself is the k=1 layout, modulo the node name.
+	a, b := TableI(), TableIWithSDs(1)
+	if a.SD().CPU != b.SD().CPU || a.SD().Memory != b.SD().Memory || a.SD().DiskReadBps != b.SD().DiskReadBps {
+		t.Fatal("TableIWithSDs(1) SD differs from Table I's")
 	}
 }

@@ -33,6 +33,18 @@ type WordCountParams struct {
 	// Pipelined is accepted for backward compatibility; concurrent
 	// fragment processing is now the default, so the field has no effect.
 	Pipelined bool `json:"pipelined,omitempty"`
+	// RangeOffset/RangeBytes restrict the run to the word-aligned view of
+	// the byte range [RangeOffset, RangeOffset+RangeBytes) of DataFile —
+	// the fleet's scatter unit. RangeBytes <= 0 means the whole file.
+	// Alignment follows partition.RangeReader: a record belongs to the
+	// range containing its first byte, so adjacent ranges count every word
+	// exactly once.
+	RangeOffset int64 `json:"range_offset,omitempty"`
+	RangeBytes  int64 `json:"range_bytes,omitempty"`
+	// EmitPairs asks for the complete sorted (word, count) run in the
+	// output — what a fleet coordinator needs to merge per-fragment
+	// results deterministically — instead of only the TopN summary.
+	EmitPairs bool `json:"emit_pairs,omitempty"`
 }
 
 // WordFreq is one row of the word-count output.
@@ -56,6 +68,9 @@ type WordCountOutput struct {
 	// fragments (see mapreduce.Stats).
 	ShuffleMs int64 `json:"shuffle_ms,omitempty"`
 	MergeMs   int64 `json:"merge_ms,omitempty"`
+	// Pairs is the complete key-sorted (word, count) run, present only
+	// when the request set EmitPairs.
+	Pairs []WordFreq `json:"pairs,omitempty"`
 }
 
 // StringMatchParams parametrizes the stringmatch module: the "encrypt"

@@ -90,11 +90,30 @@ func WordCountModule(cfg ModuleConfig) smartfam.Module {
 			if p.DataFile == "" {
 				return nil, fmt.Errorf("core: wordcount requires data_file")
 			}
-			f, err := cfg.Store.Open(p.DataFile)
-			if err != nil {
-				return nil, err
+			var input io.Reader
+			if p.RangeBytes > 0 {
+				// Fleet scatter unit: open one byte of lead-in context and
+				// serve the word-aligned view of the byte range. The scan
+				// length is declared so remote stores prefetch only the
+				// range, not their full read-ahead window.
+				lead := partition.LeadIn(p.RangeOffset)
+				f, err := OpenRange(cfg.Store, p.DataFile, lead, p.RangeOffset+p.RangeBytes-lead)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				input, err = partition.NewRangeReader(f, p.RangeOffset, p.RangeOffset+p.RangeBytes, nil)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				f, err := cfg.Store.Open(p.DataFile)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				input = bufio.NewReaderSize(f, 1<<20)
 			}
-			defer f.Close()
 
 			start := time.Now()
 			// The fragment-parallel driver is the module default; the
@@ -105,7 +124,7 @@ func WordCountModule(cfg ModuleConfig) smartfam.Module {
 				driver = partition.Run[string, int, int]
 			}
 			res, err := driver(ctx, cfg.mrConfig(cfg.workers(p.Workers)),
-				workloads.WordCountSpec(), bufio.NewReaderSize(f, 1<<20),
+				workloads.WordCountSpec(), input,
 				partition.Options{FragmentSize: cfg.partitionBytes(p.PartitionBytes, workloads.WordCountFootprint)},
 				workloads.WordCountMerge)
 			if err != nil {
@@ -130,6 +149,12 @@ func WordCountModule(cfg ModuleConfig) smartfam.Module {
 			}
 			for _, pr := range workloads.TopWords(counts, topN) {
 				out.Top = append(out.Top, WordFreq{Word: pr.Key, Count: pr.Value})
+			}
+			if p.EmitPairs {
+				out.Pairs = make([]WordFreq, len(res.Pairs))
+				for i, pr := range res.Pairs {
+					out.Pairs[i] = WordFreq{Word: pr.Key, Count: pr.Value}
+				}
 			}
 			return encode(out)
 		},

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -460,3 +461,89 @@ func TestModuleFnErrorPropagatesAsString(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%v", err)
 }
+
+// TestWordCountModuleRangeScatter runs the module once per byte range and
+// checks the per-range word-aligned runs sum to exactly the whole-file
+// result — the invariant the fleet coordinator relies on to scatter one
+// file across SD nodes.
+func TestWordCountModuleRangeScatter(t *testing.T) {
+	store, dir := dataDir(t)
+	text := workloads.GenerateTextBytes(50_000, 13)
+	writeFile(t, dir, "corpus.txt", text)
+
+	mod := WordCountModule(ModuleConfig{Store: store, Workers: 1})
+	sum := map[string]int{}
+	var totalWords int64
+	const rangeBytes = 12_000
+	for off := int64(0); off < int64(len(text)); off += rangeBytes {
+		n := int64(len(text)) - off
+		if n > rangeBytes {
+			n = rangeBytes
+		}
+		raw, err := mod.Run(context.Background(), mustEncode(t, WordCountParams{
+			DataFile: "corpus.txt", PartitionBytes: 4 << 10,
+			RangeOffset: off, RangeBytes: n, EmitPairs: true,
+		}))
+		if err != nil {
+			t.Fatalf("range at %d: %v", off, err)
+		}
+		var out WordCountOutput
+		if err := Decode(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Pairs) != out.UniqueWords {
+			t.Fatalf("range at %d: %d pairs, UniqueWords %d", off, len(out.Pairs), out.UniqueWords)
+		}
+		for i := 1; i < len(out.Pairs); i++ {
+			if out.Pairs[i-1].Word >= out.Pairs[i].Word {
+				t.Fatalf("range at %d: pairs not strictly key-sorted at %d", off, i)
+			}
+		}
+		for _, pr := range out.Pairs {
+			sum[pr.Word] += pr.Count
+		}
+		totalWords += out.TotalWords
+	}
+	want := workloads.WordCountSeq(text)
+	if len(sum) != len(want) {
+		t.Fatalf("scattered runs cover %d words, want %d", len(sum), len(want))
+	}
+	var wantTotal int64
+	for w, c := range want {
+		wantTotal += int64(c)
+		if sum[w] != c {
+			t.Fatalf("word %q: scattered sum %d, want %d", w, sum[w], c)
+		}
+	}
+	if totalWords != wantTotal {
+		t.Fatalf("TotalWords sum = %d, want %d", totalWords, wantTotal)
+	}
+}
+
+// TestOpenAtFallback exercises the prefix-discard path for stores without
+// native range support.
+func TestOpenAtFallback(t *testing.T) {
+	store, dir := dataDir(t)
+	writeFile(t, dir, "f.txt", []byte("0123456789"))
+	// dirStore has native OpenAt; wrap it to hide the extension.
+	plain := plainStore{store}
+	for _, s := range []DataStore{store, plain} {
+		f, err := OpenAt(s, "f.txt", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(f)
+		f.Close()
+		if err != nil || string(got) != "456789" {
+			t.Fatalf("OpenAt(%T) = %q, %v", s, got, err)
+		}
+	}
+	if _, err := OpenAt(store, "f.txt", -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+type plainStore struct{ s DataStore }
+
+func (p plainStore) Open(name string) (io.ReadCloser, error) { return p.s.Open(name) }
+func (p plainStore) Size(name string) (int64, error)         { return p.s.Size(name) }

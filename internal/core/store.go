@@ -64,6 +64,22 @@ func (d *dirStore) Open(name string) (io.ReadCloser, error) {
 	return f, nil
 }
 
+func (d *dirStore) OpenAt(name string, off int64) (io.ReadCloser, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: open %s: %w", name, err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: seek %s to %d: %w", name, off, err)
+	}
+	return f, nil
+}
+
 func (d *dirStore) Size(name string) (int64, error) {
 	p, err := d.path(name)
 	if err != nil {
@@ -74,6 +90,61 @@ func (d *dirStore) Size(name string) (int64, error) {
 		return 0, fmt.Errorf("core: stat %s: %w", name, err)
 	}
 	return fi.Size(), nil
+}
+
+// RangeOpener is the optional DataStore extension the fleet's scatter path
+// needs: open a file positioned at a byte offset so an SD node reads only
+// its assigned fragment range instead of streaming from byte zero.
+type RangeOpener interface {
+	// OpenAt returns a streaming reader positioned at off.
+	OpenAt(name string, off int64) (io.ReadCloser, error)
+}
+
+// OpenAt opens name at off through the store's native range support when it
+// has any, and otherwise by discarding the prefix — correct on every store,
+// just paying the wasted bytes that RangeOpener implementations avoid.
+func OpenAt(store DataStore, name string, off int64) (io.ReadCloser, error) {
+	if off < 0 {
+		return nil, fmt.Errorf("core: negative offset %d for %s", off, name)
+	}
+	if ro, ok := store.(RangeOpener); ok {
+		return ro.OpenAt(name, off)
+	}
+	f, err := store.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if off > 0 {
+		if _, err := io.CopyN(io.Discard, f, off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("core: skipping to offset %d of %s: %w", off, name, err)
+		}
+	}
+	return f, nil
+}
+
+// RangeScanOpener is the length-aware refinement of RangeOpener: the store
+// is told how many bytes the scan intends to consume, so remote
+// implementations can bound their read-ahead to the range instead of
+// dragging a full prefetch window over the wire for a short fragment. The
+// returned reader must still serve bytes past off+length on demand — a
+// range scan may finish a record that straddles the boundary.
+type RangeScanOpener interface {
+	OpenRange(name string, off, length int64) (io.ReadCloser, error)
+}
+
+// OpenRange opens name at off for a scan of about length bytes. Stores with
+// length-aware range support bound their prefetching to the range; others
+// degrade to OpenAt, which is correct but may over-fetch. length <= 0 means
+// unknown.
+func OpenRange(store DataStore, name string, off, length int64) (io.ReadCloser, error) {
+	if off < 0 {
+		return nil, fmt.Errorf("core: negative offset %d for %s", off, name)
+	}
+	if ro, ok := store.(RangeScanOpener); ok && length > 0 {
+		return ro.OpenRange(name, off, length)
+	}
+	return OpenAt(store, name, off)
 }
 
 // RemoteStore is the slice of the share-client surface a DataStore needs;
@@ -106,6 +177,39 @@ type nfsStore struct {
 
 func (s *nfsStore) Open(name string) (io.ReadCloser, error) {
 	return s.fs.OpenReader(name)
+}
+
+func (s *nfsStore) OpenAt(name string, off int64) (io.ReadCloser, error) {
+	// Every share client (nfs.Client, nfs.Pool, nfs.CachedFS) supports
+	// offset opens; fall back to a skip for exotic RemoteStore stubs.
+	if ra, ok := s.fs.(interface {
+		OpenReaderAt(name string, off int64) (io.ReadCloser, error)
+	}); ok {
+		return ra.OpenReaderAt(name, off)
+	}
+	f, err := s.fs.OpenReader(name)
+	if err != nil {
+		return nil, err
+	}
+	if off > 0 {
+		if _, err := io.CopyN(io.Discard, f, off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("core: skipping to offset %d of %s: %w", off, name, err)
+		}
+	}
+	return f, nil
+}
+
+func (s *nfsStore) OpenRange(name string, off, length int64) (io.ReadCloser, error) {
+	// nfs.Client bounds its pipelined read-ahead to a declared range;
+	// clients without that refinement (Pool, CachedFS) fall back to the
+	// plain offset open.
+	if rr, ok := s.fs.(interface {
+		OpenRangeReader(name string, off, length int64) (io.ReadCloser, error)
+	}); ok {
+		return rr.OpenRangeReader(name, off, length)
+	}
+	return s.OpenAt(name, off)
 }
 
 func (s *nfsStore) Size(name string) (int64, error) {

@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("data/corpus.txt#%d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	// Two independently built rings — the stand-in for a coordinator
+	// restart — must agree on every placement, regardless of join order.
+	a := NewRing("sd0", "sd1", "sd2", "sd3")
+	b := NewRing("sd3", "sd1", "sd0", "sd2")
+	for _, k := range ringKeys(500) {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("key %q: owners diverge (%s vs %s)", k, oa, ob)
+		}
+	}
+}
+
+func TestRingGoldenPlacement(t *testing.T) {
+	// Pinned placements guard the hash function itself: if the score
+	// calculation ever changes, every deployed fleet's placement would
+	// shuffle on upgrade. These values were produced by this implementation
+	// and must never drift.
+	r := NewRing("sd0", "sd1", "sd2")
+	golden := map[string]string{
+		"data/corpus.txt#0": "sd2",
+		"data/corpus.txt#1": "sd0",
+		"data/corpus.txt#2": "sd2",
+		"data/corpus.txt#3": "sd2",
+		"data/corpus.txt#4": "sd2",
+	}
+	for k, want := range golden {
+		got, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("empty ring?")
+		}
+		if got != want {
+			t.Fatalf("Owner(%q) = %s, want pinned %s (HRW hash changed!)", k, got, want)
+		}
+	}
+}
+
+func TestRingJoinMovesOnlyToNewNode(t *testing.T) {
+	const n = 2000
+	keys := ringKeys(n)
+	r := NewRing("sd0", "sd1", "sd2", "sd3")
+	before := make(map[string]string, n)
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+	r.Add("sd4")
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if after != before[k] {
+			moved++
+			if after != "sd4" {
+				t.Fatalf("key %q moved %s -> %s, not to the joining node", k, before[k], after)
+			}
+		}
+	}
+	// Expected movement is n/5; allow generous slack for hash variance but
+	// stay well under the 1/N-ish bound the issue asks for.
+	if moved == 0 || moved > n/5+n/10 {
+		t.Fatalf("join moved %d of %d keys, want ~%d", moved, n, n/5)
+	}
+}
+
+func TestRingLeaveMovesOnlyOrphans(t *testing.T) {
+	const n = 2000
+	keys := ringKeys(n)
+	r := NewRing("sd0", "sd1", "sd2", "sd3")
+	before := make(map[string]string, n)
+	owned := 0
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+		if before[k] == "sd2" {
+			owned++
+		}
+	}
+	r.Remove("sd2")
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if before[k] == "sd2" {
+			moved++
+			if after == "sd2" {
+				t.Fatalf("key %q still owned by removed node", k)
+			}
+		} else if after != before[k] {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", k, before[k], after)
+		}
+	}
+	if moved != owned {
+		t.Fatalf("moved %d keys, removed node owned %d", moved, owned)
+	}
+}
+
+func TestRingRankConsistentWithFailover(t *testing.T) {
+	// Rank's second choice must equal the owner of a ring without the
+	// first choice — failover lands exactly where a re-placement would.
+	full := NewRing("sd0", "sd1", "sd2", "sd3")
+	for _, k := range ringKeys(200) {
+		rank := full.Rank(k)
+		if len(rank) != 4 {
+			t.Fatalf("rank length %d", len(rank))
+		}
+		if owner, _ := full.Owner(k); rank[0] != owner {
+			t.Fatalf("rank[0] %s != owner %s", rank[0], owner)
+		}
+		survivors := NewRing()
+		for _, n := range full.Nodes() {
+			if n != rank[0] {
+				survivors.Add(n)
+			}
+		}
+		if next, _ := survivors.Owner(k); next != rank[1] {
+			t.Fatalf("key %q: rank[1] = %s, survivors' owner = %s", k, rank[1], next)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const n = 5000
+	r := NewRing("sd0", "sd1", "sd2", "sd3", "sd4")
+	load := map[string]int{}
+	for _, k := range ringKeys(n) {
+		o, _ := r.Owner(k)
+		load[o]++
+	}
+	mean := n / 5
+	for node, c := range load {
+		if c < mean*6/10 || c > mean*14/10 {
+			t.Fatalf("node %s owns %d keys, mean %d: unbalanced %v", node, c, mean, load)
+		}
+	}
+}
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing()
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	r.Add("sd1")
+	r.Add("sd0")
+	r.Add("sd1") // duplicate
+	if got := r.Nodes(); len(got) != 2 || got[0] != "sd0" || got[1] != "sd1" {
+		t.Fatalf("Nodes() = %v", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len() = %d", r.Len())
+	}
+	r.Remove("sd0")
+	if o, ok := r.Owner("k"); !ok || o != "sd1" {
+		t.Fatalf("Owner = %s,%v", o, ok)
+	}
+	r.Remove("ghost") // no-op
+}

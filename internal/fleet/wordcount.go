@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"mcsd/internal/core"
+	"mcsd/internal/mapreduce"
+	"mcsd/internal/metrics"
+	"mcsd/internal/partition"
+	"mcsd/internal/workloads"
+)
+
+// WordCountJob describes a cluster-wide word count over one shared file.
+type WordCountJob struct {
+	// DataFile is the input path on every node's data store (the fleet
+	// model: the file is reachable from each SD node, each node reads only
+	// its assigned byte ranges).
+	DataFile string
+	// TotalBytes is the file size; the coordinator plans ranges from it
+	// without touching file content.
+	TotalBytes int64
+	// FragmentBytes is the scatter granularity (draft range size; the
+	// word alignment happens node-side). Zero or >= TotalBytes means one
+	// fragment.
+	FragmentBytes int64
+	// PartitionBytes is the node-side partition size within a range
+	// (core.WordCountParams semantics: 0 native, core.AutoPartition to let
+	// the node pick).
+	PartitionBytes int64
+	// Workers overrides each node's worker count (0 = node default).
+	Workers int
+	// TopN bounds the merged frequency table (0 = 100, matching the
+	// single-node module default — required for byte-identical output).
+	TopN int
+}
+
+// WordCountResult is the gathered, merged outcome of a fleet word count.
+type WordCountResult struct {
+	// Output carries the merged result with exactly the semantics of a
+	// single-node EmitPairs run: identical TotalWords, UniqueWords, Pairs
+	// and Top for identical input, regardless of node count, placement,
+	// straggler re-execution or failover.
+	Output core.WordCountOutput
+	// Fragments are the per-fragment wins, in index order.
+	Fragments []FragmentResult
+	// Stats is the coordinator's dispatch accounting.
+	Stats Stats
+}
+
+// WordCount scatters the file's ranges across the fleet, gathers each
+// node's sorted (word, count) run, and merges the runs through the
+// loser-tree into one globally sorted result. Addition is commutative and
+// associative and the merge is key-deterministic, so the output is
+// byte-identical to a single-node execution of the same file.
+func (c *Coordinator) WordCount(ctx context.Context, job WordCountJob) (*WordCountResult, error) {
+	if job.DataFile == "" {
+		return nil, fmt.Errorf("fleet: wordcount requires a data file")
+	}
+	if job.TotalBytes <= 0 {
+		return nil, fmt.Errorf("fleet: wordcount requires the file size, got %d", job.TotalBytes)
+	}
+	ranges := partition.AlignedRanges(job.TotalBytes, job.FragmentBytes)
+	frags := make([]Fragment, len(ranges))
+	for i, rg := range ranges {
+		params, err := json.Marshal(core.WordCountParams{
+			DataFile:       job.DataFile,
+			PartitionBytes: job.PartitionBytes,
+			Workers:        job.Workers,
+			RangeOffset:    rg[0],
+			RangeBytes:     rg[1] - rg[0],
+			EmitPairs:      true,
+			TopN:           1, // per-range tops are discarded; keep them tiny
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: encoding fragment %d: %w", i, err)
+		}
+		frags[i] = Fragment{Index: i, Key: fmt.Sprintf("%s#%d", job.DataFile, i), Params: params}
+	}
+
+	results, stats, err := c.Execute(ctx, core.ModuleWordCount, frags)
+	if err != nil {
+		return nil, err
+	}
+
+	mergeStart := time.Now()
+	runs := make([][]mapreduce.Pair[string, int], len(results))
+	out := core.WordCountOutput{}
+	for i, fr := range results {
+		var o core.WordCountOutput
+		if err := core.Decode(fr.Payload, &o); err != nil {
+			return nil, fmt.Errorf("fleet: fragment %d result: %w", fr.Index, err)
+		}
+		run := make([]mapreduce.Pair[string, int], len(o.Pairs))
+		for j, p := range o.Pairs {
+			run[j] = mapreduce.Pair[string, int]{Key: p.Word, Value: p.Count}
+		}
+		runs[i] = run
+		out.Fragments += o.Fragments
+		out.FragmentKeys += o.UniqueWords
+		out.ShuffleMs += o.ShuffleMs
+		out.MergeMs += o.MergeMs
+	}
+
+	// Loser-tree merge of the per-fragment runs, then collapse adjacent
+	// equal keys by summing — integer addition is order-independent, so
+	// the collapsed run matches the single-node engine's exactly.
+	merged := mapreduce.MergeSorted(runs, func(a, b string) bool { return a < b })
+	counts := make(map[string]int, len(merged))
+	pairs := make([]core.WordFreq, 0, len(merged))
+	for _, p := range merged {
+		if n := len(pairs); n > 0 && pairs[n-1].Word == p.Key {
+			pairs[n-1].Count += p.Value
+		} else {
+			pairs = append(pairs, core.WordFreq{Word: p.Key, Count: p.Value})
+		}
+	}
+	for _, p := range pairs {
+		out.TotalWords += int64(p.Count)
+		counts[p.Word] = p.Count
+	}
+	out.UniqueWords = len(pairs)
+	out.Pairs = pairs
+	topN := job.TopN
+	if topN <= 0 {
+		topN = 100
+	}
+	for _, pr := range workloads.TopWords(counts, topN) {
+		out.Top = append(out.Top, core.WordFreq{Word: pr.Key, Count: pr.Value})
+	}
+	c.cfg.Metrics.Timer(metrics.FleetMerge).Observe(time.Since(mergeStart))
+	return &WordCountResult{Output: out, Fragments: results, Stats: stats}, nil
+}
+
+// CanonicalWordCount serializes the order-independent semantic fields of
+// a word-count output — the bytes that must match between a single-node
+// run and any N-node fleet run over the same input. Timings and
+// fragment-accounting fields are excluded: they describe the execution,
+// not the answer.
+func CanonicalWordCount(out *core.WordCountOutput) []byte {
+	b, err := json.Marshal(struct {
+		TotalWords  int64           `json:"total_words"`
+		UniqueWords int             `json:"unique_words"`
+		Top         []core.WordFreq `json:"top"`
+		Pairs       []core.WordFreq `json:"pairs"`
+	}{out.TotalWords, out.UniqueWords, out.Top, out.Pairs})
+	if err != nil {
+		// Plain data marshals unconditionally; keep the signature clean.
+		panic(fmt.Sprintf("fleet: canonicalizing output: %v", err))
+	}
+	return b
+}

@@ -11,6 +11,11 @@ const (
 	NFSClientPipelineStalls = "nfs.client.pipeline_stalls"
 	NFSCacheHits            = "nfs.cache.hits"
 	NFSCacheBytesSaved      = "nfs.cache.bytes_saved"
+
+	FleetDispatches   = "fleet.dispatches"
+	FleetSpeculations = "fleet.speculations"
+	FleetNodeFailures = "fleet.node_failures"
+	FleetMerge        = "fleet.merge"
 )
 
 type Registry struct{}

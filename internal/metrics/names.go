@@ -52,6 +52,17 @@ const (
 	CoreHeartbeatSkips   = "core.heartbeat_skips"
 	CoreInvokePrefix     = "core.invoke." // + module name: per-module invoke timer
 
+	// Multi-SD scatter/gather coordinator (internal/fleet).
+	FleetDispatches        = "fleet.dispatches"          // fragment attempts handed to node sessions
+	FleetSpeculations      = "fleet.speculations"        // straggler re-executions launched
+	FleetDupResults        = "fleet.dup_results"         // late duplicate results dropped by first-wins dedup
+	FleetQueueSteals       = "fleet.queue_steals"        // fragments an idle node stole from a busy node's queue
+	FleetQueueFullRequeues = "fleet.queue_full_requeues" // fragments shed by a node scheduler and requeued
+	FleetNodeFailures      = "fleet.node_failures"       // nodes marked down during a job
+	FleetMoves             = "fleet.moved_fragments"     // fragments re-placed off a failed node
+	FleetExecute           = "fleet.execute"             // whole scatter/gather wall-time timer
+	FleetMerge             = "fleet.merge"               // cross-node merge timer
+
 	// NFS transport — server side.
 	NFSBytesRead    = "nfs.bytes.read"
 	NFSBytesWritten = "nfs.bytes.written"

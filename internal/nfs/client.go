@@ -689,7 +689,7 @@ func (c *Client) ReadFile(name string) ([]byte, error) {
 // CopyTo streams a whole remote file into w without holding it in memory,
 // with read-ahead prefetch keeping the wire busy while w consumes.
 func (c *Client) CopyTo(w io.Writer, name string) (int64, error) {
-	r, err := c.openReaderAt(name, 0)
+	r, err := c.openReaderAt(name, 0, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -722,15 +722,30 @@ func (c *Client) OpenReader(name string) (io.ReadCloser, error) {
 
 // OpenReaderAt is OpenReader starting at byte offset off.
 func (c *Client) OpenReaderAt(name string, off int64) (io.ReadCloser, error) {
-	return c.openReaderAt(name, off)
+	return c.openReaderAt(name, off, 0)
 }
 
-func (c *Client) openReaderAt(name string, off int64) (*remoteReader, error) {
+// OpenRangeReader is OpenReaderAt with the caller's declared range length:
+// read-ahead pipelines freely up to off+length but never past it, and any
+// bytes the consumer needs beyond the range (a scanner finishing a record
+// that straddles the boundary) are demand-paged in small chunks. A short
+// range scan then moves ~its own bytes over the wire instead of dragging
+// the full read-ahead window along. length <= 0 means unbounded, which is
+// exactly OpenReaderAt.
+func (c *Client) OpenRangeReader(name string, off, length int64) (io.ReadCloser, error) {
+	var bound int64
+	if length > 0 {
+		bound = off + length
+	}
+	return c.openReaderAt(name, off, bound)
+}
+
+func (c *Client) openReaderAt(name string, off, bound int64) (*remoteReader, error) {
 	// Validate existence up front so callers get ErrNotExist at open time.
 	if _, _, err := c.Stat(name); err != nil {
 		return nil, err
 	}
-	r := &remoteReader{c: c, name: name, next: off}
+	r := &remoteReader{c: c, name: name, next: off, bound: bound}
 	r.fill()
 	return r, nil
 }
@@ -742,6 +757,7 @@ type remoteReader struct {
 	c      *Client
 	name   string
 	next   int64   // offset of the next prefetch to issue
+	bound  int64   // declared range end; 0 = unbounded (see OpenRangeReader)
 	queue  []*call // issued prefetches, in offset order
 	cur    *Response
 	data   []byte // unread tail of cur
@@ -750,11 +766,31 @@ type remoteReader struct {
 	closed bool
 }
 
+// boundTailChunk sizes the demand-paged fetches past a bounded reader's
+// declared range end — just enough for a scanner to finish the record that
+// straddles the boundary.
+const boundTailChunk = 4 << 10
+
 // fill tops the prefetch window back up.
 func (r *remoteReader) fill() {
 	for !r.eof && len(r.queue) < readAheadDepth {
-		f := r.c.send(&Request{Op: OpReadAt, Name: r.name, Off: r.next, N: MaxChunk}, true)
-		r.next += MaxChunk
+		n := MaxChunk
+		if r.bound > 0 {
+			switch {
+			case r.next < r.bound:
+				if rem := r.bound - r.next; rem < int64(n) {
+					n = int(rem)
+				}
+			case len(r.queue) > 0:
+				// Past the declared range: strictly one tail fetch at a
+				// time, issued only when the consumer actually needs it.
+				return
+			default:
+				n = boundTailChunk
+			}
+		}
+		f := r.c.send(&Request{Op: OpReadAt, Name: r.name, Off: r.next, N: n}, true)
+		r.next += int64(n)
 		r.queue = append(r.queue, f)
 	}
 }

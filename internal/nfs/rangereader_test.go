@@ -1,0 +1,130 @@
+package nfs
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mcsd/internal/metrics"
+)
+
+// startRangeServer boots a server over an 8 MiB file and returns a client
+// plus the server for wire-byte accounting.
+func startRangeServer(t *testing.T) (*Client, *Server, []byte) {
+	t.Helper()
+	root := t.TempDir()
+	payload := make([]byte, 8<<20)
+	for i := range payload {
+		payload[i] = byte(i*131 + i>>9)
+	}
+	if err := os.WriteFile(filepath.Join(root, "big.dat"), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(root)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { ln.Close(); srv.Shutdown() })
+	c, err := Dial(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, srv, payload
+}
+
+// TestOpenRangeReaderBoundsReadAhead is the amplification contract: a short
+// range scan moves about its own bytes over the wire, while the unbounded
+// reader drags its full prefetch window along.
+func TestOpenRangeReaderBoundsReadAhead(t *testing.T) {
+	c, srv, payload := startRangeServer(t)
+	wire := srv.Metrics().Counter(metrics.NFSBytesRead)
+
+	const off, length = 1 << 20, 64 << 10
+	before := wire.Value()
+	r, err := c.OpenRangeReader("big.dat", off, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, length)
+	if _, err := io.ReadFull(r, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[off:off+length]) {
+		t.Fatal("range read returned wrong bytes")
+	}
+	// The tail past the bound is demand-paged: a small read fetches one
+	// small chunk, not another prefetch window.
+	tail := make([]byte, 100)
+	if _, err := io.ReadFull(r, tail); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tail, payload[off+length:off+length+100]) {
+		t.Fatal("tail read returned wrong bytes")
+	}
+	r.Close()
+	if delta := wire.Value() - before; delta > length+2*boundTailChunk {
+		t.Fatalf("bounded range scan moved %d wire bytes, want <= %d", delta, length+2*boundTailChunk)
+	}
+
+	// Contrast: the unbounded reader's prefetch window over-fetches far
+	// past the same 64 KiB consumption.
+	before = wire.Value()
+	u, err := c.OpenReaderAt("big.dat", off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(u, got); err != nil {
+		t.Fatal(err)
+	}
+	u.Close()
+	if delta := wire.Value() - before; delta < 4<<20 {
+		t.Fatalf("unbounded reader moved only %d wire bytes; the bounded contrast is vacuous", delta)
+	}
+}
+
+// TestOpenRangeReaderAcrossEOF covers a declared range that extends past
+// the end of the file: the reader serves what exists and reports EOF.
+func TestOpenRangeReaderAcrossEOF(t *testing.T) {
+	c, _, payload := startRangeServer(t)
+	size := int64(len(payload))
+
+	r, err := c.OpenRangeReader("big.dat", size-10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[size-10:]) {
+		t.Fatalf("read %d bytes at EOF boundary, want 10", len(got))
+	}
+}
+
+// TestOpenRangeReaderTailHitsEOF covers the demand-paged tail landing
+// exactly on end of file: reading past the bound returns io.EOF cleanly.
+func TestOpenRangeReaderTailHitsEOF(t *testing.T) {
+	c, _, payload := startRangeServer(t)
+	size := int64(len(payload))
+
+	r, err := c.OpenRangeReader("big.dat", size-64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[size-64:]) {
+		t.Fatal("bounded read at file tail returned wrong bytes")
+	}
+}

@@ -1,0 +1,186 @@
+package partition
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// RangeReader serves the word-aligned view of a byte range [start, end) of
+// a delimited stream, so independent readers of adjacent ranges together
+// see every record exactly once — the discipline that lets the fleet
+// scatter one file across SD nodes by offset with no coordination:
+//
+//   - a record belongs to the range containing its first byte;
+//   - a reader whose range starts mid-record (the byte before start is not
+//     a delimiter) skips forward through the record's trailing delimiter
+//     before serving — that torn head belongs to the previous range;
+//   - a reader whose range ends mid-record keeps serving through the
+//     record's trailing delimiter — the torn tail is part of a record that
+//     started inside its range.
+//
+// The underlying reader must be positioned at LeadIn(start) of the file:
+// one byte before the range when start > 0, so the reader can see whether
+// a record straddles the boundary without any other context.
+type RangeReader struct {
+	r     *bufio.Reader
+	isDel [256]bool
+	pos   int64 // absolute offset of the next byte to consume from r
+	end   int64
+	state rangeState
+	// lastServed is the final byte handed to the caller so far; it decides
+	// at the nominal end whether the reader stops clean or extends.
+	lastServed byte
+}
+
+type rangeState uint8
+
+const (
+	rangeSkipping  rangeState = iota // consuming the previous range's torn tail
+	rangeServing                     // inside [start, end)
+	rangeExtending                   // past end, finishing a record we own
+	rangeDone
+)
+
+// LeadIn returns the file offset at which the underlying reader for range
+// [start, _) must be positioned: start-1 when start > 0 (one byte of
+// context to detect a straddling record), otherwise 0.
+func LeadIn(start int64) int64 {
+	if start > 0 {
+		return start - 1
+	}
+	return 0
+}
+
+// NewRangeReader wraps r, which must be positioned at LeadIn(start) of the
+// underlying file, and serves the word-aligned range [start, end). Empty
+// delims means DefaultDelimiters. end past EOF simply serves to EOF.
+func NewRangeReader(r io.Reader, start, end int64, delims []byte) (*RangeReader, error) {
+	if start < 0 || end < start {
+		return nil, fmt.Errorf("partition: invalid range [%d, %d)", start, end)
+	}
+	rr := &RangeReader{r: bufio.NewReaderSize(r, 256<<10), pos: LeadIn(start), end: end}
+	if len(delims) == 0 {
+		delims = DefaultDelimiters
+	}
+	for _, d := range delims {
+		rr.isDel[d] = true
+	}
+	switch {
+	case start == end:
+		// An empty range owns no record starts; never serve.
+		rr.state = rangeDone
+	case start == 0:
+		rr.state = rangeServing
+	}
+	return rr, nil
+}
+
+// Read implements io.Reader over the aligned range.
+func (rr *RangeReader) Read(p []byte) (int, error) {
+	for {
+		switch rr.state {
+		case rangeSkipping:
+			// Consume bytes from start-1 through the first delimiter: either
+			// just the boundary delimiter itself, or the torn tail of the
+			// previous range's final record.
+			b, err := rr.r.ReadByte()
+			if err == io.EOF {
+				rr.state = rangeDone
+				continue
+			}
+			if err != nil {
+				return 0, fmt.Errorf("partition: range skip: %w", err)
+			}
+			rr.pos++
+			if rr.isDel[b] {
+				if rr.pos >= rr.end {
+					// The skip swallowed the whole range: no record starts
+					// inside [start, end), so this reader owns nothing.
+					rr.state = rangeDone
+				} else {
+					rr.state = rangeServing
+				}
+			}
+		case rangeServing:
+			if rr.pos >= rr.end {
+				if rr.isDel[rr.lastServed] {
+					rr.state = rangeDone
+				} else {
+					rr.state = rangeExtending
+				}
+				continue
+			}
+			limit := rr.end - rr.pos
+			if int64(len(p)) > limit {
+				p = p[:limit]
+			}
+			if len(p) == 0 {
+				return 0, nil
+			}
+			n, err := rr.r.Read(p)
+			if n > 0 {
+				rr.pos += int64(n)
+				rr.lastServed = p[n-1]
+				return n, nil
+			}
+			if err == io.EOF {
+				rr.state = rangeDone
+				continue
+			}
+			if err != nil {
+				return 0, fmt.Errorf("partition: range read: %w", err)
+			}
+		case rangeExtending:
+			// The range ended mid-record; the record's first byte was ours,
+			// so serve through its trailing delimiter.
+			n := 0
+			for n < len(p) {
+				b, err := rr.r.ReadByte()
+				if err == io.EOF {
+					rr.state = rangeDone
+					break
+				}
+				if err != nil {
+					return n, fmt.Errorf("partition: range extend: %w", err)
+				}
+				rr.pos++
+				p[n] = b
+				n++
+				if rr.isDel[b] {
+					rr.state = rangeDone
+					break
+				}
+			}
+			if n > 0 {
+				rr.lastServed = p[n-1]
+				return n, nil
+			}
+		case rangeDone:
+			return 0, io.EOF
+		}
+	}
+}
+
+// AlignedRanges cuts total bytes into ceil(total/rangeBytes) draft ranges
+// of rangeBytes each (the last one short). The draft boundaries need no
+// content inspection: RangeReader's skip/extend discipline re-aligns them
+// to record boundaries at read time, which is what lets a fleet coordinator
+// plan fragments from a file size alone.
+func AlignedRanges(total, rangeBytes int64) [][2]int64 {
+	if total <= 0 {
+		return nil
+	}
+	if rangeBytes <= 0 || rangeBytes >= total {
+		return [][2]int64{{0, total}}
+	}
+	out := make([][2]int64, 0, (total+rangeBytes-1)/rangeBytes)
+	for off := int64(0); off < total; off += rangeBytes {
+		end := off + rangeBytes
+		if end > total {
+			end = total
+		}
+		out = append(out, [2]int64{off, end})
+	}
+	return out
+}

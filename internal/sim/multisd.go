@@ -18,6 +18,24 @@ type MultiSDOutcome struct {
 	// ReturnTime is the serialized return of all partial results over the
 	// host's link.
 	ReturnTime time.Duration
+	// InvokeTime is the per-shard invocation overhead paid before any
+	// node starts.
+	InvokeTime time.Duration
+	// PerNode breaks the run down by node, in return order — what a real
+	// coordinator's per-node skew is compared against.
+	PerNode []NodeLeg
+}
+
+// NodeLeg is one node's time breakdown within a multi-SD run.
+type NodeLeg struct {
+	// Node is the modelled node name (sd0..sd{k-1}).
+	Node string
+	// Shard is the node's local shard-processing time.
+	Shard time.Duration
+	// ReturnDone is when the node's partial result has fully landed on
+	// the host, measured from job start: invocation overhead, shard
+	// processing, then the node's serialized slot on the host's link.
+	ReturnDone time.Duration
 }
 
 // SimulateMultiSD stripes size bytes of a partitionable data-intensive app
@@ -51,7 +69,8 @@ func SimulateMultiSD(cfg PairConfig, k int) (MultiSDOutcome, error) {
 	// All k shards start together (one invocation each) and run fully in
 	// parallel on their own nodes; the k result transfers serialize on
 	// the host's link; the host folds k partials.
-	invoke := NewTask("smartfam.invoke", InvocationOverhead(net, cfg.SMBLoad))
+	out.InvokeTime = InvocationOverhead(net, cfg.SMBLoad)
+	invoke := NewTask("smartfam.invoke", out.InvokeTime)
 	shards := make([]*Task, k)
 	for i := range shards {
 		shards[i] = NewTask(fmt.Sprintf("sd%d.shard", i), shard.Elapsed).After(invoke)
@@ -59,6 +78,14 @@ func SimulateMultiSD(cfg PairConfig, k int) (MultiSDOutcome, error) {
 	barrier := Join("shards-done", shards...)
 	perReturn := StageTime(net, resultBytes, cfg.SMBLoad)
 	out.ReturnTime = time.Duration(k) * perReturn
+	out.PerNode = make([]NodeLeg, k)
+	for i := range out.PerNode {
+		out.PerNode[i] = NodeLeg{
+			Node:       fmt.Sprintf("sd%d", i),
+			Shard:      shard.Elapsed,
+			ReturnDone: out.InvokeTime + shard.Elapsed + time.Duration(i+1)*perReturn,
+		}
+	}
 	returns := NewTask("net.results", out.ReturnTime).After(barrier)
 	// Host-side merge: fold k partial tables at the host's word-grade
 	// processing rate.

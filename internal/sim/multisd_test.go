@@ -90,3 +90,83 @@ func TestMultiSDOutcomeComponents(t *testing.T) {
 		t.Fatal("elapsed cannot be below the shard critical path")
 	}
 }
+
+// TestMultiSDPinsSingleSDModel pins k=1 to the single-SD model: with one
+// node the shard is the whole file, so the multi-SD simulator must agree
+// exactly with DataAppTime plus the invocation, return and merge legs it
+// adds around it. Any drift between the two models breaks the bench's
+// measured-vs-modelled comparison.
+func TestMultiSDPinsSingleSDModel(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  PairConfig
+	}{
+		{"wc-1gb", multiCfg(gb)},
+		{"wc-2gb-partitioned", multiCfg(2 * gb)},
+		{"sm-1gb", func() PairConfig {
+			c := multiCfg(gb)
+			c.DataCost = workloads.StringMatchCost()
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := SimulateMultiSD(tc.cfg, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sd := tc.cfg.Cluster.SD()
+			single, err := DataAppTime(tc.cfg.DataCost, tc.cfg.DataBytes,
+				Exec{Node: *sd, PartitionBytes: tc.cfg.PartitionBytes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.ShardTime != single.Elapsed {
+				t.Fatalf("k=1 shard time %v != single-SD model %v", out.ShardTime, single.Elapsed)
+			}
+			want := out.InvokeTime + out.ShardTime + out.ReturnTime + out.MergeTime
+			if out.Elapsed != want {
+				t.Fatalf("k=1 elapsed %v != sum of legs %v", out.Elapsed, want)
+			}
+			if len(out.PerNode) != 1 {
+				t.Fatalf("PerNode = %v", out.PerNode)
+			}
+			leg := out.PerNode[0]
+			if leg.Node != "sd0" || leg.Shard != out.ShardTime {
+				t.Fatalf("leg = %+v", leg)
+			}
+			if leg.ReturnDone != out.InvokeTime+out.ShardTime+out.ReturnTime {
+				t.Fatalf("leg return done %v", leg.ReturnDone)
+			}
+		})
+	}
+}
+
+// TestMultiSDPerNodeBreakdown checks the exported per-node legs: one per
+// node, identical shard times (identical nodes), strictly later return
+// slots on the serialized host link, and the last leg flush with the
+// pre-merge critical path.
+func TestMultiSDPerNodeBreakdown(t *testing.T) {
+	out, err := SimulateMultiSD(multiCfg(2*gb), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerNode) != 4 {
+		t.Fatalf("PerNode has %d legs", len(out.PerNode))
+	}
+	for i, leg := range out.PerNode {
+		if leg.Shard != out.ShardTime {
+			t.Fatalf("leg %d shard %v != %v", i, leg.Shard, out.ShardTime)
+		}
+		if i > 0 && leg.ReturnDone <= out.PerNode[i-1].ReturnDone {
+			t.Fatalf("return slots not serialized: %v", out.PerNode)
+		}
+	}
+	last := out.PerNode[len(out.PerNode)-1]
+	if last.ReturnDone != out.InvokeTime+out.ShardTime+out.ReturnTime {
+		t.Fatalf("last return done %v, want %v", last.ReturnDone, out.InvokeTime+out.ShardTime+out.ReturnTime)
+	}
+	if got := out.Elapsed - out.MergeTime; got != last.ReturnDone {
+		t.Fatalf("elapsed minus merge %v != last return %v", got, last.ReturnDone)
+	}
+}
