@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all vet lint build test race bench-smoke bench-json bench-nfs bench-cluster bench-compare chaos check
+.PHONY: all vet lint build test race bench-smoke bench-json bench-nfs bench-cluster bench-compare chaos chaos-heal check
 
 all: check
 
@@ -41,6 +41,16 @@ bench-smoke:
 chaos:
 	$(GO) test -run TestChaos -count=10 -v .
 	$(GO) test -race -run TestChaos -count=3 .
+
+# chaos-heal runs the replication/self-healing chaos test (DESIGN.md §5h)
+# repeatedly and under the race detector: one SD daemon is killed mid-job
+# while another node's replica of a victim-held object carries an at-rest
+# bit flip. The word count must stay byte-identical to a single-node run,
+# the killed node must rejoin through the probe/probation path, and a scrub
+# afterwards must restore full replication (second pass: zero repairs).
+chaos-heal:
+	$(GO) test -run TestChaosHeal -count=10 -v .
+	$(GO) test -race -run TestChaosHeal -count=3 .
 
 # bench-json regenerates BENCH_mapreduce.json: the engine hot-path numbers
 # across the GOMAXPROCS sweep (zero-copy streaming combine vs staged emit,

@@ -75,10 +75,30 @@ type clusterReport struct {
 	DiskBpsPerNode float64      `json:"disk_bps_per_node"`
 	HostLinkBps    float64      `json:"host_link_bps"`
 	Runs           []clusterRun `json:"runs"`
-	N2Speedup      float64      `json:"n2_speedup"`
-	N4Speedup      float64      `json:"n4_speedup"`
-	N8Speedup      float64      `json:"n8_speedup"`
-	Pass           bool         `json:"pass"`
+	// Replicated is the R=2 sealed-object run: same corpus, two
+	// CRC-trailed copies of every fragment object, dispatch pinned to the
+	// holders. Its gate is byte-identity with the plain N=1 output.
+	Replicated *replicatedRun `json:"replicated,omitempty"`
+	N2Speedup  float64        `json:"n2_speedup"`
+	N4Speedup  float64        `json:"n4_speedup"`
+	N8Speedup  float64        `json:"n8_speedup"`
+	Pass       bool           `json:"pass"`
+}
+
+// replicatedRun is the report row for the replicated word count: how much
+// the durability tier costs over the plain scatter at the same node count.
+type replicatedRun struct {
+	Nodes     int     `json:"nodes"`
+	R         int     `json:"r"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	MBPerSec  float64 `json:"mb_per_s"`
+	// OverheadVsPlain is elapsed/plain_elapsed - 1 at the same node count:
+	// the fractional cost of CRC verification plus holder-pinned dispatch.
+	OverheadVsPlain float64 `json:"overhead_vs_plain"`
+	ReadRepairs     int     `json:"read_repairs"`
+	CorruptReplicas int     `json:"corrupt_replicas"`
+	OutputIdentical bool    `json:"output_identical"`
+	Fragments       int     `json:"fragments"`
 }
 
 // clusterSD is one in-process SD node: an exported data directory, a
@@ -88,7 +108,11 @@ type clusterSD struct {
 	name    string
 	dir     string
 	session *smartfam.Client
-	close   func()
+	// mount is the host-side view of the node's share (over the shared
+	// host link) — what the replicated store writes fragment objects
+	// through.
+	mount smartfam.FS
+	close func()
 }
 
 // startClusterSD boots one SD node and mounts it from the host.
@@ -159,6 +183,7 @@ func startClusterSD(ctx context.Context, name string, corpus []byte, hostLink *n
 		name:    name,
 		dir:     dir,
 		session: smartfam.NewClient(mount, time.Millisecond),
+		mount:   mount,
 		close:   closeAll,
 	}, nil
 }
@@ -198,7 +223,7 @@ func runClusterBench(outPath string) error {
 	}
 
 	refCounts := workloads.WordCountSeq(corpus)
-	var baseline time.Duration
+	var baseline, plainN4 time.Duration
 	var canonical []byte
 	identicalAll := true
 	for _, n := range []int{1, 2, 4, 8} {
@@ -260,11 +285,55 @@ func runClusterBench(outPath string) error {
 			rep.N2Speedup = run.Speedup
 		case 4:
 			rep.N4Speedup = run.Speedup
+			plainN4 = elapsed
 		case 8:
 			rep.N8Speedup = run.Speedup
 		}
 		fmt.Printf("  n=%d %8.1f MB/s  %6.2fx measured  %5.2fx model  (%v, identical=%v)\n",
 			n, run.MBPerSec, run.Speedup, run.ModelSpeedup, elapsed.Round(time.Millisecond), identical)
+	}
+
+	// Replicated R=2 run at n=4: the corpus is re-staged as sealed fragment
+	// objects, two copies each, placed by the HRW ring; every dispatch is
+	// pinned to an object's holders and every node-side read is
+	// CRC-verified. Staging happens before the clock starts, like the plain
+	// runs' corpus staging.
+	{
+		const rn, rfactor = 4, 2
+		shares := make(map[string]smartfam.FS, rn)
+		nodes := make([]fleet.Node, rn)
+		for i := 0; i < rn; i++ {
+			shares[sds[i].name] = sds[i].mount
+			nodes[i] = fleet.Node{Name: sds[i].name, Session: sds[i].session}
+		}
+		store := fleet.NewStore(shares, rfactor, nil)
+		set, err := store.PutFile(ctx, "corpus", corpus, int(fragmentBytes))
+		if err != nil {
+			return fmt.Errorf("cluster replicated: staging: %w", err)
+		}
+		coord := fleet.NewCoordinator(nodes, fleet.Config{AttemptTimeout: 60 * time.Second, Store: store})
+		start := time.Now()
+		res, err := coord.WordCountSealed(ctx, fleet.SealedWordCountJob{Set: set})
+		if err != nil {
+			return fmt.Errorf("cluster replicated n=%d: %w", rn, err)
+		}
+		elapsed := time.Since(start)
+		identical := bytes.Equal(fleet.CanonicalWordCount(&res.Output), canonical)
+		identicalAll = identicalAll && identical
+		rep.Replicated = &replicatedRun{
+			Nodes:           rn,
+			R:               rfactor,
+			ElapsedNs:       elapsed.Nanoseconds(),
+			MBPerSec:        float64(len(corpus)) / 1e6 / elapsed.Seconds(),
+			OverheadVsPlain: elapsed.Seconds()/plainN4.Seconds() - 1,
+			ReadRepairs:     res.Stats.ReadRepairs,
+			CorruptReplicas: res.Stats.CorruptReplicas,
+			OutputIdentical: identical,
+			Fragments:       len(res.Fragments),
+		}
+		fmt.Printf("  n=%d R=%d %5.1f MB/s  %+5.1f%% vs plain  (%v, identical=%v, %d fragments)\n",
+			rn, rfactor, rep.Replicated.MBPerSec, rep.Replicated.OverheadVsPlain*100,
+			elapsed.Round(time.Millisecond), identical, rep.Replicated.Fragments)
 	}
 
 	rep.Pass = rep.N2Speedup >= 1.7 && rep.N4Speedup >= 3.0 && identicalAll

@@ -11,6 +11,8 @@
 //	mcsdctl -addr 127.0.0.1:9000 put corpus.txt data/corpus.txt
 //	mcsdctl -addr 127.0.0.1:9000 wordcount -file data/corpus.txt -partition 64M -top 10
 //	mcsdctl -sds 10.0.0.1:9000,10.0.0.2:9000 wordcount -file data/corpus.txt -fragment 64M
+//	mcsdctl -sds 10.0.0.1:9000,10.0.0.2:9000 scrub -r 2 -rate 32M
+//	mcsdctl -sds 10.0.0.1:9000,10.0.0.2:9000 heal -object corpus.00003.frag -r 2
 //	mcsdctl -addr 127.0.0.1:9000 stringmatch -file data/enc.txt -keys data/keys.txt
 //	mcsdctl -addr 127.0.0.1:9000 dbselect -file data/sales.csv -group-by region -min-price 100
 //	mcsdctl -addr 127.0.0.1:9000 kmeans -file data/points.bin -dim 2 -k 4 -partition 16M
@@ -117,16 +119,22 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: mcsdctl [-addr host:port] <status|queue|journal|modules|put|wordcount|stringmatch|matmul|dbselect|kmeans> ...")
+		return fmt.Errorf("usage: mcsdctl [-addr host:port | -sds a:p,b:p] <status|queue|journal|modules|put|wordcount|stringmatch|matmul|dbselect|kmeans|scrub|heal> ...")
 	}
 
 	if *sds != "" {
-		if rest[0] != "wordcount" {
-			return fmt.Errorf("-sds drives the fleet scatter/gather path, which supports only wordcount (got %q)", rest[0])
-		}
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
-		return fleetWordcount(ctx, strings.Split(*sds, ","), *conns, *wire, rest[1:])
+		addrs := strings.Split(*sds, ",")
+		switch rest[0] {
+		case "wordcount":
+			return fleetWordcount(ctx, addrs, *conns, *wire, rest[1:])
+		case "scrub":
+			return fleetScrub(ctx, addrs, *conns, *wire, rest[1:])
+		case "heal":
+			return fleetHeal(ctx, addrs, *conns, *wire, rest[1:])
+		}
+		return fmt.Errorf("-sds drives the fleet path, which supports wordcount, scrub, and heal (got %q)", rest[0])
 	}
 
 	client, err := nfs.DialPool(*addr, 10*time.Second, *conns)
@@ -420,6 +428,113 @@ func fleetWordcount(ctx context.Context, addrs []string, conns int, wire string,
 	}
 	for _, wf := range out.Top {
 		fmt.Printf("%8d  %s\n", wf.Count, wf.Word)
+	}
+	return nil
+}
+
+// dialFleetShares opens one pooled export per fleet address and returns the
+// node->share map the replicated store places over. Node names are the
+// addresses themselves, matching the fleet coordinator's convention.
+func dialFleetShares(addrs []string, conns int, wire string) (map[string]smartfam.FS, func(), error) {
+	shares := make(map[string]smartfam.FS)
+	var pools []*nfs.Pool
+	closeAll := func() {
+		for _, p := range pools {
+			p.Close()
+		}
+	}
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		pool, err := nfs.DialPool(a, 10*time.Second, conns)
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("%w: %s: %v", errUnreachable, a, err)
+		}
+		if wire == "gob" {
+			pool.SetWire(nfs.WireGob)
+		}
+		pools = append(pools, pool)
+		shares[a] = pool
+	}
+	if len(shares) == 0 {
+		closeAll()
+		return nil, nil, fmt.Errorf("-sds lists no nodes")
+	}
+	return shares, closeAll, nil
+}
+
+// fleetScrub runs one background-integrity pass over the fleet's replicated
+// objects: every copy is CRC-verified (server-side chunk checksums where the
+// export supports them), corrupt copies are rewritten from an intact
+// replica, and missing copies are re-created — at a bounded byte rate so a
+// scrub cannot starve foreground jobs.
+func fleetScrub(ctx context.Context, addrs []string, conns int, wire string, args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ContinueOnError)
+	repl := fs.Int("r", 2, "replication factor the objects were written with")
+	rateFlag := fs.String("rate", "32M", "scrub I/O rate cap per second (e.g. 32M); \"0\" unpaced")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rate, err := units.ParseBytes(*rateFlag)
+	if err != nil {
+		return fmt.Errorf("-rate: %w", err)
+	}
+	shares, closeAll, err := dialFleetShares(addrs, conns, wire)
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+	store := fleet.NewStore(shares, *repl, nil)
+	rep, err := store.Scrub(ctx, fleet.ScrubConfig{RateBytesPerSec: rate})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scrubbed %d objects across %d nodes: %s scanned in %d files\n",
+		rep.Objects, len(shares), units.FormatBytes(rep.BytesScanned), rep.FilesScanned)
+	fmt.Printf("corrupt replicas: %d  repaired: %d  re-replicated: %d  orphans: %d  corrupt log records: %d\n",
+		rep.CorruptReplicas, rep.RepairedReplicas, rep.ReReplicated, rep.Orphans, rep.CorruptLogRecords)
+	for _, n := range rep.UnreachableNodes {
+		fmt.Printf("unreachable: %s\n", n)
+	}
+	for _, e := range rep.Errors {
+		fmt.Printf("unrestored: %s\n", e)
+	}
+	if len(rep.Errors) > 0 {
+		return fmt.Errorf("scrub could not restore %d objects", len(rep.Errors))
+	}
+	return nil
+}
+
+// fleetHeal repairs a single named object on demand — the operator's
+// targeted version of a scrub pass, for when a read already reported the
+// damage.
+func fleetHeal(ctx context.Context, addrs []string, conns int, wire string, args []string) error {
+	fs := flag.NewFlagSet("heal", flag.ContinueOnError)
+	object := fs.String("object", "", "replicated object to repair (e.g. corpus.00003.frag)")
+	repl := fs.Int("r", 2, "replication factor the object was written with")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *object == "" {
+		return fmt.Errorf("heal: -object is required")
+	}
+	shares, closeAll, err := dialFleetShares(addrs, conns, wire)
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+	store := fleet.NewStore(shares, *repl, nil)
+	res, err := store.Repair(ctx, *object)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("healed %s: repaired %d corrupt, re-replicated %d missing (holders: %s)\n",
+		*object, res.RepairedCorrupt, res.ReReplicated, strings.Join(store.Replicas(*object), ","))
+	for _, n := range res.Unreachable {
+		fmt.Printf("unreachable: %s\n", n)
 	}
 	return nil
 }

@@ -45,6 +45,13 @@ type WordCountParams struct {
 	// output — what a fleet coordinator needs to merge per-fragment
 	// results deterministically — instead of only the TopN summary.
 	EmitPairs bool `json:"emit_pairs,omitempty"`
+	// Sealed marks DataFile as a sealed fragment object (payload + CRC32
+	// trailer, smartfam.SealBlob): the module reads it through a verifying
+	// SealedStore and fails with smartfam.ErrCorruptBlob — relayed over
+	// the wire as a recognizable ModuleError — instead of silently
+	// counting corrupt bytes. Sealed objects are whole fragments, so
+	// Sealed excludes RangeOffset/RangeBytes.
+	Sealed bool `json:"sealed,omitempty"`
 }
 
 // WordFreq is one row of the word-count output.

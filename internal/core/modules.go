@@ -90,6 +90,13 @@ func WordCountModule(cfg ModuleConfig) smartfam.Module {
 			if p.DataFile == "" {
 				return nil, fmt.Errorf("core: wordcount requires data_file")
 			}
+			store := cfg.Store
+			if p.Sealed {
+				if p.RangeBytes > 0 {
+					return nil, fmt.Errorf("core: wordcount: sealed fragments exclude byte ranges")
+				}
+				store = SealedStore(store)
+			}
 			var input io.Reader
 			if p.RangeBytes > 0 {
 				// Fleet scatter unit: open one byte of lead-in context and
@@ -97,7 +104,7 @@ func WordCountModule(cfg ModuleConfig) smartfam.Module {
 				// length is declared so remote stores prefetch only the
 				// range, not their full read-ahead window.
 				lead := partition.LeadIn(p.RangeOffset)
-				f, err := OpenRange(cfg.Store, p.DataFile, lead, p.RangeOffset+p.RangeBytes-lead)
+				f, err := OpenRange(store, p.DataFile, lead, p.RangeOffset+p.RangeBytes-lead)
 				if err != nil {
 					return nil, err
 				}
@@ -107,7 +114,7 @@ func WordCountModule(cfg ModuleConfig) smartfam.Module {
 					return nil, err
 				}
 			} else {
-				f, err := cfg.Store.Open(p.DataFile)
+				f, err := store.Open(p.DataFile)
 				if err != nil {
 					return nil, err
 				}

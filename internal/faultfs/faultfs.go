@@ -12,6 +12,7 @@ package faultfs
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"time"
 
@@ -50,15 +51,20 @@ type FS struct {
 	onCrash  func()
 	injected int64
 	torn     int64
+
+	corruptOps   map[Op]int // op -> remaining bit-flips
+	corruptMatch string     // substring filter on file names ("" = any)
+	corrupted    int64
 }
 
 // New wraps inner with an (initially inert) fault layer.
 func New(inner smartfam.FS) *FS {
 	return &FS{
-		inner:    inner,
-		failOps:  make(map[Op]int),
-		failErr:  make(map[Op]error),
-		crashOps: make(map[Op]int),
+		inner:      inner,
+		failOps:    make(map[Op]int),
+		failErr:    make(map[Op]error),
+		crashOps:   make(map[Op]int),
+		corruptOps: make(map[Op]int),
 	}
 }
 
@@ -89,6 +95,51 @@ func (f *FS) TearNext(n int, keep float64) {
 	f.tearNext = n
 	f.tearKeep = keep
 	f.mu.Unlock()
+}
+
+// CorruptNext arms the next n calls of op (OpRead or OpAppend) to flip one
+// bit in the middle of the data, modelling silent corruption: the
+// operation itself still reports success. A corrupted OpRead is transient
+// (the bytes at rest stay intact — a bad sector read, a flaky cable); a
+// corrupted OpAppend persists flipped bytes to the inner FS — at-rest bit
+// rot a scrubber must find. Combine with CorruptMatch to target one file.
+func (f *FS) CorruptNext(op Op, n int) {
+	f.mu.Lock()
+	f.corruptOps[op] = n
+	f.mu.Unlock()
+}
+
+// CorruptMatch restricts armed corruption to operations whose file name
+// contains substr ("" removes the filter). Operations on other names pass
+// through without consuming the countdown, so a test can deterministically
+// corrupt one replica object while the share's logs stay clean.
+func (f *FS) CorruptMatch(substr string) {
+	f.mu.Lock()
+	f.corruptMatch = substr
+	f.mu.Unlock()
+}
+
+// Corrupted returns how many operations have had a bit flipped so far.
+func (f *FS) Corrupted() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.corrupted
+}
+
+// corruptArmed consumes one corruption token for (op, name); callers flip
+// the bit themselves on a true return.
+func (f *FS) corruptArmed(op Op, name string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.corruptOps[op] <= 0 {
+		return false
+	}
+	if f.corruptMatch != "" && !strings.Contains(name, f.corruptMatch) {
+		return false
+	}
+	f.corruptOps[op]--
+	f.corrupted++
+	return true
 }
 
 // SetLatency injects a fixed delay before every operation (0 disables).
@@ -197,6 +248,13 @@ func (f *FS) Append(name string, data []byte) error {
 		_ = f.inner.Append(name, data[:n])
 		return ErrInjected
 	}
+	if len(data) > 0 && f.corruptArmed(OpAppend, name) {
+		// At-rest corruption: one flipped bit lands on the inner FS and the
+		// append still reports success, like silent media rot.
+		bad := append([]byte(nil), data...)
+		bad[len(bad)/2] ^= 0x01
+		data = bad
+	}
 	err := f.inner.Append(name, data)
 	if err == nil {
 		f.exit(OpAppend)
@@ -210,6 +268,11 @@ func (f *FS) ReadAt(name string, p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	n, err := f.inner.ReadAt(name, p, off)
+	if n > 0 && f.corruptArmed(OpRead, name) {
+		// Transient read-side corruption: the caller sees one flipped bit,
+		// the bytes at rest stay intact.
+		p[n/2] ^= 0x01
+	}
 	if err == nil {
 		f.exit(OpRead)
 	}

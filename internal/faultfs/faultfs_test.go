@@ -84,6 +84,106 @@ func TestCrashAfterFiresOnceAtCountdown(t *testing.T) {
 	}
 }
 
+func TestCorruptNextReadFlipsOneBitTransiently(t *testing.T) {
+	inner := smartfam.DirFS(t.TempDir())
+	f := New(inner)
+	data := []byte("0123456789")
+	if err := f.Append("a", data); err != nil {
+		t.Fatal(err)
+	}
+	f.CorruptNext(OpRead, 1)
+	buf := make([]byte, len(data))
+	if _, err := f.ReadAt("a", buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) == string(data) {
+		t.Fatal("armed read returned intact bytes")
+	}
+	diff := 0
+	for i := range buf {
+		if buf[i] != data[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	if f.Corrupted() != 1 {
+		t.Fatalf("Corrupted() = %d, want 1", f.Corrupted())
+	}
+	// Transient: the countdown is consumed and the bytes at rest are fine.
+	buf2 := make([]byte, len(data))
+	if _, err := f.ReadAt("a", buf2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf2) != string(data) {
+		t.Fatalf("second read %q, want intact %q", buf2, data)
+	}
+}
+
+func TestCorruptNextAppendPersistsFlippedBit(t *testing.T) {
+	inner := smartfam.DirFS(t.TempDir())
+	f := New(inner)
+	f.CorruptNext(OpAppend, 1)
+	data := []byte("0123456789")
+	if err := f.Append("a", data); err != nil {
+		t.Fatalf("corrupted append must still report success, got %v", err)
+	}
+	buf := make([]byte, len(data))
+	if _, err := inner.ReadAt("a", buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) == string(data) {
+		t.Fatal("at-rest bytes are intact, want one flipped bit")
+	}
+	if buf[len(data)/2] != data[len(data)/2]^0x01 {
+		t.Fatalf("middle byte = %x, want %x", buf[len(data)/2], data[len(data)/2]^0x01)
+	}
+	// Consumed: the next append lands clean.
+	if err := f.Append("b", data); err != nil {
+		t.Fatal(err)
+	}
+	buf2 := make([]byte, len(data))
+	if _, err := inner.ReadAt("b", buf2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf2) != string(data) {
+		t.Fatalf("post-countdown append %q, want %q", buf2, data)
+	}
+}
+
+func TestCorruptMatchTargetsOneFile(t *testing.T) {
+	inner := smartfam.DirFS(t.TempDir())
+	f := New(inner)
+	data := []byte("0123456789")
+	for _, name := range []string{"clean.log", "target.frag"} {
+		if err := f.Append(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.CorruptNext(OpRead, 1)
+	f.CorruptMatch(".frag")
+	buf := make([]byte, len(data))
+	// Non-matching reads neither corrupt nor consume the countdown.
+	for i := 0; i < 3; i++ {
+		if _, err := f.ReadAt("clean.log", buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != string(data) {
+			t.Fatalf("non-matching file corrupted: %q", buf)
+		}
+	}
+	if _, err := f.ReadAt("target.frag", buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) == string(data) {
+		t.Fatal("matching file not corrupted")
+	}
+	if f.Corrupted() != 1 {
+		t.Fatalf("Corrupted() = %d, want 1", f.Corrupted())
+	}
+}
+
 func TestSetLatencyDelaysOps(t *testing.T) {
 	f := New(smartfam.DirFS(t.TempDir()))
 	f.SetLatency(20 * time.Millisecond)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -18,6 +19,15 @@ import (
 // *smartfam.Client satisfies it; tests substitute fakes.
 type Session interface {
 	InvokeID(ctx context.Context, module, id string, params []byte) ([]byte, error)
+}
+
+// Prober is the optional liveness surface of a Session. A marked-down node
+// whose session implements Prober is re-probed on a jittered backoff and
+// marked healthy again after a probation window — without it a down mark is
+// permanent for the rest of the Execute call (*smartfam.Client implements
+// Prober via the daemon heartbeat).
+type Prober interface {
+	Probe(ctx context.Context) error
 }
 
 // Node is one dispatchable SD node.
@@ -51,6 +61,22 @@ type Config struct {
 	MaxAttempts int
 	// ScanInterval is the straggler scan period (default 100ms).
 	ScanInterval time.Duration
+	// ProbeInterval is the initial delay before re-probing a marked-down
+	// node whose session implements Prober, and the per-probe timeout
+	// (default 250ms). Failures back the delay off exponentially.
+	ProbeInterval time.Duration
+	// ProbeBackoffMax caps the re-probe backoff (default 5s).
+	ProbeBackoffMax time.Duration
+	// ProbationWindow is how long after a first successful probe the node
+	// must still answer a second one before it is marked healthy again —
+	// a flapping node does not get its fragments back on one lucky probe
+	// (default: ProbeInterval).
+	ProbationWindow time.Duration
+	// Store optionally connects the coordinator to the replicated object
+	// tier: replicated fragments that hit a corrupt or lost copy during the
+	// job are re-repaired through it after the gather completes
+	// (heal-on-read).
+	Store *Store
 	// Metrics optionally records fleet.* counters and timers.
 	Metrics *metrics.Registry
 }
@@ -70,6 +96,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ScanInterval <= 0 {
 		c.ScanInterval = 100 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeBackoffMax <= 0 {
+		c.ProbeBackoffMax = 5 * time.Second
+	}
+	if c.ProbationWindow <= 0 {
+		c.ProbationWindow = c.ProbeInterval
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
@@ -118,8 +153,17 @@ type Fragment struct {
 	// Index identifies the fragment within the job; results return in
 	// index order.
 	Index int
-	// Key is the placement key (conventionally "<file>#<index>").
+	// Key is the placement key (conventionally "<file>#<index>"; for
+	// replicated fragments, the object name on the store — heal-on-read
+	// passes it straight to Store.Repair).
 	Key string
+	// Replicas optionally pins the fragment to the nodes holding its data
+	// (preference order, Replicas[0] the home). An empty list keeps the
+	// classic shared-file model where any node can run the fragment; a
+	// non-empty list restricts dispatch, stealing and speculation to the
+	// holders, and a holder that serves corrupt data is excluded per
+	// fragment instead of marked down.
+	Replicas []string
 	// Params is the encoded module parameter payload.
 	Params []byte
 }
@@ -145,6 +189,13 @@ type Stats struct {
 	QueueFullRequeues int // attempts shed by node schedulers and requeued
 	NodeFailures      int // nodes marked down
 	MovedFragments    int // fragments re-placed off a down node
+	Probes            int // liveness probes launched at marked-down nodes
+	NodeRecoveries    int // down nodes probed back to healthy
+	CorruptReplicas   int // replica reads that failed CRC verification
+	ReplicaFallbacks  int // fragments re-placed onto a surviving replica
+	ReadRepairs       int // corrupt copies rewritten by post-job healing
+	ReReplicated      int // missing copies recreated by post-job healing
+	HealErrors        int // objects post-job healing could not restore
 	// PerNode counts completed fragments by winning node.
 	PerNode map[string]int
 }
@@ -166,6 +217,30 @@ type attemptResult struct {
 	err     error
 	elapsed time.Duration
 	spec    bool
+}
+
+// probeState tracks one marked-down node's path back to health.
+type probeState struct {
+	prober    Prober
+	nextProbe time.Time
+	backoff   time.Duration
+	inFlight  bool
+	firstOK   time.Time // first successful probe; zero until one lands
+}
+
+// probeOutcome is one probe goroutine's report.
+type probeOutcome struct {
+	node string
+	err  error
+}
+
+// jitter spreads d over [d/2, d) so a fleet of probes does not thunder in
+// lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
 }
 
 // nodeRun is the per-node dispatch state of one Execute call.
@@ -238,6 +313,15 @@ func (c *Coordinator) Execute(ctx context.Context, module string, frags []Fragme
 		}
 		fragByIndex[f.Index] = f
 		reqIDs[i] = smartfam.NewID()
+		if len(f.Replicas) > 0 {
+			for _, rn := range f.Replicas {
+				if _, known := nodes[rn]; !known {
+					return nil, stats, fmt.Errorf("fleet: fragment %d: unknown replica node %q", f.Index, rn)
+				}
+			}
+			nodes[f.Replicas[0]].queue = append(nodes[f.Replicas[0]].queue, i)
+			continue
+		}
 		owner, ok := c.ring.Owner(f.Key)
 		if !ok {
 			return nil, stats, fmt.Errorf("fleet: %w", ErrNoNodes)
@@ -254,7 +338,12 @@ func (c *Coordinator) Execute(ctx context.Context, module string, frags []Fragme
 		fragShed   = make([]int, len(frags)) // queue-full requeues per fragment
 		durations  []time.Duration           // completed-attempt times, for the straggler median
 		speculated = make([]bool, len(frags))
+		badReplica = make(map[attemptKey]bool) // replica copies that served corrupt data
+		parked     = make(map[int]bool)        // fragments waiting for a holder to recover
+		healSet    = make(map[string]bool)     // object keys to repair after the gather
+		downNodes  = make(map[string]*probeState)
 	)
+	probeResults := make(chan probeOutcome, len(c.nodes))
 
 	queuedSomewhere := func(fi int) bool {
 		for _, nr := range nodes {
@@ -267,10 +356,58 @@ func (c *Coordinator) Execute(ctx context.Context, module string, frags []Fragme
 		return false
 	}
 
-	// rePlace moves fragment fi to the highest-ranked healthy node other
-	// than exclude, counting the move.
+	// canRun reports whether node may execute fragment fi: any node for a
+	// classic fragment, only a replica holder whose copy has not proven
+	// corrupt for a replicated one.
+	canRun := func(fi int, node string) bool {
+		f := &frags[fi]
+		if len(f.Replicas) == 0 {
+			return true
+		}
+		if badReplica[attemptKey{fi, node}] {
+			return false
+		}
+		for _, rn := range f.Replicas {
+			if rn == node {
+				return true
+			}
+		}
+		return false
+	}
+
+	// rePlace moves fragment fi to the best eligible node other than
+	// exclude. A replicated fragment walks its own holder list; when every
+	// holder is either corrupt or down — but at least one is merely down —
+	// the fragment parks until a probe brings a holder back instead of
+	// failing the job.
 	rePlace := func(fi int, exclude string) error {
-		for _, name := range c.ring.Rank(frags[fi].Key) {
+		f := &frags[fi]
+		if len(f.Replicas) > 0 {
+			downHolder := false
+			for _, name := range f.Replicas {
+				if badReplica[attemptKey{fi, name}] {
+					continue
+				}
+				nr := nodes[name]
+				if !nr.healthy {
+					downHolder = true
+					continue
+				}
+				if name == exclude {
+					continue
+				}
+				nr.queue = append(nr.queue, fi)
+				stats.MovedFragments++
+				c.cfg.Metrics.Counter(metrics.FleetMoves).Inc()
+				return nil
+			}
+			if downHolder {
+				parked[fi] = true
+				return nil
+			}
+			return fmt.Errorf("fleet: fragment %d: every replica is corrupt or lost: %w", f.Index, ErrNoNodes)
+		}
+		for _, name := range c.ring.Rank(f.Key) {
 			nr := nodes[name]
 			if name == exclude || !nr.healthy {
 				continue
@@ -280,11 +417,13 @@ func (c *Coordinator) Execute(ctx context.Context, module string, frags []Fragme
 			c.cfg.Metrics.Counter(metrics.FleetMoves).Inc()
 			return nil
 		}
-		return fmt.Errorf("fleet: fragment %d: %w", frags[fi].Index, ErrNoNodes)
+		return fmt.Errorf("fleet: fragment %d: %w", f.Index, ErrNoNodes)
 	}
 
 	// markDown fails a node and re-places its queued work. Its in-flight
-	// attempts re-place individually as their errors arrive.
+	// attempts re-place individually as their errors arrive. A node whose
+	// session can be probed gets a recovery schedule instead of a permanent
+	// mark.
 	markDown := func(nr *nodeRun) error {
 		if !nr.healthy {
 			return nil
@@ -292,6 +431,13 @@ func (c *Coordinator) Execute(ctx context.Context, module string, frags []Fragme
 		nr.healthy = false
 		stats.NodeFailures++
 		c.cfg.Metrics.Counter(metrics.FleetNodeFailures).Inc()
+		if p, ok := nr.node.Session.(Prober); ok {
+			downNodes[nr.node.Name] = &probeState{
+				prober:    p,
+				nextProbe: time.Now().Add(jitter(c.cfg.ProbeInterval)),
+				backoff:   c.cfg.ProbeInterval,
+			}
+		}
 		queue := nr.queue
 		nr.queue = nil
 		for _, fi := range queue {
@@ -300,7 +446,76 @@ func (c *Coordinator) Execute(ctx context.Context, module string, frags []Fragme
 			if done[fi] || fragLive[fi] > 0 || queuedSomewhere(fi) {
 				continue
 			}
+			if len(frags[fi].Replicas) > 0 {
+				healSet[frags[fi].Key] = true
+			}
 			if err := rePlace(fi, nr.node.Name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// probeScan launches due liveness probes at marked-down nodes.
+	probeScan := func() {
+		now := time.Now()
+		for name, ps := range downNodes {
+			if ps.inFlight || now.Before(ps.nextProbe) {
+				continue
+			}
+			ps.inFlight = true
+			stats.Probes++
+			c.cfg.Metrics.Counter(metrics.FleetProbes).Inc()
+			wg.Add(1)
+			go func(name string, p Prober) {
+				defer wg.Done()
+				pctx, pcancel := context.WithTimeout(ctx, c.cfg.ProbeInterval)
+				err := p.Probe(pctx)
+				pcancel()
+				select {
+				case probeResults <- probeOutcome{node: name, err: err}:
+				case <-ctx.Done():
+				}
+			}(name, ps.prober)
+		}
+	}
+
+	// handleProbe applies one probe outcome: failures back off, a first
+	// success starts probation, and a success that confirms the probation
+	// window marks the node healthy and unparks waiting fragments.
+	handleProbe := func(po probeOutcome) error {
+		ps := downNodes[po.node]
+		if ps == nil {
+			return nil
+		}
+		ps.inFlight = false
+		now := time.Now()
+		if po.err != nil {
+			ps.firstOK = time.Time{} // a flap resets probation
+			ps.backoff = min(ps.backoff*2, c.cfg.ProbeBackoffMax)
+			ps.nextProbe = now.Add(jitter(ps.backoff))
+			return nil
+		}
+		if ps.firstOK.IsZero() {
+			ps.firstOK = now
+			ps.nextProbe = now.Add(c.cfg.ProbationWindow)
+			return nil
+		}
+		delete(downNodes, po.node)
+		nodes[po.node].healthy = true
+		stats.NodeRecoveries++
+		c.cfg.Metrics.Counter(metrics.FleetNodeRecoveries).Inc()
+		waiting := make([]int, 0, len(parked))
+		for fi := range parked {
+			waiting = append(waiting, fi)
+		}
+		sort.Ints(waiting)
+		for _, fi := range waiting {
+			delete(parked, fi)
+			if done[fi] || fragLive[fi] > 0 || queuedSomewhere(fi) {
+				continue
+			}
+			if err := rePlace(fi, ""); err != nil {
 				return err
 			}
 		}
@@ -344,18 +559,27 @@ func (c *Coordinator) Execute(ctx context.Context, module string, frags []Fragme
 		for _, name := range order {
 			nr := nodes[name]
 			for nr.healthy && nr.inflight < c.cfg.Window && len(nr.queue) == 0 {
+				// Steal from the longest queue holding a fragment this node
+				// may run (replicated fragments only move between holders).
 				var busiest *nodeRun
+				bi := -1
 				for _, on := range order {
 					o := nodes[on]
-					if o != nr && len(o.queue) > 0 && (busiest == nil || len(o.queue) > len(busiest.queue)) {
-						busiest = o
+					if o == nr || len(o.queue) == 0 || (busiest != nil && len(o.queue) <= len(busiest.queue)) {
+						continue
+					}
+					for k := len(o.queue) - 1; k >= 0; k-- {
+						if fi := o.queue[k]; done[fi] || canRun(fi, nr.node.Name) {
+							busiest, bi = o, k
+							break
+						}
 					}
 				}
 				if busiest == nil {
 					break
 				}
-				fi := busiest.queue[len(busiest.queue)-1]
-				busiest.queue = busiest.queue[:len(busiest.queue)-1]
+				fi := busiest.queue[bi]
+				busiest.queue = append(busiest.queue[:bi], busiest.queue[bi+1:]...)
 				if done[fi] {
 					continue
 				}
@@ -393,7 +617,7 @@ func (c *Coordinator) Execute(ctx context.Context, module string, frags []Fragme
 			var idle *nodeRun
 			for _, name := range order {
 				nr := nodes[name]
-				if !nr.healthy || nr.inflight >= c.cfg.Window {
+				if !nr.healthy || nr.inflight >= c.cfg.Window || !canRun(fi, name) {
 					continue
 				}
 				if _, running := inFlight[attemptKey{fi, name}]; running {
@@ -404,7 +628,9 @@ func (c *Coordinator) Execute(ctx context.Context, module string, frags []Fragme
 				}
 			}
 			if idle == nil {
-				return
+				// No eligible capacity for this fragment; others may still
+				// have an idle holder.
+				continue
 			}
 			if launch(idle, fi, true) {
 				stats.Speculations++
@@ -442,6 +668,23 @@ func (c *Coordinator) Execute(ctx context.Context, module string, frags []Fragme
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if len(frags[r.frag].Replicas) > 0 && smartfam.IsCorruptBlobMessage(r.err.Error()) {
+			// The node is fine; its copy of this object is not. Poison the
+			// (fragment, node) pair, remember the object for the post-job
+			// heal, and fall back to the next-ranked replica. Matched on the
+			// message so the sentinel survives the wire (ModuleError) and
+			// in-process module errors alike.
+			stats.CorruptReplicas++
+			c.cfg.Metrics.Counter(metrics.FleetCorruptReplicas).Inc()
+			badReplica[attemptKey{r.frag, r.node}] = true
+			healSet[frags[r.frag].Key] = true
+			if done[r.frag] || fragLive[r.frag] > 0 || queuedSomewhere(r.frag) {
+				return nil
+			}
+			stats.ReplicaFallbacks++
+			c.cfg.Metrics.Counter(metrics.FleetReplicaFallbacks).Inc()
+			return rePlace(r.frag, r.node)
 		}
 		var merr *smartfam.ModuleError
 		if errors.As(r.err, &merr) {
@@ -483,16 +726,24 @@ func (c *Coordinator) Execute(ctx context.Context, module string, frags []Fragme
 	defer ticker.Stop()
 	for len(out) < len(frags) {
 		dispatch()
-		// Stalled with nothing runnable and nothing in flight means every
-		// node is down (or shedding) with work outstanding.
-		if len(inFlight) == 0 {
+		// Stalled with nothing in flight and no probe that could still
+		// revive a node means the outstanding work is unreachable: every
+		// node down, or every holder of a parked fragment gone for good.
+		if len(inFlight) == 0 && len(downNodes) == 0 {
 			healthy := 0
 			for _, nr := range nodes {
 				if nr.healthy {
 					healthy++
 				}
 			}
-			if healthy == 0 {
+			queued := false
+			for _, nr := range nodes {
+				if len(nr.queue) > 0 {
+					queued = true
+					break
+				}
+			}
+			if healthy == 0 || (!queued && len(parked) > 0) {
 				return nil, stats, fmt.Errorf("fleet: %d fragments outstanding: %w", len(frags)-len(out), ErrNoNodes)
 			}
 		}
@@ -503,11 +754,39 @@ func (c *Coordinator) Execute(ctx context.Context, module string, frags []Fragme
 			if err := handle(r); err != nil {
 				return nil, stats, err
 			}
+		case po := <-probeResults:
+			if err := handleProbe(po); err != nil {
+				return nil, stats, err
+			}
 		case <-ticker.C:
 			speculate()
+			probeScan()
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+
+	// Heal-on-read: every replicated object that served a corrupt copy or
+	// lost a holder during the job goes back to full replication now, while
+	// the coordinator still knows exactly which objects suffered.
+	if c.cfg.Store != nil && len(healSet) > 0 {
+		heal := make([]string, 0, len(healSet))
+		for key := range healSet {
+			heal = append(heal, key)
+		}
+		sort.Strings(heal)
+		for _, key := range heal {
+			res, err := c.cfg.Store.Repair(ctx, key)
+			if err != nil {
+				stats.HealErrors++
+				continue
+			}
+			stats.ReadRepairs += res.RepairedCorrupt
+			stats.ReReplicated += res.ReReplicated
+			if res.RepairedCorrupt > 0 {
+				c.cfg.Metrics.Counter(metrics.FleetReadRepairs).Add(int64(res.RepairedCorrupt))
+			}
+		}
+	}
 	return out, stats, nil
 }
 

@@ -167,3 +167,76 @@ func TestRingEmptyAndMembership(t *testing.T) {
 	}
 	r.Remove("ghost") // no-op
 }
+
+func TestRingRankReplicaSetsDisjointAndComplete(t *testing.T) {
+	// Rank must be a permutation of the membership: R>1 replica sets are its
+	// prefix, so every copy of a key lands on a distinct node.
+	r := NewRing("sd0", "sd1", "sd2", "sd3", "sd4")
+	for _, k := range ringKeys(300) {
+		rank := r.Rank(k)
+		if len(rank) != 5 {
+			t.Fatalf("Rank(%q) has %d entries, want 5", k, len(rank))
+		}
+		seen := make(map[string]bool, len(rank))
+		for _, n := range rank {
+			if seen[n] {
+				t.Fatalf("Rank(%q) = %v repeats node %s", k, rank, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRingLeaveMovesBoundedReplicaSlots(t *testing.T) {
+	// With R=2 over 5 nodes, removing one node may relocate only the
+	// replica slots that node held — it appears in a key's top-2 with
+	// probability 2/5 and holds at most one of the two slots, so 1/5 of all
+	// slots in expectation — and every slot on a survivor must stay exactly
+	// where it was.
+	const n, repl = 2000, 2
+	nodes := []string{"sd0", "sd1", "sd2", "sd3", "sd4"}
+	before := NewRing(nodes...)
+	after := NewRing(nodes...)
+	after.Remove("sd2")
+	moved, held := 0, 0
+	for _, k := range ringKeys(n) {
+		b := before.Rank(k)[:repl]
+		a := after.Rank(k)[:repl]
+		as := map[string]bool{a[0]: true, a[1]: true}
+		for _, node := range b {
+			if node == "sd2" {
+				moved++ // this slot had to move: its node is gone
+				continue
+			}
+			held++
+			if !as[node] {
+				t.Fatalf("key %q: survivor replica %s evicted (before %v, after %v)", k, node, b, a)
+			}
+		}
+	}
+	// Expectation: 1/5 of all slots. Allow generous slack.
+	total := n * repl
+	if lo, hi := total*15/100, total*25/100; moved < lo || moved > hi {
+		t.Fatalf("%d of %d replica slots moved, want about %d (1/5)", moved, total, total/5)
+	}
+}
+
+func TestRingGoldenReplicaPlacement(t *testing.T) {
+	// Pinned R=2 preference prefixes: the replicated store depends on these
+	// never drifting, or every deployed fleet would lose track of its
+	// copies on upgrade.
+	r := NewRing("sd0", "sd1", "sd2", "sd3")
+	golden := map[string][2]string{
+		"corpus.00000.frag": {"sd0", "sd1"},
+		"corpus.00001.frag": {"sd1", "sd3"},
+		"corpus.00002.frag": {"sd2", "sd3"},
+		"corpus.00003.frag": {"sd1", "sd0"},
+		"corpus.00004.frag": {"sd1", "sd0"},
+	}
+	for k, want := range golden {
+		rank := r.Rank(k)
+		if rank[0] != want[0] || rank[1] != want[1] {
+			t.Fatalf("Rank(%q)[:2] = %v, want pinned %v (HRW hash changed!)", k, rank[:2], want)
+		}
+	}
+}

@@ -84,14 +84,23 @@ func (c *Coordinator) WordCount(ctx context.Context, job WordCountJob) (*WordCou
 	if err != nil {
 		return nil, err
 	}
+	out, err := c.mergeWordCount(results, job.TopN)
+	if err != nil {
+		return nil, err
+	}
+	return &WordCountResult{Output: out, Fragments: results, Stats: stats}, nil
+}
 
+// mergeWordCount folds gathered per-fragment EmitPairs outputs into one
+// globally sorted result with single-node semantics.
+func (c *Coordinator) mergeWordCount(results []FragmentResult, topN int) (core.WordCountOutput, error) {
 	mergeStart := time.Now()
 	runs := make([][]mapreduce.Pair[string, int], len(results))
 	out := core.WordCountOutput{}
 	for i, fr := range results {
 		var o core.WordCountOutput
 		if err := core.Decode(fr.Payload, &o); err != nil {
-			return nil, fmt.Errorf("fleet: fragment %d result: %w", fr.Index, err)
+			return out, fmt.Errorf("fleet: fragment %d result: %w", fr.Index, err)
 		}
 		run := make([]mapreduce.Pair[string, int], len(o.Pairs))
 		for j, p := range o.Pairs {
@@ -123,7 +132,6 @@ func (c *Coordinator) WordCount(ctx context.Context, job WordCountJob) (*WordCou
 	}
 	out.UniqueWords = len(pairs)
 	out.Pairs = pairs
-	topN := job.TopN
 	if topN <= 0 {
 		topN = 100
 	}
@@ -131,6 +139,62 @@ func (c *Coordinator) WordCount(ctx context.Context, job WordCountJob) (*WordCou
 		out.Top = append(out.Top, core.WordFreq{Word: pr.Key, Count: pr.Value})
 	}
 	c.cfg.Metrics.Timer(metrics.FleetMerge).Observe(time.Since(mergeStart))
+	return out, nil
+}
+
+// SealedWordCountJob describes a word count over a replicated FileSet: the
+// input lives as sealed fragment objects on the store rather than as one
+// shared file, so every dispatch is pinned to the object's replica holders
+// and every read is CRC-verified node-side.
+type SealedWordCountJob struct {
+	// Set is the replicated input (from Store.PutFile).
+	Set *FileSet
+	// PartitionBytes is the node-side partition size within a fragment
+	// (core.WordCountParams semantics).
+	PartitionBytes int64
+	// Workers overrides each node's worker count (0 = node default).
+	Workers int
+	// TopN bounds the merged frequency table (0 = 100).
+	TopN int
+}
+
+// WordCountSealed scatters a replicated file's fragments across their
+// holder nodes and merges the gathered runs exactly like WordCount. A
+// holder serving a bit-flipped copy fails CRC verification node-side; the
+// coordinator falls back to the next replica and repairs the bad copy after
+// the gather, so the output stays byte-identical to a single-node run even
+// through simultaneous node death and replica corruption. Requires
+// Config.Store.
+func (c *Coordinator) WordCountSealed(ctx context.Context, job SealedWordCountJob) (*WordCountResult, error) {
+	if c.cfg.Store == nil {
+		return nil, fmt.Errorf("fleet: sealed wordcount requires Config.Store")
+	}
+	if job.Set == nil || len(job.Set.Objects) == 0 {
+		return nil, fmt.Errorf("fleet: sealed wordcount requires a non-empty file set")
+	}
+	frags := make([]Fragment, len(job.Set.Objects))
+	for i, obj := range job.Set.Objects {
+		params, err := json.Marshal(core.WordCountParams{
+			DataFile:       obj,
+			Sealed:         true,
+			PartitionBytes: job.PartitionBytes,
+			Workers:        job.Workers,
+			EmitPairs:      true,
+			TopN:           1, // per-fragment tops are discarded; keep them tiny
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: encoding fragment %d: %w", i, err)
+		}
+		frags[i] = Fragment{Index: i, Key: obj, Replicas: c.cfg.Store.Replicas(obj), Params: params}
+	}
+	results, stats, err := c.Execute(ctx, core.ModuleWordCount, frags)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.mergeWordCount(results, job.TopN)
+	if err != nil {
+		return nil, err
+	}
 	return &WordCountResult{Output: out, Fragments: results, Stats: stats}, nil
 }
 

@@ -151,3 +151,104 @@ func TestFleetWordCountValidation(t *testing.T) {
 		t.Fatal("missing size accepted")
 	}
 }
+
+// sealedFleet builds an N-node coordinator where each node serves the
+// word-count module over its own share, reading sealed replicated objects,
+// plus the host-side store over the same shares.
+func sealedFleet(t *testing.T, n, r int) (*Coordinator, *Store, map[string]smartfam.FS) {
+	t.Helper()
+	shares := make(map[string]smartfam.FS, n)
+	nodes := make([]Node, n)
+	for i := range nodes {
+		name := nodeName(i)
+		share := smartfam.DirFS(t.TempDir())
+		shares[name] = share
+		mod := core.WordCountModule(core.ModuleConfig{Store: core.FSStore(share), Workers: 1})
+		nodes[i] = Node{Name: name, Session: &moduleSession{mod: mod}}
+	}
+	store := NewStore(shares, r, nil)
+	cfg := fastConfig()
+	cfg.MinStragglerAge = time.Hour
+	cfg.Store = store
+	return NewCoordinator(nodes, cfg), store, shares
+}
+
+func TestFleetWordCountSealedMatchesSingleNode(t *testing.T) {
+	dir := t.TempDir()
+	text := workloads.GenerateTextBytes(150_000, 33)
+	if err := os.WriteFile(filepath.Join(dir, "corpus.txt"), text, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ref := singleNodeReference(t, dir, 0)
+	want := CanonicalWordCount(ref)
+
+	for _, n := range []int{2, 3, 4} {
+		c, store, _ := sealedFleet(t, n, 2)
+		set, err := store.PutFile(context.Background(), "corpus", text, 16<<10)
+		if err != nil {
+			t.Fatalf("n=%d: PutFile: %v", n, err)
+		}
+		res, err := c.WordCountSealed(context.Background(), SealedWordCountJob{Set: set})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := CanonicalWordCount(&res.Output); !bytes.Equal(got, want) {
+			t.Fatalf("n=%d: sealed fleet output differs from single-node reference", n)
+		}
+		if res.Stats.CorruptReplicas != 0 {
+			t.Fatalf("n=%d: clean run saw corrupt replicas: %+v", n, res.Stats)
+		}
+	}
+}
+
+func TestFleetWordCountSealedHealsBitFlippedReplica(t *testing.T) {
+	dir := t.TempDir()
+	text := workloads.GenerateTextBytes(90_000, 7)
+	if err := os.WriteFile(filepath.Join(dir, "corpus.txt"), text, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ref := singleNodeReference(t, dir, 0)
+	want := CanonicalWordCount(ref)
+
+	c, store, shares := sealedFleet(t, 3, 2)
+	set, err := store.PutFile(context.Background(), "corpus", text, 12<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit-flip the home copy of the first object: the job must fall back to
+	// the surviving replica and repair the damage after the gather.
+	victim := set.Objects[0]
+	home := store.Replicas(victim)[0]
+	raw, err := smartfam.ReadFrom(shares[home], victim, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := shares[home].Create(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := shares[home].Append(victim, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.WordCountSealed(context.Background(), SealedWordCountJob{Set: set})
+	if err != nil {
+		t.Fatalf("sealed word count with corrupt home replica: %v", err)
+	}
+	if got := CanonicalWordCount(&res.Output); !bytes.Equal(got, want) {
+		t.Fatal("output differs from single-node reference with a corrupt replica in play")
+	}
+	if res.Stats.CorruptReplicas < 1 || res.Stats.ReplicaFallbacks < 1 {
+		t.Fatalf("corruption not detected: %+v", res.Stats)
+	}
+	if res.Stats.ReadRepairs < 1 {
+		t.Fatalf("corrupt copy not healed after the gather: %+v", res.Stats)
+	}
+	healed, err := smartfam.ReadFrom(shares[home], victim, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := smartfam.VerifyBlob(healed); err != nil {
+		t.Fatalf("home copy still corrupt: %v", err)
+	}
+}

@@ -44,6 +44,18 @@ func fleetCounters(r *metrics.Registry) {
 	r.Timer("fleet.merge")               // want "is not a registry constant"
 }
 
+// healCounters covers the replication/self-healing tier's accounting:
+// read-repair, probe-recovery and scrub counters are registry constants;
+// the literal spellings are still rejected.
+func healCounters(r *metrics.Registry) {
+	r.Counter(metrics.FleetReadRepairs)    // ok
+	r.Counter(metrics.FleetNodeRecoveries) // ok
+	r.Counter(metrics.FleetScrubRepairs)   // ok
+	r.Counter(metrics.FleetScrubBytes)     // ok
+	r.Counter("fleet.read_repairs")        // want "is not a registry constant"
+	r.Counter("fleet.scrub.repairs")       // want "is not a registry constant"
+}
+
 func spans(t *trace.Tracer, job string) {
 	s := t.Start(trace.SpanRecovery)        // ok
 	s.Child(trace.SpanSchedPrefix + job)    // ok

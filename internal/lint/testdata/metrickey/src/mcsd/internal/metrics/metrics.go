@@ -16,6 +16,11 @@ const (
 	FleetSpeculations = "fleet.speculations"
 	FleetNodeFailures = "fleet.node_failures"
 	FleetMerge        = "fleet.merge"
+
+	FleetReadRepairs    = "fleet.read_repairs"
+	FleetNodeRecoveries = "fleet.node_recoveries"
+	FleetScrubRepairs   = "fleet.scrub.repairs"
+	FleetScrubBytes     = "fleet.scrub.bytes"
 )
 
 type Registry struct{}

@@ -63,6 +63,19 @@ const (
 	FleetExecute           = "fleet.execute"             // whole scatter/gather wall-time timer
 	FleetMerge             = "fleet.merge"               // cross-node merge timer
 
+	// Replicated storage tier + self-healing (internal/fleet Store/Scrubber).
+	FleetReplicaWrites      = "fleet.replica_writes"        // replica copies written by Put/PutFile
+	FleetReadRepairs        = "fleet.read_repairs"          // bad/missing copies rewritten from a surviving replica
+	FleetReReplications     = "fleet.re_replications"       // missing copies recreated on a preferred node
+	FleetCorruptReplicas    = "fleet.corrupt_replicas"      // replica reads that failed CRC32 trailer verification
+	FleetReplicaFallbacks   = "fleet.replica_fallbacks"     // fragment attempts re-dispatched to the next-ranked replica
+	FleetProbes             = "fleet.probes"                // liveness probes launched at marked-down nodes
+	FleetNodeRecoveries     = "fleet.node_recoveries"       // marked-down nodes probed back to healthy
+	FleetScrubFiles         = "fleet.scrub.files"           // share files the scrubber verified
+	FleetScrubBytes         = "fleet.scrub.bytes"           // bytes the scrubber read (rate-paced)
+	FleetScrubRepairs       = "fleet.scrub.repairs"         // repairs (rewrites + re-replications) a scrub pass made
+	FleetScrubCorruptRecord = "fleet.scrub.corrupt_records" // corrupt smartFAM log records a scrub pass counted
+
 	// NFS transport — server side.
 	NFSBytesRead    = "nfs.bytes.read"
 	NFSBytesWritten = "nfs.bytes.written"

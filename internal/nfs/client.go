@@ -618,6 +618,25 @@ func (c *Client) ReadAt(name string, p []byte, off int64) (int, error) {
 	return contig, nil
 }
 
+// ChunkSum asks the server for the CRC32 (IEEE) of up to n bytes of name
+// at off, computed server-side so scrub-style verification costs one small
+// RPC instead of the chunk's bytes. It returns the checksum and how many
+// bytes were actually summed (short at EOF). Servers predating the op
+// answer with an "unknown op" remote error; callers fall back to reading
+// the bytes.
+func (c *Client) ChunkSum(name string, off int64, n int) (uint32, int, error) {
+	if n <= 0 || n > MaxChunk {
+		n = MaxChunk
+	}
+	resp, err := c.do(&Request{Op: OpSum, Name: name, Off: off, N: n}, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	crc, summed := uint32(resp.Size), int(resp.MTimeNs)
+	resp.free()
+	return crc, summed, nil
+}
+
 // Stat implements smartfam.FS.
 func (c *Client) Stat(name string) (int64, time.Time, error) {
 	resp, err := c.do(&Request{Op: OpStat, Name: name}, true)

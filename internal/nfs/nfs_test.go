@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"hash/crc32"
 	"net"
 	"sync"
 	"testing"
@@ -70,6 +71,42 @@ func TestLargeFileChunked(t *testing.T) {
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatal("large file corrupted in transit")
+	}
+}
+
+func TestChunkSum(t *testing.T) {
+	c, _ := startServer(t)
+	data := bytes.Repeat([]byte("checksum me over the wire "), 1<<17) // > 3 MiB
+	if err := c.WriteFile("sum.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	// Walk the file like a scrubber: per-chunk CRCs must match local ones.
+	var off int64
+	for off < int64(len(data)) {
+		want := min(int64(len(data))-off, int64(MaxChunk))
+		crc, n, err := c.ChunkSum("sum.bin", off, int(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(n) != want {
+			t.Fatalf("summed %d bytes at %d, want %d", n, off, want)
+		}
+		if local := crc32.ChecksumIEEE(data[off : off+want]); crc != local {
+			t.Fatalf("chunk at %d: remote crc %08x, local %08x", off, crc, local)
+		}
+		off += want
+	}
+	// Short sum at EOF.
+	crc, n, err := c.ChunkSum("sum.bin", int64(len(data))-10, MaxChunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 || crc != crc32.ChecksumIEEE(data[len(data)-10:]) {
+		t.Fatalf("tail sum: n=%d crc=%08x", n, crc)
+	}
+	// Missing files surface ErrNotExist like every other op.
+	if _, _, err := c.ChunkSum("nope.bin", 0, 64); !errors.Is(err, smartfam.ErrNotExist) {
+		t.Fatalf("missing file: %v, want ErrNotExist", err)
 	}
 }
 

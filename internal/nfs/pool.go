@@ -111,6 +111,11 @@ func (p *Pool) ReadAt(name string, b []byte, off int64) (int, error) {
 // Stat implements smartfam.FS.
 func (p *Pool) Stat(name string) (int64, time.Time, error) { return p.pick().Stat(name) }
 
+// ChunkSum delegates server-side checksumming to one pooled connection.
+func (p *Pool) ChunkSum(name string, off int64, n int) (uint32, int, error) {
+	return p.pick().ChunkSum(name, off, n)
+}
+
 // List implements smartfam.FS.
 func (p *Pool) List() ([]string, error) { return p.pick().List() }
 

@@ -38,6 +38,7 @@ const (
 	OpWrite  = "write"  // whole-file write (truncate + create dirs)
 	OpPing   = "ping"
 	OpCommit = "commit" // splice staged temp Request.Name into Request.To server-side
+	OpSum    = "sum"    // CRC32 of up to Request.N bytes at Request.Off, computed server-side
 )
 
 // Commit modes, carried in Request.N of an OpCommit: whether the staged
@@ -226,10 +227,11 @@ const (
 var opCodes = map[string]byte{
 	OpCreate: 1, OpAppend: 2, OpReadAt: 3, OpStat: 4, OpList: 5,
 	OpRemove: 6, OpRename: 7, OpWrite: 8, OpPing: 9, OpCommit: 10,
+	OpSum: 11,
 }
 
-var opNames = func() [11]string {
-	var names [11]string
+var opNames = func() [12]string {
+	var names [12]string
 	for name, code := range opCodes {
 		names[code] = name
 	}

@@ -6,6 +6,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"os"
@@ -158,6 +159,8 @@ func (s *Server) handle(req *Request) *Response {
 		return s.handleWrite(req)
 	case OpCommit:
 		return s.handleCommit(req)
+	case OpSum:
+		return s.handleSum(req)
 	default:
 		return &Response{Err: fmt.Sprintf("nfs: unknown op %q", req.Op)}
 	}
@@ -224,6 +227,38 @@ func (s *Server) handleReadAt(req *Request) *Response {
 	}
 	s.metrics.Counter(metrics.NFSBytesRead).Add(int64(read))
 	return resp
+}
+
+// handleSum checksums up to N bytes of the file at Off server-side — the
+// remote half of scrub verification: the host compares per-chunk CRC32s
+// against a locally verified copy without dragging the replica's bytes
+// over the wire. The response carries the CRC in Size and the number of
+// bytes actually summed in MTimeNs (EOF set when the range hit the end),
+// so the client walks a file chunk by chunk like ReadAt.
+func (s *Server) handleSum(req *Request) *Response {
+	p, err := s.path(req.Name)
+	if err != nil {
+		return fail(err)
+	}
+	n := req.N
+	if n <= 0 || n > MaxChunk {
+		n = MaxChunk
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return fail(err)
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	read, err := f.ReadAt(buf, req.Off)
+	if err != nil && !errors.Is(err, io.EOF) {
+		return fail(err)
+	}
+	return &Response{
+		Size:    int64(crc32.ChecksumIEEE(buf[:read])),
+		MTimeNs: int64(read),
+		EOF:     errors.Is(err, io.EOF),
+	}
 }
 
 func (s *Server) handleStat(req *Request) *Response {

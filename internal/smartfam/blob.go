@@ -1,0 +1,98 @@
+package smartfam
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+)
+
+// Sealed blobs are the replicated-storage unit of the fleet tier: an
+// opaque payload followed by a fixed-width trailer echoing the record wire
+// format — a leading newline guard, a magic kind, the payload's CRC32
+// (IEEE, like recordCRC) in hex, and the payload length in hex:
+//
+//	\nFRG1 <crc32:8 hex> <len:16 hex>\n
+//
+// The trailer is exactly BlobTrailerLen bytes, so a verifier can seek to
+// size-BlobTrailerLen, parse it, and then stream the payload checking the
+// CRC — no scan, no framing state. The leading newline keeps a sealed blob
+// from ever gluing onto a preceding partial line if one is appended where
+// line records live, mirroring the log format's resync guard.
+
+// BlobTrailerLen is the fixed byte length of a sealed-blob trailer.
+const BlobTrailerLen = 1 + len(blobMagic) + 1 + 8 + 1 + 16 + 1
+
+// blobMagic identifies a sealed fragment trailer (version 1).
+const blobMagic = "FRG1"
+
+// ErrCorruptBlob reports a sealed blob whose trailer is missing/malformed
+// or whose payload does not match the trailer's CRC32 — bit rot, a torn
+// write, or an injected fault. The message is matched by
+// IsCorruptBlobMessage after crossing the smartFAM wire as a ModuleError.
+var ErrCorruptBlob = errors.New("smartfam: corrupt sealed blob")
+
+// IsCorruptBlobMessage reports whether a module error message (which
+// crosses the wire as flat text) originated from ErrCorruptBlob. The
+// module side must wrap the sentinel with %w so its text survives
+// verbatim.
+func IsCorruptBlobMessage(msg string) bool {
+	return strings.Contains(msg, ErrCorruptBlob.Error())
+}
+
+// BlobTrailer returns the BlobTrailerLen-byte trailer sealing payload.
+func BlobTrailer(payload []byte) []byte {
+	return fmt.Appendf(make([]byte, 0, BlobTrailerLen), "\n%s %08x %016x\n",
+		blobMagic, crc32.ChecksumIEEE(payload), len(payload))
+}
+
+// SealBlob returns payload with its trailer appended (a new slice).
+func SealBlob(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+BlobTrailerLen)
+	out = append(out, payload...)
+	return append(out, BlobTrailer(payload)...)
+}
+
+// ParseBlobTrailer decodes a BlobTrailerLen-byte trailer into the payload
+// length and CRC32 it pins. Errors wrap ErrCorruptBlob.
+func ParseBlobTrailer(trailer []byte) (payloadLen int64, crc uint32, err error) {
+	if len(trailer) != BlobTrailerLen ||
+		trailer[0] != '\n' || trailer[BlobTrailerLen-1] != '\n' {
+		return 0, 0, fmt.Errorf("%w: bad trailer framing", ErrCorruptBlob)
+	}
+	fields := strings.Split(string(trailer[1:BlobTrailerLen-1]), " ")
+	if len(fields) != 3 || fields[0] != blobMagic {
+		return 0, 0, fmt.Errorf("%w: bad trailer magic", ErrCorruptBlob)
+	}
+	c, err := strconv.ParseUint(fields[1], 16, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: bad trailer crc", ErrCorruptBlob)
+	}
+	n, err := strconv.ParseInt(fields[2], 16, 64)
+	if err != nil || n < 0 {
+		return 0, 0, fmt.Errorf("%w: bad trailer length", ErrCorruptBlob)
+	}
+	return n, uint32(c), nil
+}
+
+// VerifyBlob checks a raw sealed blob (payload + trailer) and returns the
+// payload. Errors wrap ErrCorruptBlob.
+func VerifyBlob(raw []byte) ([]byte, error) {
+	if len(raw) < BlobTrailerLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the trailer", ErrCorruptBlob, len(raw))
+	}
+	payloadLen, crc, err := ParseBlobTrailer(raw[len(raw)-BlobTrailerLen:])
+	if err != nil {
+		return nil, err
+	}
+	if payloadLen != int64(len(raw)-BlobTrailerLen) {
+		return nil, fmt.Errorf("%w: trailer pins %d payload bytes, have %d",
+			ErrCorruptBlob, payloadLen, len(raw)-BlobTrailerLen)
+	}
+	payload := raw[:payloadLen]
+	if got := crc32.ChecksumIEEE(payload); got != crc {
+		return nil, fmt.Errorf("%w: crc %08x, trailer pins %08x", ErrCorruptBlob, got, crc)
+	}
+	return payload, nil
+}

@@ -1,0 +1,68 @@
+package smartfam
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSealBlobRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), []byte("hello sealed world\n"), bytes.Repeat([]byte{0xa5}, 1<<16)} {
+		raw := SealBlob(payload)
+		if len(raw) != len(payload)+BlobTrailerLen {
+			t.Fatalf("sealed length %d, want %d", len(raw), len(payload)+BlobTrailerLen)
+		}
+		got, err := VerifyBlob(raw)
+		if err != nil {
+			t.Fatalf("VerifyBlob: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mismatch: %d bytes vs %d", len(got), len(payload))
+		}
+	}
+}
+
+func TestVerifyBlobDetectsBitFlip(t *testing.T) {
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	raw := SealBlob(payload)
+	for _, pos := range []int{0, len(payload) / 2, len(payload) - 1} {
+		bad := append([]byte(nil), raw...)
+		bad[pos] ^= 0x01
+		if _, err := VerifyBlob(bad); !errors.Is(err, ErrCorruptBlob) {
+			t.Fatalf("flip at %d: got %v, want ErrCorruptBlob", pos, err)
+		}
+	}
+}
+
+func TestVerifyBlobDetectsTrailerDamage(t *testing.T) {
+	raw := SealBlob([]byte("payload"))
+	cases := map[string]func([]byte) []byte{
+		"truncated":      func(b []byte) []byte { return b[:len(b)-1] },
+		"short":          func([]byte) []byte { return []byte("tiny") },
+		"flipped magic":  func(b []byte) []byte { b[len(b)-BlobTrailerLen+1] ^= 0x02; return b },
+		"flipped crc":    func(b []byte) []byte { b[len(b)-BlobTrailerLen+6] = 'z'; return b },
+		"flipped length": func(b []byte) []byte { b[len(b)-3] = 'f'; return b },
+		"extra payload":  func(b []byte) []byte { return append([]byte("x"), b...) },
+	}
+	for name, mutate := range cases {
+		bad := mutate(append([]byte(nil), raw...))
+		if _, err := VerifyBlob(bad); !errors.Is(err, ErrCorruptBlob) {
+			t.Fatalf("%s: got %v, want ErrCorruptBlob", name, err)
+		}
+	}
+}
+
+func TestIsCorruptBlobMessage(t *testing.T) {
+	_, err := VerifyBlob([]byte("not a sealed blob at all, but long enough to have a trailer"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// The module side wraps with %w; the text that crosses the wire must
+	// still be recognizable.
+	if !IsCorruptBlobMessage(err.Error()) {
+		t.Fatalf("message %q not recognized", err.Error())
+	}
+	if IsCorruptBlobMessage("some unrelated module failure") {
+		t.Fatal("false positive")
+	}
+}

@@ -13,9 +13,10 @@ import (
 // a module's log file on the share (step 1 of Fig. 5) and watches the log
 // for the module's results (steps 2-4 of result return).
 type Client struct {
-	fs       FS
-	interval time.Duration
-	metrics  *metrics.Registry
+	fs         FS
+	interval   time.Duration
+	metrics    *metrics.Registry
+	staleAfter time.Duration
 }
 
 // NewClient returns a client over the shared folder fsys, polling for
@@ -30,6 +31,44 @@ func NewClient(fsys FS, interval time.Duration) *Client {
 // SetMetrics attaches a metrics registry (corrupt-record and retry
 // counters). Nil is allowed and is the default.
 func (c *Client) SetMetrics(m *metrics.Registry) { c.metrics = m }
+
+// DefaultProbeStaleAfter is how old a daemon heartbeat may be before Probe
+// declares the node dead. Generous against the daemon's default 250ms
+// refresh so scheduling hiccups never flap a healthy node.
+const DefaultProbeStaleAfter = 2 * time.Second
+
+// SetProbeStaleAfter tunes Probe's heartbeat-freshness window (<= 0
+// restores the default). Call before sharing the client across
+// goroutines.
+func (c *Client) SetProbeStaleAfter(d time.Duration) { c.staleAfter = d }
+
+// Probe checks node liveness without invoking a module: the share must be
+// reachable and, when the daemon publishes a heartbeat, the heartbeat must
+// be fresh. A share with no heartbeat file (heartbeats disabled, or a
+// daemon too old to write one) probes as alive on reachability alone —
+// the caller's attempt timeout remains the backstop there. The fleet
+// coordinator uses Probe to mark failed nodes back up.
+func (c *Client) Probe(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ts, ok := ReadHeartbeat(c.fs)
+	if !ok {
+		// No heartbeat: fall back to plain share reachability.
+		if _, err := c.fs.List(); err != nil {
+			return fmt.Errorf("smartfam: probe: %w", err)
+		}
+		return nil
+	}
+	stale := c.staleAfter
+	if stale <= 0 {
+		stale = DefaultProbeStaleAfter
+	}
+	if age := time.Since(ts); age > stale {
+		return fmt.Errorf("smartfam: probe: heartbeat is %v old (stale after %v)", age, stale)
+	}
+	return nil
+}
 
 // countCorrupt bumps the shared corrupt-record counter; metric names are
 // pinned to the registry constants (metrickey), so each counter gets its
