@@ -32,6 +32,7 @@ func TestChaosHealKillAndCorruptReplica(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test skipped in -short mode")
 	}
+	assertGoroutineBudget(t, 3)
 	corpus := workloads.GenerateTextBytes(60_000, 97)
 
 	// Single-node reference: the bytes every healed fleet run must match.

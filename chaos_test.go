@@ -27,6 +27,7 @@ func TestChaosCrashRestartExactlyOnce(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test skipped in -short mode")
 	}
+	assertGoroutineBudget(t, 3)
 	shareDir := t.TempDir()
 	share := smartfam.DirFS(shareDir)
 	jpath := filepath.Join(t.TempDir(), "journal")
@@ -240,6 +241,7 @@ func TestChaosFleetNodeKillMidJob(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test skipped in -short mode")
 	}
+	assertGoroutineBudget(t, 3)
 	dataDir := t.TempDir()
 	corpus := workloads.GenerateTextBytes(150_000, 83)
 	if err := os.WriteFile(filepath.Join(dataDir, "corpus.txt"), corpus, 0o644); err != nil {

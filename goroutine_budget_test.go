@@ -1,0 +1,40 @@
+// Goroutine-budget assertion shared by the chaos suites: a kill/restart
+// cycle that leaks even one daemon worker per iteration turns into tens of
+// thousands of parked goroutines on a long-lived SD node, so every chaos
+// test pins that the process returns to its pre-test goroutine count once
+// teardown finishes.
+package mcsd_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// assertGoroutineBudget snapshots the live goroutine count and registers a
+// cleanup that fails the test unless the count settles back to within
+// slack of that baseline after the test (and its deferred teardown) has
+// finished. The poll loop absorbs the few milliseconds workers need to
+// notice a cancelled context; a real leak holds the count up past the
+// deadline and fails with a full stack dump naming the parked goroutines.
+func assertGoroutineBudget(t *testing.T, slack int) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= base+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Errorf("goroutine budget blown: %d live after teardown, baseline %d (slack %d)\n%s",
+					n, base, slack, buf)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}

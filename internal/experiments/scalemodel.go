@@ -94,6 +94,7 @@ func RunScaleModel(ctx context.Context, cfg ScaleModelConfig) (*ScaleModelResult
 	}
 	defer ln.Close()
 	srv := nfs.NewServer(dir)
+	//mcsdlint:allow goroleak -- Serve returns when the deferred ln.Close() fires at experiment teardown, and the deferred srv.Shutdown() reaps its per-conn goroutines
 	go srv.Serve(ln) //nolint:errcheck
 	defer srv.Shutdown()
 

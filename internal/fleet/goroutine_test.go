@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleGoroutines polls until the live goroutine count drops back to
+// within slack of base, failing with a stack dump if it never does.
+func settleGoroutines(t *testing.T, base, slack int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("%s leaked goroutines: %d live, baseline %d (slack %d)\n%s",
+				what, n, base, slack, buf)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestExecuteGoroutinesSettle pins the coordinator's teardown ordering
+// (wg.Wait before cancel is observed by workers, probe loop joined, result
+// channel drained): after Execute returns — cleanly, after a node failure
+// with probes in flight, or on context cancellation with parked attempts —
+// no worker, prober or speculation goroutine may survive.
+func TestExecuteGoroutinesSettle(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	// Clean run.
+	nodes := []Node{
+		{Name: "sd0", Session: &fakeSession{name: "sd0", behave: echoOK}},
+		{Name: "sd1", Session: &fakeSession{name: "sd1", behave: echoOK}},
+	}
+	c := NewCoordinator(nodes, fastConfig())
+	if _, _, err := c.Execute(context.Background(), "m", testFragments(16)); err != nil {
+		t.Fatal(err)
+	}
+	settleGoroutines(t, base, 2, "clean Execute")
+
+	// One node dies mid-job: failover re-places its fragments and the
+	// probe loop keeps testing the corpse until Execute finishes.
+	dead := &fakeSession{name: "sd0", behave: func(ctx context.Context, id string, params []byte) ([]byte, error) {
+		return nil, errors.New("node down")
+	}}
+	nodes = []Node{
+		{Name: "sd0", Session: dead},
+		{Name: "sd1", Session: &fakeSession{name: "sd1", behave: echoOK}},
+	}
+	c = NewCoordinator(nodes, fastConfig())
+	if _, _, err := c.Execute(context.Background(), "m", testFragments(16)); err != nil {
+		t.Fatal(err)
+	}
+	settleGoroutines(t, base, 2, "Execute with a dead node")
+
+	// Cancellation with every attempt parked: workers are blocked inside
+	// InvokeID when the context dies and must all come home.
+	parked := func(ctx context.Context, id string, params []byte) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	nodes = []Node{
+		{Name: "sd0", Session: &fakeSession{name: "sd0", behave: parked}},
+		{Name: "sd1", Session: &fakeSession{name: "sd1", behave: parked}},
+	}
+	c = NewCoordinator(nodes, fastConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Execute(ctx, "m", testFragments(8))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the workers park in InvokeID
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled Execute returned nil error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Execute did not return after cancellation")
+	}
+	settleGoroutines(t, base, 2, "cancelled Execute")
+}

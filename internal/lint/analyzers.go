@@ -3,8 +3,11 @@ package lint
 // All returns the full mcsdlint analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		ChanBound,
 		CtxFlow,
 		FSDiscipline,
+		GoRoLeak,
+		LockHold,
 		MetricKey,
 		SimDet,
 		WireWrap,

@@ -32,6 +32,21 @@ func TestSimDet(t *testing.T) {
 		"mcsd/internal/sim", "mcsd/internal/unscoped")
 }
 
+func TestGoRoLeak(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t, "goroleak"), lint.GoRoLeak,
+		"mcsd/internal/worker", "mcsd/cmd/tool")
+}
+
+func TestLockHold(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t, "lockhold"), lint.LockHold,
+		"mcsd/internal/locks", "mcsd/internal/smartfam", "mcsd/internal/daemon")
+}
+
+func TestChanBound(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t, "chanbound"), lint.ChanBound,
+		"mcsd/internal/pipe", "mcsd/cmd/tool")
+}
+
 // TestDirectiveHygiene pins that a reason-less or unknown //mcsdlint:
 // directive is itself a diagnostic and suppresses nothing.
 func TestDirectiveHygiene(t *testing.T) {
@@ -39,10 +54,20 @@ func TestDirectiveHygiene(t *testing.T) {
 		"mcsd/internal/smartfam")
 }
 
+// TestAllowHygiene pins the unused-allow sweep and its interplay with the
+// concurrency analyzers: a stale allow for a ran analyzer is reported, a
+// used allow and a blanket "all" are not, and fsboundary silences nothing
+// but fsdiscipline.
+func TestAllowHygiene(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t, "directives"), lint.GoRoLeak,
+		"mcsd/internal/concurrency")
+}
+
 // TestAll pins the suite roster: a new analyzer must be registered here
 // and in All() together.
 func TestAll(t *testing.T) {
-	want := []string{"ctxflow", "fsdiscipline", "metrickey", "simdet", "wirewrap"}
+	want := []string{"chanbound", "ctxflow", "fsdiscipline", "goroleak",
+		"lockhold", "metrickey", "simdet", "wirewrap"}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ChanBound keeps library channel sends from blocking forever: a send in
+// code below cmd/ must either sit in a select that can bail out (a default
+// arm or a receive arm — conventionally ctx.Done()/a done channel) or
+// target a channel whose buffer bound is provable in the same function (a
+// make with an explicit non-zero capacity). An unguarded send on an
+// unbuffered or foreign channel is how a daemon worker wedges when its
+// consumer died first — the deadlock only shows up under the kill/restart
+// chaos schedule, never in the happy path.
+var ChanBound = &Analyzer{
+	Name: "chanbound",
+	Doc: "library sends must be select-guarded (ctx/done or default arm) or " +
+		"into a channel with a locally provable buffer bound",
+	Run: runChanBound,
+}
+
+// chanBoundExempt marks the package subtrees free to block on sends: the
+// binaries and examples own their channels end to end.
+var chanBoundExempt = []string{
+	"mcsd/cmd",
+	"mcsd/examples",
+}
+
+func runChanBound(pass *Pass) error {
+	for _, p := range chanBoundExempt {
+		if HasPrefixPath(pass.Pkg.Path(), p) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSendsIn(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkSendsIn walks one function body. Nested function literals are
+// checked against their own bodies: a closure's sends must be provable
+// from the channels the closure itself can see being made — which a
+// literal in the same source function can, since funcBody is the nearest
+// enclosing *ast.FuncLit or the declaration body.
+func checkSendsIn(pass *Pass, body *ast.BlockStmt) {
+	var walk func(n ast.Node, funcBody *ast.BlockStmt, guarded bool) bool
+	walk = func(n ast.Node, funcBody *ast.BlockStmt, guarded bool) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool { return walk(m, n.Body, false) })
+			return false
+		case *ast.SelectStmt:
+			g := selectCanBail(n)
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm != nil {
+					ast.Inspect(cc.Comm, func(m ast.Node) bool { return walk(m, funcBody, g) })
+				}
+				for _, s := range cc.Body {
+					ast.Inspect(s, func(m ast.Node) bool { return walk(m, funcBody, false) })
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			if guarded {
+				return true
+			}
+			checkSend(pass, n, funcBody)
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool { return walk(n, body, false) })
+}
+
+// selectCanBail reports whether a select has an escape from a wedged send
+// arm: a default clause, or a receive arm (the ctx.Done()/done-channel
+// convention) that fires when the counterparty gives up.
+func selectCanBail(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, r := range comm.Rhs {
+				if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func checkSend(pass *Pass, send *ast.SendStmt, funcBody *ast.BlockStmt) {
+	key := exprKey(send.Chan)
+	if key != "" && provablyBuffered(pass, funcBody, key) {
+		return
+	}
+	pass.Reportf(send.Pos(),
+		"unguarded send on %s can block forever; select with a ctx/done or default arm, or make the buffer bound provable here",
+		sendName(key))
+}
+
+func sendName(key string) string {
+	if key == "" {
+		return "a channel"
+	}
+	return key
+}
+
+// provablyBuffered reports whether body assigns key a make(chan, n) with
+// an explicit non-zero capacity, directly or through a composite-literal
+// field (f := &T{ch: make(chan X, 1)} proves f.ch). Index expressions are
+// normalized to [*], so a[i] = make(...) proves a send on a[j].
+func provablyBuffered(pass *Pass, body *ast.BlockStmt, key string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if matchesMake(pass, key, exprKey(lhs), n.Rhs[i]) {
+						found = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, name := range n.Names {
+					if matchesMake(pass, key, name.Name, n.Values[i]) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// matchesMake reports whether assigning rhs to lhsKey proves that key is
+// buffered: either directly (lhsKey == key and rhs is a buffered make) or
+// through a composite literal whose field completes the key.
+func matchesMake(pass *Pass, key, lhsKey string, rhs ast.Expr) bool {
+	if lhsKey == key && isBufferedMake(pass, rhs) {
+		return true
+	}
+	e := ast.Unparen(rhs)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		fid, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if lhsKey+"."+fid.Name == key && isBufferedMake(pass, kv.Value) {
+			return true
+		}
+	}
+	return false
+}
+
+// isBufferedMake matches make(chan T, n) with an explicit capacity that is
+// not the constant zero. A non-constant capacity counts: writing one is a
+// local statement of the bound (make(chan R, workers)), which is the
+// invariant this analyzer wants on the page.
+func isBufferedMake(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if !isChanType(pass.typeOf(call)) {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[1]]
+	if ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// exprKey canonicalizes a channel/lock receiver expression for matching:
+// identifiers and selector chains print as written, every index collapses
+// to [*], anything else (call results, literals) is unmatchable.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "[*]"
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	}
+	return ""
+}

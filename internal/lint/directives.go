@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strconv"
@@ -20,19 +21,33 @@ import (
 //	    boundary (the os-backed smartfam.FS, the NFS server's backing
 //	    store). fsdiscipline skips such files; everything else still runs.
 //
-// A directive with no "-- reason" tail is itself reported as a diagnostic.
+// A directive with no "-- reason" tail is itself reported as a diagnostic,
+// and so is an allow that suppresses nothing: an exception that outlives
+// the code it excused is a hole in the invariant, not a record of one.
 type directives struct {
-	// allow maps "file:line" -> set of analyzer names suppressed there.
-	allow map[string]map[string]bool
+	// allow maps "file:line" -> the directives whose suppression window
+	// covers that line (each directive covers its own line and the next).
+	allow map[string][]*allowDirective
+	// allows lists every well-formed allow directive, in source order, for
+	// the post-run unused sweep.
+	allows []*allowDirective
 	// boundary holds filenames carrying //mcsdlint:fsboundary.
 	boundary map[string]bool
+}
+
+// allowDirective is one parsed //mcsdlint:allow comment. used records which
+// of its analyzer names actually suppressed a diagnostic this run.
+type allowDirective struct {
+	pos   token.Position
+	names []string
+	used  map[string]bool
 }
 
 const directivePrefix = "//mcsdlint:"
 
 func parseDirectives(fset *token.FileSet, files []*ast.File) (*directives, []Diagnostic) {
 	d := &directives{
-		allow:    make(map[string]map[string]bool),
+		allow:    make(map[string][]*allowDirective),
 		boundary: make(map[string]bool),
 	}
 	var diags []Diagnostic
@@ -62,15 +77,14 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (*directives, []Dia
 						bad(pos, "//mcsdlint:allow needs analyzer names")
 						continue
 					}
+					a := &allowDirective{pos: pos, used: make(map[string]bool)}
 					for _, name := range strings.Split(args, ",") {
-						name = strings.TrimSpace(name)
-						for _, line := range []int{pos.Line, pos.Line + 1} {
-							key := lineKey(pos.Filename, line)
-							if d.allow[key] == nil {
-								d.allow[key] = make(map[string]bool)
-							}
-							d.allow[key][name] = true
-						}
+						a.names = append(a.names, strings.TrimSpace(name))
+					}
+					d.allows = append(d.allows, a)
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := lineKey(pos.Filename, line)
+						d.allow[key] = append(d.allow[key], a)
 					}
 				default:
 					bad(pos, "unknown directive //mcsdlint:"+verb)
@@ -81,9 +95,40 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (*directives, []Dia
 	return d, diags
 }
 
+// allowed reports whether analyzer is suppressed at pos, marking the
+// matching directive name as used for the post-run unused sweep.
 func (d *directives) allowed(analyzer string, pos token.Position) bool {
-	set := d.allow[lineKey(pos.Filename, pos.Line)]
-	return set[analyzer] || set["all"]
+	for _, a := range d.allow[lineKey(pos.Filename, pos.Line)] {
+		for _, name := range a.names {
+			if name == analyzer || name == "all" {
+				a.used[name] = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unusedAllows reports every allow directive naming a ran analyzer that
+// suppressed nothing. Names outside the ran set are skipped (a partial
+// `mcsdlint -run` must not condemn the other analyzers' exceptions), and so
+// is the blanket "all" (its point is breadth, not one diagnostic).
+func (d *directives) unusedAllows(ran map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range d.allows {
+		for _, name := range a.names {
+			if name == "all" || !ran[name] || a.used[name] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "mcsdlint",
+				Pos:      a.pos,
+				Message: fmt.Sprintf(
+					"unused //mcsdlint:allow %s: nothing here trips %s any more; delete the directive", name, name),
+			})
+		}
+	}
+	return diags
 }
 
 func lineKey(file string, line int) string {

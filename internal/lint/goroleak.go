@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoRoLeak enforces goroutine-lifecycle discipline below the binaries:
+// every `go` statement in library code must carry a provable termination
+// path, because a leaked goroutine in the daemon, the fleet coordinator or
+// the NFS demux survives for the life of the process — invisible until the
+// traffic-storm scenario piles tens of thousands of them onto the SD node.
+//
+// Accepted evidence, checked syntactically over the spawned body:
+//
+//   - a ctx.Done() receive (plain or in a select) — the goroutine dies
+//     with its context;
+//   - a sync.WaitGroup Done or Wait call — the spawner joins it;
+//   - a close(ch) — the goroutine signals a done-channel join;
+//   - a `for range ch` worker loop — the goroutine dies when the feeding
+//     channel closes.
+//
+// A `go f(...)` whose argument list includes a context is accepted (the
+// callee is ctx-scoped by construction), and a callee defined in the same
+// package is checked one hop deep by the same rules. Anything else needs a
+// reasoned //mcsdlint:allow goroleak directive.
+var GoRoLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "every go statement below cmd/ needs a provable termination path: " +
+		"ctx.Done()/done-channel select, WaitGroup pairing, or a reasoned allow",
+	Run: runGoRoLeak,
+}
+
+// goRoLeakExempt marks the package subtrees allowed to spawn free-running
+// goroutines: the binaries own the process lifetime, and the runnable
+// examples exit with main.
+var goRoLeakExempt = []string{
+	"mcsd/cmd",
+	"mcsd/examples",
+}
+
+func runGoRoLeak(pass *Pass) error {
+	for _, p := range goRoLeakExempt {
+		if HasPrefixPath(pass.Pkg.Path(), p) {
+			return nil
+		}
+	}
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goStmtTerminates(pass, gs, decls) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine has no provable termination path (no ctx.Done select, WaitGroup pairing, close, or channel-range); scope it to a context or join it")
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncDecls indexes this package's function declarations by their
+// types object, so `go f(...)` on a same-package callee can be checked one
+// hop deep.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.ObjectOf(fd.Name).(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+func goStmtTerminates(pass *Pass, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) bool {
+	// A context handed to the spawned call scopes its lifetime (the callee
+	// is held to ctxflow's propagation rules like everything else).
+	for _, arg := range gs.Call.Args {
+		if isContextType(pass.typeOf(arg)) {
+			return true
+		}
+	}
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return bodyHasTermination(pass, lit.Body)
+	}
+	if fn := pass.CalleeFunc(gs.Call); fn != nil && fn.Pkg() == pass.Pkg {
+		if fd := decls[fn]; fd != nil {
+			return bodyHasTermination(pass, fd.Body)
+		}
+	}
+	return false
+}
+
+// bodyHasTermination reports whether body contains any of the accepted
+// termination evidence. Nested function literals count: evidence delegated
+// to a closure (a sync.Once carrying the close, say) is still evidence.
+func bodyHasTermination(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isCtxDoneCall(pass, n):
+				found = true
+			case isWaitGroupCall(pass, n, "Done"), isWaitGroupCall(pass, n, "Wait"):
+				found = true
+			case isBuiltinClose(pass, n):
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.typeOf(n.X)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// typeOf is a nil-safe expression type lookup.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isCtxDoneCall matches ctx.Done() for any expression of type
+// context.Context.
+func isCtxDoneCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isContextType(pass.typeOf(sel.X))
+}
+
+// isWaitGroupCall matches (*sync.WaitGroup).<name> through values,
+// pointers and embedded fields.
+func isWaitGroupCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isSyncType(sig.Recv().Type(), "WaitGroup")
+}
+
+func isBuiltinClose(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, isBuiltin := pass.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+func isContextType(t types.Type) bool {
+	return isPkgNamed(t, "context", "Context")
+}
+
+// isSyncType reports whether t (possibly behind a pointer) is sync.<name>.
+func isSyncType(t types.Type, name string) bool {
+	return isPkgNamed(t, "sync", name)
+}
+
+// isPkgNamed reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func isPkgNamed(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -114,9 +114,14 @@ func (p *Pass) IsPkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
 
 // Run applies every analyzer to every package and returns all diagnostics
 // sorted by position. Directive hygiene is checked here too: a malformed
-// or reason-less //mcsdlint: comment is itself a diagnostic, so
-// suppressions stay auditable.
+// or reason-less //mcsdlint: comment is itself a diagnostic, and so is an
+// allow naming a ran analyzer that ends up suppressing nothing, so
+// suppressions stay auditable and die with the code they excused.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		dirs, derrs := parseDirectives(pkg.Fset, pkg.Files)
@@ -135,6 +140,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				return diags, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+		diags = append(diags, dirs.unusedAllows(ran)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

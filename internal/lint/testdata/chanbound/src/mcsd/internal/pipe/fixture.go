@@ -1,0 +1,97 @@
+package pipe
+
+import "context"
+
+// The flagged form: a send on a foreign channel with no escape.
+func unguarded(ch chan int) {
+	ch <- 1 // want "unguarded send on ch can block forever"
+}
+
+// A default arm can always bail.
+func selectDefault(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// A receive arm (the ctx.Done()/done-channel convention) can bail too.
+func selectDone(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// A select of nothing but sends has no escape: every arm is flagged.
+func selectSendOnly(a, b chan int) {
+	select {
+	case a <- 1: // want "unguarded send on a can block forever"
+	case b <- 2: // want "unguarded send on b can block forever"
+	}
+}
+
+// A make with an explicit capacity in the same function proves the bound.
+func localBuffer() chan int {
+	ch := make(chan int, 1)
+	ch <- 1
+	return ch
+}
+
+// A symbolic capacity counts: writing it is the local statement of the
+// bound this analyzer wants on the page.
+func symbolicCap(n int) {
+	out := make(chan int, n)
+	out <- 1
+	close(out)
+}
+
+// An explicitly zero capacity proves nothing.
+func zeroCap() {
+	ch := make(chan int, 0)
+	ch <- 1 // want "unguarded send on ch can block forever"
+}
+
+func unbufferedMake() {
+	ch := make(chan int)
+	ch <- 1 // want "unguarded send on ch can block forever"
+}
+
+type job struct {
+	ch chan int
+}
+
+// A composite-literal field make proves the field's channel.
+func composite() *job {
+	f := &job{ch: make(chan int, 1)}
+	f.ch <- 1
+	return f
+}
+
+// Index expressions normalize to [*]: a make at any index proves a send at
+// any index.
+func indexed(n int) []chan int {
+	chans := make([]chan int, n)
+	for i := range chans {
+		chans[i] = make(chan int, 1)
+	}
+	chans[0] <- 1
+	return chans
+}
+
+// A closure proves bounds only from its own body: the enclosing function's
+// make is not visible evidence, because the closure may outlive it.
+func closureScope() {
+	ch := make(chan int, 1)
+	f := func() {
+		ch <- 1 // want "unguarded send on ch can block forever"
+	}
+	f()
+	ch <- 1
+}
+
+// A reasoned allow is the escape hatch.
+func excused(ch chan int) {
+	//mcsdlint:allow chanbound -- fixture: the consumer is provably parked on this channel
+	ch <- 1
+}

@@ -1,0 +1,12 @@
+package concurrency
+
+//mcsdlint:fsboundary -- fixture: the boundary flag silences fsdiscipline only
+
+// The fsboundary marker must not blunt the concurrency analyzers: a leak
+// in a boundary file is still a leak.
+func boundaryLeak() {
+	go func() { // want "goroutine has no provable termination path"
+		for {
+		}
+	}()
+}

@@ -1,0 +1,40 @@
+package concurrency
+
+import "context"
+
+// An allow that suppresses nothing is itself reported once its analyzer
+// runs: a stale exception is a hole in the invariant, not a record of one.
+
+//mcsdlint:allow goroleak -- stale: nothing below leaks any more // want "unused //mcsdlint:allow goroleak"
+func scoped(ctx context.Context) {
+	go run(ctx)
+}
+
+func run(ctx context.Context) { <-ctx.Done() }
+
+// A used allow is hygienic: suppression consumed, nothing reported.
+func excused() {
+	//mcsdlint:allow goroleak -- fixture: a deliberate free-runner
+	go func() {
+		for {
+		}
+	}()
+}
+
+// A reason-less allow reports itself AND suppresses nothing: the leak
+// below it is still flagged.
+func leaky() {
+	//mcsdlint:allow goroleak // want "directive needs a reason"
+	go func() { // want "goroutine has no provable termination path"
+		for {
+		}
+	}()
+}
+
+// The blanket "all" is exempt from the unused sweep: its point is breadth,
+// not any one diagnostic.
+//
+//mcsdlint:allow all -- fixture: exercising the blanket exemption
+func blanket(ctx context.Context) {
+	go run(ctx)
+}

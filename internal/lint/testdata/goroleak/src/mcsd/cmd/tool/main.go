@@ -1,0 +1,10 @@
+// Command tool pins the exemption: binaries own the process lifetime, so a
+// free-running goroutine under cmd/ is not a leak.
+package main
+
+func main() {
+	go func() {
+		for {
+		}
+	}()
+}

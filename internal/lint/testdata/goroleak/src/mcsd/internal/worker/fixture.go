@@ -1,0 +1,88 @@
+package worker
+
+import (
+	"context"
+	"sync"
+)
+
+// The flagged form: a goroutine with no termination evidence at all.
+func leaks() {
+	go func() { // want "goroutine has no provable termination path"
+		for {
+		}
+	}()
+}
+
+// ctx.Done() in a select scopes the goroutine to its context.
+func ctxSelect(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// WaitGroup pairing: the spawner joins the goroutine.
+func joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// A close() is the done-channel join signal.
+func doneChannel() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	return done
+}
+
+// A range-over-channel worker dies when its feed closes.
+func drains(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// A context argument scopes the callee by construction.
+func ctxArg(ctx context.Context) {
+	go run(ctx)
+}
+
+func run(ctx context.Context) { <-ctx.Done() }
+
+var pumpCtx context.Context
+
+// A named same-package callee is checked one hop deep against its body.
+func oneHop() {
+	go pump()
+}
+
+func pump() { <-pumpCtx.Done() }
+
+// One hop with no evidence in the callee body is still a leak.
+func leakyCallee() {
+	go spin() // want "goroutine has no provable termination path"
+}
+
+func spin() {
+	for {
+	}
+}
+
+// A reasoned allow is the escape hatch.
+func excused() {
+	//mcsdlint:allow goroleak -- fixture: a deliberate free-runner, pinned here
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,28 @@
+package daemon
+
+import (
+	"sync"
+
+	"mcsd/internal/smartfam"
+)
+
+type host struct {
+	mu sync.Mutex
+	cl *smartfam.Client
+}
+
+// From outside its package the concrete client is I/O: a dead peer stalls
+// the call, and the call stalls everyone parked on h.mu.
+func (h *host) bad() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.cl.Ping() // want "Client.Ping share I/O while h.mu is held"
+}
+
+// The blessed shape: snapshot under the lock, call outside it.
+func (h *host) good() error {
+	h.mu.Lock()
+	cl := h.cl
+	h.mu.Unlock()
+	return cl.Ping()
+}

@@ -1,0 +1,111 @@
+package locks
+
+import (
+	"sync"
+	"time"
+)
+
+type state struct {
+	a, b sync.Mutex
+	mu   sync.Mutex
+	ch   chan int
+}
+
+func (s *state) sendHeld() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *state) recvHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want "channel receive while s.mu is held"
+}
+
+func (s *state) sleepHeld() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *state) waitHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want "WaitGroup.Wait while s.mu is held"
+}
+
+func (s *state) rangeHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for range s.ch { // want "range over a channel while s.mu is held"
+	}
+}
+
+func (s *state) selectHeld(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select without a default arm while s.mu is held"
+	case <-done:
+	}
+}
+
+// A select with a default arm cannot park the critical section.
+func (s *state) selectDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// Unlock-before-blocking is the blessed shape: drain state under the lock,
+// release, then block.
+func (s *state) drainThenSend() {
+	s.mu.Lock()
+	v := len(s.ch)
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// A terminating branch's unlock stays on its own path; the fallthrough
+// still holds the lock.
+func (s *state) earlyReturn(ok bool) {
+	s.mu.Lock()
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	s.ch <- 1 // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *state) neverUnlocked() {
+	s.mu.Lock() // want "mu is locked but never unlocked in this function"
+	s.ch = nil
+}
+
+// consistentOrder establishes the package's a-then-b nesting order...
+func (s *state) consistentOrder() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// ...which reversedOrder then violates.
+func (s *state) reversedOrder() {
+	s.b.Lock()
+	s.a.Lock() // want "inconsistent lock order: b then a here, a then b at"
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// A reasoned allow is the escape hatch.
+func (s *state) excused() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//mcsdlint:allow lockhold -- fixture: this send is the handoff the lock exists to protect
+	s.ch <- 1
+}

@@ -1,0 +1,37 @@
+package smartfam
+
+import "sync"
+
+// FS stands in for the share surface: an interface receiver is I/O by
+// contract, so calls through it are flagged even in its own package.
+type FS interface {
+	Append(name string, p []byte) error
+}
+
+// Client stands in for a concrete client: its methods are implementation
+// fabric inside this package and I/O only from outside it.
+type Client struct {
+	mu sync.Mutex
+}
+
+// Ping is the method the daemon fixture calls across the package boundary.
+func (c *Client) Ping() error { return nil }
+
+type journal struct {
+	mu   sync.Mutex
+	fsys FS
+}
+
+func (j *journal) flush(line []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fsys.Append("log", line) // want "FS.Append share I/O while j.mu is held"
+}
+
+// Intra-package concrete-receiver calls are the implementation itself, not
+// calls onto the wire: clean.
+func (c *Client) helper() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Ping()
+}

@@ -234,6 +234,7 @@ func (c *Client) Close() error {
 	failed := c.failLocked()
 	c.mu.Unlock()
 	for _, ch := range failed {
+		//mcsdlint:allow chanbound -- pending-call channels are made with cap 1 in send() and failLocked detached them, so this is the single delivery; it cannot block
 		ch <- outcome{err: fmt.Errorf("%w: client closed", ErrDisconnected), sent: false}
 		c.releaseSlot()
 	}
@@ -269,6 +270,7 @@ func (c *Client) failConn(gen uint64, cause error) {
 	c.mu.Unlock()
 	err := fmt.Errorf("%w: %v", ErrDisconnected, cause)
 	for _, ch := range failed {
+		//mcsdlint:allow chanbound -- pending-call channels are made with cap 1 in send() and failLocked detached them, so this is the single delivery; it cannot block
 		ch <- outcome{err: err, sent: true}
 		c.releaseSlot()
 	}
@@ -314,6 +316,7 @@ func (c *Client) startLocked() {
 	} else {
 		c.codec = newBinClientCodec(cc, cc)
 	}
+	//mcsdlint:allow goroleak -- demux exits when its generation's connection dies: readResponse returns an error once the conn fails or Close tears it down, and failConn retires the generation
 	go c.demux(c.codec, c.gen)
 }
 
@@ -343,6 +346,7 @@ func (c *Client) demux(codec clientCodec, gen uint64) {
 			resp.free()
 			continue
 		}
+		//mcsdlint:allow chanbound -- the tag was just removed from pending under c.mu, so this cap-1 channel (made in send()) gets exactly this one delivery; it cannot block
 		ch <- outcome{resp: resp, sent: true}
 		c.releaseSlot()
 	}
@@ -358,6 +362,7 @@ func (c *Client) acquireSlot() {
 	case w <- struct{}{}:
 	default:
 		c.met.stalls.Inc()
+		//mcsdlint:allow chanbound -- blocking here IS the pipeline-window backpressure (§IV-B): every delivered outcome releases a slot, and failLocked fails all pending calls on disconnect, so the wait is bounded by in-flight completions
 		w <- struct{}{}
 	}
 	c.met.inflight.Add(1)

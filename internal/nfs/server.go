@@ -76,6 +76,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		//mcsdlint:allow goroleak -- serveConn exits when its conn closes; the conn was just tracked in s.conns, and Shutdown closes every tracked conn
 		go s.serveConn(conn)
 	}
 }

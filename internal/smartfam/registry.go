@@ -43,11 +43,16 @@ type Registry struct {
 	fs      FS
 	mu      sync.Mutex
 	modules map[string]Module
+	// pending reserves names mid-Register, so the share I/O (log probe and
+	// create) can run outside the lock without two concurrent Registers of
+	// the same name both passing the duplicate check. Lookup sits on the
+	// daemon's per-request hot path; it must never wait out a share RPC.
+	pending map[string]bool
 }
 
 // NewRegistry returns an empty registry whose log files live on fsys.
 func NewRegistry(fsys FS) *Registry {
-	return &Registry{fs: fsys, modules: make(map[string]Module)}
+	return &Registry{fs: fsys, modules: make(map[string]Module), pending: make(map[string]bool)}
 }
 
 // Register loads a module and creates its log file if it does not already
@@ -60,10 +65,17 @@ func (r *Registry) Register(m Module) error {
 		return errors.New("smartfam: module must have a name")
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, dup := r.modules[name]; dup {
+	if _, dup := r.modules[name]; dup || r.pending[name] {
+		r.mu.Unlock()
 		return fmt.Errorf("smartfam: module %q already registered", name)
 	}
+	r.pending[name] = true
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.pending, name)
+		r.mu.Unlock()
+	}()
 	if _, _, err := r.fs.Stat(LogName(name)); errors.Is(err, ErrNotExist) {
 		if err := r.fs.Create(LogName(name)); err != nil {
 			return fmt.Errorf("smartfam: creating log for %q: %w", name, err)
@@ -71,18 +83,24 @@ func (r *Registry) Register(m Module) error {
 	} else if err != nil {
 		return fmt.Errorf("smartfam: probing log for %q: %w", name, err)
 	}
+	r.mu.Lock()
 	r.modules[name] = m
+	r.mu.Unlock()
 	return nil
 }
 
-// Unregister removes a module and deletes its log file.
+// Unregister removes a module and deletes its log file. The module stops
+// resolving immediately; the file removals run after the lock is released
+// (a failure leaves the module unregistered with its files orphaned, which
+// a re-Register after restart tolerates).
 func (r *Registry) Unregister(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.modules[name]; !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownModule, name)
 	}
 	delete(r.modules, name)
+	r.mu.Unlock()
 	if err := r.fs.Remove(LogName(name)); err != nil && !errors.Is(err, ErrNotExist) {
 		return fmt.Errorf("smartfam: removing log for %q: %w", name, err)
 	}
