@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all vet lint lint-new build test race bench-smoke bench-json bench-nfs bench-cluster bench-compare chaos chaos-heal check
+.PHONY: all vet lint lint-new build test race bench-smoke bench-json bench-nfs bench-cluster bench-fam bench-compare chaos chaos-heal check
 
 all: check
 
@@ -94,5 +94,14 @@ bench-nfs:
 # >= 3.0x at N=4) or if any merged output differs from the N=1 bytes.
 bench-cluster:
 	$(GO) run ./cmd/mcsd-bench -cluster -cluster-out BENCH_cluster.json
+
+# bench-fam regenerates BENCH_fam.json: the fam v2 invocation front-door
+# numbers — the same concurrent echo invocations over the same modelled
+# 1 GbE + 10 ms link, once through the classic append-then-poll path and
+# once through push notify + group commit. The run fails if the acceptance
+# gates regress (push >= 10x polling throughput; push p99 <= 3x the 20 ms
+# RTT).
+bench-fam:
+	$(GO) run ./cmd/mcsd-bench -fam -fam-out BENCH_fam.json
 
 check: vet lint build race bench-smoke

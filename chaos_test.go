@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net"
 	"os"
 	"path/filepath"
 	"sync"
@@ -19,6 +20,8 @@ import (
 	"mcsd/internal/core"
 	"mcsd/internal/faultfs"
 	"mcsd/internal/fleet"
+	"mcsd/internal/metrics"
+	"mcsd/internal/nfs"
 	"mcsd/internal/smartfam"
 	"mcsd/internal/workloads"
 )
@@ -380,6 +383,341 @@ func TestChaosFleetNodeKillMidJob(t *testing.T) {
 	}
 	if len(seen) != len(out.res.Fragments) {
 		t.Fatalf("fragment set inconsistent: %d unique of %d", len(seen), len(out.res.Fragments))
+	}
+}
+
+// TestChaosGroupCommitFlushCrashExactlyOnce kills a daemon at the group
+// commit's worst crash point: every request has executed, journaled DONE
+// and joined a response batch, but no batch flush ever reaches the share —
+// the window between the staged batch append and its commit, modelled here
+// by a share that rejects every append until the daemon dies. The restarted
+// daemon must replay every cached response from the journal exactly once:
+// no re-execution, no duplicate response records, and every polling host
+// unblocked.
+func TestChaosGroupCommitFlushCrashExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	assertGoroutineBudget(t, 3)
+	shareDir := t.TempDir()
+	share := smartfam.DirFS(shareDir)
+	jpath := filepath.Join(t.TempDir(), "journal")
+
+	var mu sync.Mutex
+	completions := make(map[string]int)
+	newModule := func() smartfam.Module {
+		return smartfam.ModuleFunc{ModuleName: "gcommit", Fn: func(_ context.Context, p []byte) ([]byte, error) {
+			mu.Lock()
+			completions[string(p)]++
+			mu.Unlock()
+			return append([]byte("done:"), p...), nil
+		}}
+	}
+
+	reg1 := smartfam.NewRegistry(share)
+	if err := reg1.Register(newModule()); err != nil {
+		t.Fatal(err)
+	}
+	ffs1 := faultfs.New(share)
+	d1 := smartfam.NewDaemon(ffs1, reg1,
+		smartfam.WithPollInterval(time.Millisecond),
+		smartfam.WithHeartbeat(-1),
+		smartfam.WithWorkers(3),
+		smartfam.WithStatusInterval(time.Hour),
+		smartfam.WithResponseBatching(0, 0),
+		smartfam.WithJournal(jpath))
+	ctx1, kill1 := context.WithCancel(context.Background())
+	d1Done := make(chan struct{})
+	go func() {
+		defer close(d1Done)
+		d1.Run(ctx1) //nolint:errcheck
+	}()
+
+	// Let the startup .queue snapshot land, then cut off ALL further
+	// appends: execution, DONE journalling and response caching proceed
+	// normally while every batch flush exhausts its retries.
+	chaosWait(t, 10*time.Second, "startup status snapshot", func() bool {
+		_, _, err := share.Stat(smartfam.QueueStatusName)
+		return err == nil
+	})
+	ffs1.FailNext(faultfs.OpAppend, 1<<20)
+
+	const n = 10
+	ids := make([]string, n)
+	payloads := make([]string, n)
+	results := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	cctx, ccancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer ccancel()
+	for i := 0; i < n; i++ {
+		ids[i] = smartfam.NewID()
+		payloads[i] = "p" + ids[i]
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := smartfam.NewClient(share, time.Millisecond)
+			out, err := c.InvokeID(cctx, "gcommit", ids[i], []byte(payloads[i]))
+			results[i], errs[i] = string(out), err
+		}(i)
+	}
+
+	// A request's DONE entry is journaled before it joins a batch, so once
+	// all n requests are counted under respond_errors (the batch leaders'
+	// final flush failures) the journal provably holds every completed
+	// execution — and not one response record reached the share.
+	chaosWait(t, 30*time.Second, "every batch flush to fail", func() bool {
+		return d1.Metrics().Counter("smartfam.respond_errors").Value() >= n
+	})
+	if v := d1.Metrics().Counter("smartfam.fam.resp_batch_flushes").Value(); v != 0 {
+		t.Fatalf("%d response batches landed despite the injected append faults", v)
+	}
+	kill1()
+	<-d1Done
+
+	// Daemon 2: same share, same journal, its own transient faults.
+	// Recovery must re-append every cached response without re-running the
+	// module.
+	reg2 := smartfam.NewRegistry(share)
+	if err := reg2.Register(newModule()); err != nil {
+		t.Fatal(err)
+	}
+	ffs2 := faultfs.New(share)
+	ffs2.FailNext(faultfs.OpList, 2)
+	ffs2.FailNext(faultfs.OpStat, 2)
+	d2 := smartfam.NewDaemon(ffs2, reg2,
+		smartfam.WithPollInterval(time.Millisecond),
+		smartfam.WithHeartbeat(-1),
+		smartfam.WithWorkers(3),
+		smartfam.WithStatusInterval(time.Hour),
+		smartfam.WithResponseBatching(0, 0),
+		smartfam.WithJournal(jpath))
+	ctx2, stop2 := context.WithCancel(context.Background())
+	defer stop2()
+	go d2.Run(ctx2) //nolint:errcheck
+
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if want := "done:" + payloads[i]; results[i] != want {
+			t.Fatalf("request %d: result %q, want %q", i, results[i], want)
+		}
+	}
+	mu.Lock()
+	for p, c := range completions {
+		if c != 1 {
+			mu.Unlock()
+			t.Fatalf("payload %q completed %d times, want exactly 1", p, c)
+		}
+	}
+	if len(completions) != n {
+		mu.Unlock()
+		t.Fatalf("%d payloads completed, want %d", len(completions), n)
+	}
+	mu.Unlock()
+	assertOneResponsePerID(t, share, "gcommit", ids)
+	if v := d2.Metrics().Counter("smartfam.daemon.recovered").Value(); v < n {
+		t.Errorf("daemon2 recovered = %d, want >= %d (one cached-response replay per lost batch member)", v, n)
+	}
+}
+
+// TestChaosPushDaemonKillMidNotifyStream is the push-topology variant: the
+// daemon serves over a live server-push notify stream (behind the fault
+// layer) with response batching armed, the host invokes through group
+// commit with its routers mid-flight — and the daemon is killed with every
+// response batch stuck before its commit. The host's notify stream to the
+// server survives the daemon's death, so the restarted daemon's journal
+// replay must reach the still-waiting push callers exactly once, without
+// any host retry or fallback to polling.
+func TestChaosPushDaemonKillMidNotifyStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	assertGoroutineBudget(t, 3)
+	srv := nfs.NewServer(t.TempDir())
+	defer srv.Shutdown()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.Serve(ln) //nolint:errcheck // torn down via Shutdown
+	dial := func() *nfs.Client {
+		conn, err := nfs.Dial(ln.Addr().String(), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+	jpath := filepath.Join(t.TempDir(), "journal")
+
+	var mu sync.Mutex
+	completions := make(map[string]int)
+	newModule := func() smartfam.Module {
+		return smartfam.ModuleFunc{ModuleName: "pushmod", Fn: func(_ context.Context, p []byte) ([]byte, error) {
+			mu.Lock()
+			completions[string(p)]++
+			mu.Unlock()
+			return append([]byte("done:"), p...), nil
+		}}
+	}
+
+	// Daemon 1 over its own connection, behind the fault layer — which now
+	// forwards Watch, so push stays armed THROUGH the faults.
+	conn1 := dial()
+	ffs1 := faultfs.New(conn1)
+	reg1 := smartfam.NewRegistry(ffs1)
+	if err := reg1.Register(newModule()); err != nil {
+		t.Fatal(err)
+	}
+	d1 := smartfam.NewDaemon(ffs1, reg1,
+		smartfam.WithPollInterval(time.Millisecond),
+		smartfam.WithHeartbeat(-1),
+		smartfam.WithWorkers(3),
+		smartfam.WithStatusInterval(time.Hour),
+		smartfam.WithResponseBatching(0, 0),
+		smartfam.WithJournal(jpath))
+	ctx1, kill1 := context.WithCancel(context.Background())
+	d1Done := make(chan struct{})
+	go func() {
+		defer close(d1Done)
+		d1.Run(ctx1) //nolint:errcheck
+	}()
+
+	// The host: its own connection, push routers plus request group commit.
+	hconn := dial()
+	defer hconn.Close()
+	hc := smartfam.NewClient(hconn, time.Millisecond)
+	hc.SetBatching(0, 0)
+	hm := metrics.NewRegistry()
+	hc.SetMetrics(hm)
+
+	chaosWait(t, 10*time.Second, "startup status snapshot", func() bool {
+		_, _, err := hconn.Stat(smartfam.QueueStatusName)
+		return err == nil
+	})
+	chaosWait(t, 10*time.Second, "daemon notify stream to arm", func() bool {
+		return d1.Metrics().Gauge("smartfam.fam.push_active").Value() == 1
+	})
+	ffs1.FailNext(faultfs.OpAppend, 1<<20) // every response batch commit fails from here on
+
+	const n = 10
+	ids := make([]string, n)
+	payloads := make([]string, n)
+	results := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	cctx, ccancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer ccancel()
+	for i := 0; i < n; i++ {
+		ids[i] = smartfam.NewID()
+		payloads[i] = "p" + ids[i]
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := hc.InvokeID(cctx, "pushmod", ids[i], []byte(payloads[i]))
+			results[i], errs[i] = string(out), err
+		}(i)
+	}
+
+	// Kill only once every request has executed, journaled DONE and failed
+	// its batch commit: the daemon dies mid-notify-stream with n responses
+	// stranded between their staged batch and the share.
+	chaosWait(t, 30*time.Second, "every batch flush to fail", func() bool {
+		return d1.Metrics().Counter("smartfam.respond_errors").Value() >= n
+	})
+	if v := d1.Metrics().Counter("smartfam.fam.push_events").Value(); v < 1 {
+		t.Errorf("daemon1 push_events = %d, want >= 1 (the kill must land mid-stream, not in polling mode)", v)
+	}
+	kill1()
+	<-d1Done
+	conn1.Close()
+
+	// Daemon 2: fresh connection, same journal, its own transient faults.
+	conn2 := dial()
+	defer conn2.Close()
+	ffs2 := faultfs.New(conn2)
+	reg2 := smartfam.NewRegistry(ffs2)
+	if err := reg2.Register(newModule()); err != nil {
+		t.Fatal(err)
+	}
+	ffs2.FailNext(faultfs.OpList, 2)
+	ffs2.FailNext(faultfs.OpStat, 2)
+	d2 := smartfam.NewDaemon(ffs2, reg2,
+		smartfam.WithPollInterval(time.Millisecond),
+		smartfam.WithHeartbeat(-1),
+		smartfam.WithWorkers(3),
+		smartfam.WithStatusInterval(time.Hour),
+		smartfam.WithResponseBatching(0, 0),
+		smartfam.WithJournal(jpath))
+	ctx2, stop2 := context.WithCancel(context.Background())
+	defer stop2()
+	go d2.Run(ctx2) //nolint:errcheck
+
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if want := "done:" + payloads[i]; results[i] != want {
+			t.Fatalf("request %d: result %q, want %q", i, results[i], want)
+		}
+	}
+	mu.Lock()
+	for p, c := range completions {
+		if c != 1 {
+			mu.Unlock()
+			t.Fatalf("payload %q completed %d times, want exactly 1", p, c)
+		}
+	}
+	if len(completions) != n {
+		mu.Unlock()
+		t.Fatalf("%d payloads completed, want %d", len(completions), n)
+	}
+	mu.Unlock()
+	assertOneResponsePerID(t, hconn, "pushmod", ids)
+	if v := d2.Metrics().Counter("smartfam.daemon.recovered").Value(); v < n {
+		t.Errorf("daemon2 recovered = %d, want >= %d", v, n)
+	}
+
+	// The host must have been carried by push + group commit end to end:
+	// notify deliveries woke its routers, its requests travelled in batches,
+	// and it never degraded to polling.
+	if v := hm.Counter("smartfam.fam.push_events").Value(); v < 1 {
+		t.Errorf("host push_events = %d, want >= 1 (responses must arrive via notify)", v)
+	}
+	if v := hm.Counter("smartfam.fam.batch_flushes").Value(); v < 1 {
+		t.Errorf("host batch_flushes = %d, want >= 1 (requests must travel via group commit)", v)
+	}
+	if v := hm.Counter("smartfam.fam.degraded").Value(); v != 0 {
+		t.Errorf("host degraded %d times; its stream to the server must survive the daemon kill", v)
+	}
+}
+
+// assertOneResponsePerID reads the module log and fails unless every ID
+// has exactly one response record on the share.
+func assertOneResponsePerID(t *testing.T, fs smartfam.FS, module string, ids []string) {
+	t.Helper()
+	data, err := smartfam.ReadFrom(fs, smartfam.LogName(module), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _, err := smartfam.ParseRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCount := make(map[string]int)
+	for _, r := range recs {
+		if r.Kind == smartfam.KindResponse {
+			resCount[r.ID]++
+		}
+	}
+	for i, id := range ids {
+		if resCount[id] != 1 {
+			t.Fatalf("request %d has %d responses, want exactly 1", i, resCount[id])
+		}
 	}
 }
 

@@ -1,0 +1,354 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"mcsd/internal/metrics"
+	"mcsd/internal/netsim"
+	"mcsd/internal/nfs"
+	"mcsd/internal/smartfam"
+)
+
+// The fam benchmark measures the invocation front door itself: the same
+// echo module, the same modelled 1 GbE link with propagation delay, the
+// same concurrency — once through the classic append-then-poll path
+// (every in-flight call burns round trips statting and re-reading the
+// shared log) and once through the fam v2 push path (host group commit,
+// server notify lane, daemon loopback push, daemon response batching).
+// The acceptance gates come straight from the issue: push throughput at
+// least famSpeedupGate times polling, and push p99 latency within
+// famP99RTTs round trips.
+const (
+	famOneWay      = 10 * time.Millisecond // per-direction propagation delay
+	famCalls       = 2048                  // measured invocations per scenario
+	famConcurrency = 512                   // in-flight callers per scenario
+	famWarmup      = 128                   // unmeasured invocations beforehand
+	famSpeedupGate = 10.0                  // push ops/s >= gate * polling ops/s
+	famP99RTTs     = 3                     // push p99 <= this many round trips
+)
+
+// famScenario is one row of the BENCH_fam.json report.
+type famScenario struct {
+	Name          string  `json:"name"`
+	Calls         int     `json:"calls"`
+	Concurrency   int     `json:"concurrency"`
+	ElapsedNs     int64   `json:"elapsed_ns"`
+	OpsPerSec     float64 `json:"ops_per_s"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	WireReadBytes int64   `json:"wire_read_bytes"` // server data bytes read over the wire during the run
+	PushEvents    int64   `json:"push_events"`     // host-side notify deliveries (0 in the polling scenario)
+	BatchFlushes  int64   `json:"batch_flushes"`   // host request group commits
+	BatchRecords  int64   `json:"batch_records"`   // request records those commits carried
+	RespFlushes   int64   `json:"resp_flushes"`    // daemon response group commits
+}
+
+// famReport is the BENCH_fam.json schema.
+type famReport struct {
+	GeneratedBy         string        `json:"generated_by"`
+	LinkBandwidthBps    float64       `json:"link_bandwidth_bps"`
+	LinkOneWayLatencyMs float64       `json:"link_one_way_latency_ms"`
+	RTTMs               float64       `json:"rtt_ms"`
+	Scenarios           []famScenario `json:"scenarios"`
+	PushSpeedup         float64       `json:"push_speedup"`
+	PushP99Ms           float64       `json:"push_p99_ms"`
+	P99GateMs           float64       `json:"p99_gate_ms"`
+	Pass                bool          `json:"pass"`
+}
+
+// pollOnlyFS hides the connection's Watch method so the smartfam client
+// takes the classic append-then-poll path — the pre-v2 invocation front
+// door the push scenario is measured against, on the very same wire.
+type pollOnlyFS struct{ smartfam.FS }
+
+// famEnv is one complete testbed: an nfs server over a temp dir, a WAN
+// listener whose connections model the 1 GbE host link, and a smartFAM
+// daemon. In the push topology the daemon's share I/O loops back through
+// a local (undelayed) listener of the same server — the SD-internal path
+// — so its response appends raise notifications for host watches. In the
+// polling topology the daemon keeps the classic direct-directory share.
+type famEnv struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	dir     string
+	srv     *nfs.Server
+	lnWan   net.Listener
+	lnLocal net.Listener
+	link    *netsim.Link
+	dconn   *nfs.Client
+	daemon  *smartfam.Daemon
+	dcancel context.CancelFunc
+	ddone   chan struct{}
+}
+
+func newFamEnv(push bool) (*famEnv, error) {
+	dir, err := os.MkdirTemp("", "mcsd-fam-bench-")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &famEnv{
+		ctx:    ctx,
+		cancel: cancel,
+		dir:    dir,
+		srv:    nfs.NewServer(dir),
+		link:   netsim.NewLink(netsim.ProfileGigabitEthernet),
+	}
+	fail := func(err error) (*famEnv, error) {
+		e.close()
+		return nil, err
+	}
+	e.lnWan, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	go e.srv.Serve(netsim.DelayListener(ctx, e.lnWan, famOneWay)) //nolint:errcheck // torn down via close()
+
+	var share smartfam.FS = smartfam.DirFS(dir)
+	if push {
+		e.lnLocal, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		go e.srv.Serve(e.lnLocal) //nolint:errcheck // torn down via close()
+		e.dconn, err = nfs.Dial(e.lnLocal.Addr().String(), 5*time.Second)
+		if err != nil {
+			return fail(fmt.Errorf("daemon loopback dial: %w", err))
+		}
+		share = e.dconn
+	}
+	reg := smartfam.NewRegistry(share)
+	echo := smartfam.ModuleFunc{
+		ModuleName: "echo",
+		Fn: func(_ context.Context, p []byte) ([]byte, error) {
+			return p, nil
+		},
+	}
+	if err := reg.Register(echo); err != nil {
+		return fail(err)
+	}
+	opts := []smartfam.DaemonOption{
+		smartfam.WithWorkers(8),
+		smartfam.WithPollInterval(smartfam.DefaultPollInterval),
+	}
+	if push {
+		opts = append(opts, smartfam.WithResponseBatching(0, 0))
+	}
+	e.daemon = smartfam.NewDaemon(share, reg, opts...)
+	dctx, dcancel := context.WithCancel(ctx)
+	e.dcancel = dcancel
+	e.ddone = make(chan struct{})
+	go func() {
+		defer close(e.ddone)
+		_ = e.daemon.Run(dctx)
+	}()
+	return e, nil
+}
+
+// hostClient dials one host-side connection through the modelled link and
+// wraps it in a smartfam client: push mode keeps the connection's notify
+// stream and enables request group commit; polling mode hides Watch so
+// the client falls back to the classic poll loop at its default interval.
+func (e *famEnv) hostClient(push bool) (*smartfam.Client, *metrics.Registry, error) {
+	raw, err := net.DialTimeout("tcp", e.lnWan.Addr().String(), 5*time.Second)
+	if err != nil {
+		return nil, nil, err
+	}
+	conn := nfs.NewClient(netsim.Throttle(e.ctx, netsim.Delay(e.ctx, raw, famOneWay), e.link.BtoA, e.link.AtoB))
+	var share smartfam.FS = conn
+	if !push {
+		share = pollOnlyFS{conn}
+	}
+	hc := smartfam.NewClient(share, smartfam.DefaultPollInterval)
+	if push {
+		hc.SetBatching(0, 0) // defaults: group commit on
+	}
+	hm := metrics.NewRegistry()
+	hc.SetMetrics(hm)
+	return hc, hm, nil
+}
+
+func (e *famEnv) close() {
+	if e.dcancel != nil {
+		e.dcancel()
+		<-e.ddone
+	}
+	if e.dconn != nil {
+		e.dconn.Close()
+	}
+	if e.lnWan != nil {
+		e.lnWan.Close()
+	}
+	if e.lnLocal != nil {
+		e.lnLocal.Close()
+	}
+	e.srv.Shutdown()
+	e.cancel()
+	os.RemoveAll(e.dir)
+}
+
+// famDrive fires calls echo invocations from conc concurrent workers and
+// returns the per-call latencies plus the wall time for the whole run.
+func famDrive(hc *smartfam.Client, calls, conc int) ([]time.Duration, time.Duration, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if conc > calls {
+		conc = calls
+	}
+	idx := make(chan int, calls)
+	for i := 0; i < calls; i++ {
+		idx <- i
+	}
+	close(idx)
+	lat := make([]time.Duration, calls)
+	errs := make(chan error, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				want := fmt.Sprintf("fam-call-%06d", i)
+				t0 := time.Now()
+				out, err := hc.Invoke(ctx, "echo", []byte(want))
+				lat[i] = time.Since(t0)
+				if err != nil {
+					errs <- fmt.Errorf("call %d: %w", i, err)
+					return
+				}
+				if string(out) != want {
+					errs <- fmt.Errorf("call %d: echoed %q", i, out)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, 0, err
+	}
+	return lat, elapsed, nil
+}
+
+// famPercentile reads the q-quantile (0..1) from sorted latencies.
+func famPercentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runFamScenario runs one full measurement: fresh testbed, warmup,
+// famCalls timed invocations, then the metric deltas that prove which
+// path carried the load.
+func runFamScenario(name string, push bool) (famScenario, error) {
+	row := famScenario{Name: name, Calls: famCalls, Concurrency: famConcurrency}
+	env, err := newFamEnv(push)
+	if err != nil {
+		return row, err
+	}
+	defer env.close()
+	hc, hm, err := env.hostClient(push)
+	if err != nil {
+		return row, err
+	}
+	if _, _, err := famDrive(hc, famWarmup, famConcurrency); err != nil {
+		return row, fmt.Errorf("%s: warmup: %w", name, err)
+	}
+	readBefore := env.srv.Metrics().Counter(metrics.NFSBytesRead).Value()
+	lat, elapsed, err := famDrive(hc, famCalls, famConcurrency)
+	if err != nil {
+		return row, fmt.Errorf("%s: %w", name, err)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	row.ElapsedNs = elapsed.Nanoseconds()
+	if elapsed > 0 {
+		row.OpsPerSec = float64(famCalls) / elapsed.Seconds()
+	}
+	row.P50Ms = float64(famPercentile(lat, 0.50)) / float64(time.Millisecond)
+	row.P99Ms = float64(famPercentile(lat, 0.99)) / float64(time.Millisecond)
+	row.WireReadBytes = env.srv.Metrics().Counter(metrics.NFSBytesRead).Value() - readBefore
+	row.PushEvents = hm.Counter(metrics.FamPushEvents).Value()
+	row.BatchFlushes = hm.Counter(metrics.FamBatchFlushes).Value()
+	row.BatchRecords = hm.Counter(metrics.FamBatchRecords).Value()
+	row.RespFlushes = env.daemon.Metrics().Counter(metrics.FamRespFlushes).Value()
+
+	// Honesty checks: the push scenario must actually have been carried by
+	// the notify stream, and the polling scenario must never have seen it.
+	if push && row.PushEvents == 0 {
+		return row, fmt.Errorf("%s: the polling fallback carried the load (zero push events)", name)
+	}
+	if !push && row.PushEvents != 0 {
+		return row, fmt.Errorf("%s: %d push events leaked into the polling baseline", name, row.PushEvents)
+	}
+	return row, nil
+}
+
+func runFamBench(outPath string) error {
+	rtt := 2 * famOneWay
+	fmt.Printf("smartFAM invocation front-door benchmark (1 GbE link, %v one-way latency, %d callers):\n",
+		famOneWay, famConcurrency)
+	rep := famReport{
+		GeneratedBy:         "mcsd-bench -fam",
+		LinkBandwidthBps:    netsim.ProfileGigabitEthernet.BandwidthBps,
+		LinkOneWayLatencyMs: float64(famOneWay) / float64(time.Millisecond),
+		RTTMs:               float64(rtt) / float64(time.Millisecond),
+		P99GateMs:           float64(famP99RTTs*rtt) / float64(time.Millisecond),
+	}
+	show := func(row famScenario) {
+		fmt.Printf("  %-22s %8.0f ops/s  p50 %6.1f ms  p99 %6.1f ms  (%d calls in %v, %d wire read bytes)\n",
+			row.Name, row.OpsPerSec, row.P50Ms, row.P99Ms,
+			row.Calls, time.Duration(row.ElapsedNs).Round(time.Millisecond), row.WireReadBytes)
+	}
+
+	poll, err := runFamScenario("invoke/poll", false)
+	if err != nil {
+		return err
+	}
+	show(poll)
+	push, err := runFamScenario("invoke/push-batch", true)
+	if err != nil {
+		return err
+	}
+	show(push)
+	rep.Scenarios = []famScenario{poll, push}
+	if poll.OpsPerSec > 0 {
+		rep.PushSpeedup = push.OpsPerSec / poll.OpsPerSec
+	}
+	rep.PushP99Ms = push.P99Ms
+	rep.Pass = rep.PushSpeedup >= famSpeedupGate && rep.PushP99Ms <= rep.P99GateMs
+
+	fmt.Printf("\n  push vs polling throughput:  %.1fx  (gate: >= %.0fx)\n", rep.PushSpeedup, famSpeedupGate)
+	fmt.Printf("  push p99 latency:            %.1f ms  (gate: <= %.0f ms = %dxRTT)\n",
+		rep.PushP99Ms, rep.P99GateMs, famP99RTTs)
+	if rep.Pass {
+		fmt.Println("  RESULT: PASS")
+	} else {
+		fmt.Println("  RESULT: FAIL")
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (%d scenarios)\n", outPath, len(rep.Scenarios))
+	if !rep.Pass {
+		return fmt.Errorf("fam bench gates failed (speedup %.1fx, p99 %.1f ms)", rep.PushSpeedup, rep.PushP99Ms)
+	}
+	return nil
+}

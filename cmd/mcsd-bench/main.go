@@ -75,6 +75,8 @@ func main() {
 		nfsOut  = flag.String("nfs-out", "BENCH_nfs.json", "where -nfs writes its JSON report")
 		clus    = flag.Bool("cluster", false, "multi-SD scale-out benchmark: fleet word count at N=1/2/4/8 in-process SD nodes over modelled links (slow; excluded from default)")
 		clusOut = flag.String("cluster-out", "BENCH_cluster.json", "where -cluster writes its JSON report")
+		famb    = flag.Bool("fam", false, "smartFAM invocation front-door benchmark: push+group-commit vs polling over a modelled 1 GbE link (slow; excluded from default)")
+		famOut  = flag.String("fam-out", "BENCH_fam.json", "where -fam writes its JSON report")
 		csvDir  = flag.String("csv", "", "also write each table/figure as CSV into this directory")
 		compare = flag.Bool("compare", false, "compare two -engine reports: mcsd-bench -compare old.json new.json (exits non-zero on regression)")
 	)
@@ -89,7 +91,7 @@ func main() {
 		}
 		return
 	}
-	all := !(*table1 || *fig8a || *fig8b || *fig8c || *fig9 || *fig10 || *claims || *ext || *scale || *calib || *engine || *nfsb || *clus)
+	all := !(*table1 || *fig8a || *fig8b || *fig8c || *fig9 || *fig10 || *claims || *ext || *scale || *calib || *engine || *nfsb || *clus || *famb)
 
 	if err := run(all, *table1, *fig8a, *fig8b, *fig8c, *fig9, *fig10, *claims, *ext); err != nil {
 		log.Fatalf("mcsd-bench: %v", err)
@@ -117,6 +119,11 @@ func main() {
 	if *clus {
 		if err := runClusterBench(*clusOut); err != nil {
 			log.Fatalf("mcsd-bench: cluster benchmarks: %v", err)
+		}
+	}
+	if *famb {
+		if err := runFamBench(*famOut); err != nil {
+			log.Fatalf("mcsd-bench: fam benchmarks: %v", err)
 		}
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	mcsdctl -addr 127.0.0.1:9000 status
 //	mcsdctl -addr 127.0.0.1:9000 journal
+//	mcsdctl -addr 127.0.0.1:9000 fam
 //	mcsdctl -addr 127.0.0.1:9000 modules
 //	mcsdctl -addr 127.0.0.1:9000 put corpus.txt data/corpus.txt
 //	mcsdctl -addr 127.0.0.1:9000 wordcount -file data/corpus.txt -partition 64M -top 10
@@ -119,7 +120,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: mcsdctl [-addr host:port | -sds a:p,b:p] <status|queue|journal|modules|put|wordcount|stringmatch|matmul|dbselect|kmeans|scrub|heal> ...")
+		return fmt.Errorf("usage: mcsdctl [-addr host:port | -sds a:p,b:p] <status|queue|journal|fam|modules|put|wordcount|stringmatch|matmul|dbselect|kmeans|scrub|heal> ...")
 	}
 
 	if *sds != "" {
@@ -172,6 +173,8 @@ func run(args []string) error {
 		return queueStatus(client)
 	case "journal":
 		return journalStatus(client)
+	case "fam":
+		return famStatus(client)
 	case "put":
 		return put(client, cmdArgs)
 	case "wordcount":
@@ -290,6 +293,44 @@ func journalStatus(client *nfs.Pool) error {
 	show("aborted", "smartfam.daemon.aborted")
 	show("corrupt", "smartfam.corrupt_records")
 	show("dropped", "smartfam.respond_errors")
+	return nil
+}
+
+// famStatus prints the push-mode front door's state (fam v2): whether the
+// daemon's notify stream is live or the node has degraded to polling, how
+// many push events it served, and the response group-commit counters —
+// read from the same published snapshot as the queue and journal verbs.
+func famStatus(client *nfs.Pool) error {
+	if err := client.Ping(); err != nil {
+		return fmt.Errorf("%w: %v", errUnreachable, err)
+	}
+	data, err := smartfam.ReadFrom(client, smartfam.QueueStatusName, 0)
+	if err != nil || len(data) == 0 {
+		return fmt.Errorf("no status snapshot on the share (daemon not started?)")
+	}
+	st, err := sched.UnmarshalStatus(data)
+	if err != nil {
+		return fmt.Errorf("status snapshot unreadable: %w", err)
+	}
+	active, ok := st.Extra["smartfam.fam.push_active"]
+	if !ok {
+		return fmt.Errorf("status snapshot has no fam counters (pre-push daemon?)")
+	}
+	mode := "degraded (polling + rescan sweep)"
+	if active == 1 {
+		mode = "push (server-push notify stream live)"
+	}
+	fmt.Printf("notify:      %s\n", mode)
+	fmt.Printf("push events: %d\n", st.Extra["smartfam.fam.push_events"])
+	fmt.Printf("degraded:    %d transition(s) to polling\n", st.Extra["smartfam.fam.degraded"])
+	flushes := st.Extra["smartfam.fam.resp_batch_flushes"]
+	records := st.Extra["smartfam.fam.resp_batch_records"]
+	if flushes > 0 {
+		fmt.Printf("group commit: %d flushes carrying %d responses (avg %.1f/flush)\n",
+			flushes, records, float64(records)/float64(flushes))
+	} else {
+		fmt.Println("group commit: off or idle (no batched responses yet)")
+	}
 	return nil
 }
 

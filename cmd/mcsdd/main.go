@@ -52,6 +52,7 @@ func run() error {
 		queue   = flag.Int("queue", sched.DefaultMaxQueueDepth, "job queue depth before requests are rejected with backpressure (0 disables the scheduler)")
 		journal = flag.String("journal", "auto", "crash-recovery journal path on local disk; \"auto\" = <dir>/.journal, \"none\" disables")
 		wire    = flag.String("wire", "auto", "wire framing: \"auto\" detects binary or legacy gob per connection; \"gob\" forces the legacy codec (rollback)")
+		batch   = flag.Bool("batch", false, "group-commit response records: one share append per batch window (fam v2)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -73,7 +74,43 @@ func run() error {
 		acct = memsim.NewAccountant(cfg)
 	}
 
-	share := smartfam.DirFS(*dir)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *listen, err)
+	}
+	srv := nfssrv.NewServer(*dir)
+	switch *wire {
+	case "auto", "gob":
+	default:
+		return fmt.Errorf("-wire must be \"auto\" or \"gob\", got %q", *wire)
+	}
+	if *wire == "gob" {
+		srv.SetGobOnly(true)
+		log.Printf("mcsdd: legacy gob wire codec forced (-wire gob)")
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			log.Printf("mcsdd: file service: %v", err)
+		}
+	}()
+	log.Printf("mcsdd: exporting %s on %s", *dir, ln.Addr())
+
+	// The daemon's own share I/O: on the binary wire it LOOPS BACK through
+	// the file service, so response appends (and registry writes) raise the
+	// server's change notifications for pushed host watches — the fam v2
+	// topology. The legacy gob wire has no notify lane, so the daemon keeps
+	// the direct local-directory path and hosts poll (degraded mode).
+	var share smartfam.FS = smartfam.DirFS(*dir)
+	if *wire != "gob" {
+		loop, err := nfssrv.Dial(ln.Addr().String(), 5*time.Second)
+		if err != nil {
+			log.Printf("mcsdd: notify loopback dial failed (%v); hosts fall back to polling", err)
+		} else {
+			defer loop.Close()
+			share = loop
+			log.Printf("mcsdd: share I/O looped back through the file service (push notifications on)")
+		}
+	}
 	reg := smartfam.NewRegistry(share)
 	modCfg := core.ModuleConfig{Store: core.DirStore(*dir), Workers: *workers, Memory: acct}
 	for _, m := range core.StandardModules(modCfg) {
@@ -83,28 +120,12 @@ func run() error {
 	}
 	log.Printf("mcsdd: preloaded modules: %v", reg.Names())
 
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		return fmt.Errorf("listen %s: %w", *listen, err)
-	}
-	srv := nfssrv.NewServer(*dir)
-	switch *wire {
-	case "auto":
-	case "gob":
-		srv.SetGobOnly(true)
-		log.Printf("mcsdd: legacy gob wire codec forced (-wire gob)")
-	default:
-		return fmt.Errorf("-wire must be \"auto\" or \"gob\", got %q", *wire)
-	}
-	go func() {
-		if err := srv.Serve(ln); err != nil {
-			log.Printf("mcsdd: file service: %v", err)
-		}
-	}()
-	log.Printf("mcsdd: exporting %s on %s", *dir, ln.Addr())
-
 	daemonOpts := []smartfam.DaemonOption{
 		smartfam.WithPollInterval(*poll), smartfam.WithWorkers(*workers),
+	}
+	if *batch {
+		daemonOpts = append(daemonOpts, smartfam.WithResponseBatching(0, 0))
+		log.Printf("mcsdd: response group commit on (-batch)")
 	}
 	switch *journal {
 	case "none":

@@ -27,6 +27,10 @@ type Runtime struct {
 	tracer         *trace.Tracer
 	sched          *sched.Scheduler
 
+	invokeBatch bool
+	batchBytes  int
+	batchDelay  time.Duration
+
 	mu    sync.Mutex
 	sds   []*sdHandle
 	local map[string]smartfam.Module
@@ -80,6 +84,18 @@ func WithScheduler(s *sched.Scheduler) Option {
 	return func(r *Runtime) { r.sched = s }
 }
 
+// WithInvokeBatching enables host-side group commit (fam v2) on every
+// node attached afterwards: concurrent invocations of one module coalesce
+// their request records into a single share append per batch window.
+// Bounds <= 0 select smartfam's defaults. Exactly-once semantics are
+// unchanged — batching only alters how records reach the share.
+func WithInvokeBatching(maxBytes int, maxDelay time.Duration) Option {
+	return func(r *Runtime) {
+		r.invokeBatch = true
+		r.batchBytes, r.batchDelay = maxBytes, maxDelay
+	}
+}
+
 // WithHeartbeatStaleness sets how old a node's liveness stamp may be
 // before the runtime stops dispatching to it (nodes without a heartbeat
 // file are never skipped — they fall back to timeout detection). Zero
@@ -111,6 +127,9 @@ func (r *Runtime) Metrics() *metrics.Registry { return r.metrics }
 func (r *Runtime) AttachSD(name string, share smartfam.FS) {
 	h := &sdHandle{name: name, share: share, client: smartfam.NewClient(share, r.pollInterval)}
 	h.client.SetMetrics(r.metrics)
+	if r.invokeBatch {
+		h.client.SetBatching(r.batchBytes, r.batchDelay)
+	}
 	h.healthy.Store(true)
 	r.mu.Lock()
 	r.sds = append(r.sds, h)

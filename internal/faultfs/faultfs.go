@@ -12,6 +12,7 @@ package faultfs
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"time"
@@ -31,6 +32,7 @@ const (
 	OpList   Op = "list"
 	OpRemove Op = "remove"
 	OpRename Op = "rename"
+	OpWatch  Op = "watch"
 )
 
 // ErrInjected is the default error returned by armed transient faults.
@@ -313,6 +315,54 @@ func (f *FS) Remove(name string) error {
 		f.exit(OpRemove)
 	}
 	return err
+}
+
+// Watch implements smartfam.WatchFS by delegating to the inner FS's push
+// support: wrapping a push-capable share in the fault layer must not
+// silently demote it to polling, or the chaos suite could never kill a
+// daemon mid-notify-stream. An inner FS that cannot push reports
+// ErrWatchUnsupported, exactly like a legacy transport, so consumers make
+// the same permanent fall-back-to-polling decision they would without the
+// wrapper. Armed OpWatch faults fail the subscription attempt itself —
+// the transient-arm-failure case push consumers must ride out.
+func (f *FS) Watch(prefix string) (smartfam.WatchStream, error) {
+	if err := f.enter(OpWatch); err != nil {
+		return nil, err
+	}
+	wfs, ok := f.inner.(smartfam.WatchFS)
+	if !ok {
+		return nil, fmt.Errorf("faultfs: %w", smartfam.ErrWatchUnsupported)
+	}
+	st, err := wfs.Watch(prefix)
+	if err == nil {
+		f.exit(OpWatch)
+	}
+	return st, err
+}
+
+// StatGen implements smartfam.GenStat, delegating to the inner FS's
+// generation tracking when present and falling back to a plain Stat with
+// generation 0 (the "not tracked" value) otherwise. It shares OpStat's
+// fault countdown with Stat: a stat is a stat to the fault model.
+func (f *FS) StatGen(name string) (int64, time.Time, uint64, error) {
+	if err := f.enter(OpStat); err != nil {
+		return 0, time.Time{}, 0, err
+	}
+	var (
+		size  int64
+		mtime time.Time
+		gen   uint64
+		err   error
+	)
+	if gs, ok := f.inner.(smartfam.GenStat); ok {
+		size, mtime, gen, err = gs.StatGen(name)
+	} else {
+		size, mtime, err = f.inner.Stat(name)
+	}
+	if err == nil {
+		f.exit(OpStat)
+	}
+	return size, mtime, gen, err
 }
 
 // Rename implements smartfam.FS.

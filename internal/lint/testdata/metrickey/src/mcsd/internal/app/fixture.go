@@ -56,10 +56,38 @@ func healCounters(r *metrics.Registry) {
 	r.Counter("fleet.scrub.repairs")       // want "is not a registry constant"
 }
 
+// famCounters covers the push-mode invocation front door's accounting
+// (fam v2): the notify-stream gauge/counters and both group-commit flush
+// counters are registry constants; literal spellings — including the easy
+// mistake of writing the daemon-side flush name without its "batch"
+// segment — are rejected.
+func famCounters(r *metrics.Registry) {
+	r.Gauge(metrics.FamPushActive)         // ok
+	r.Counter(metrics.FamPushEvents)       // ok
+	r.Counter(metrics.FamDegraded)         // ok
+	r.Counter(metrics.FamBatchFlushes)     // ok
+	r.Counter(metrics.FamRespFlushes)      // ok
+	r.Counter("smartfam.fam.push_events")  // want "is not a registry constant"
+	r.Counter("smartfam.fam.resp_flushes") // want "is not a registry constant"
+	r.Gauge("smartfam.fam.push_active")    // want "is not a registry constant"
+}
+
+// watchCounters covers the NFS change-notification lane: server watch
+// registrations, notify frames and client-side deliveries are registry
+// constants like the rest of the data path.
+func watchCounters(r *metrics.Registry) {
+	r.Gauge(metrics.NFSWatchStreams)    // ok
+	r.Counter(metrics.NFSWatchNotifies) // ok
+	r.Counter(metrics.NFSWatchDropped)  // ok
+	r.Counter(metrics.NFSWatchEvents)   // ok
+	r.Counter("nfs.watch.notifies")     // want "is not a registry constant"
+	r.Counter("nfs.watch.events")       // want "is not a registry constant"
+}
+
 func spans(t *trace.Tracer, job string) {
-	s := t.Start(trace.SpanRecovery)        // ok
-	s.Child(trace.SpanSchedPrefix + job)    // ok
-	s2 := t.Start("adhoc span")             // want "is not a registry constant"
-	_ = s2.Child(job)                       // want "must be a constant"
-	_ = t.Start(trace.SpanSchedPrefix)      // want "is a prefix constant"
+	s := t.Start(trace.SpanRecovery)     // ok
+	s.Child(trace.SpanSchedPrefix + job) // ok
+	s2 := t.Start("adhoc span")          // want "is not a registry constant"
+	_ = s2.Child(job)                    // want "must be a constant"
+	_ = t.Start(trace.SpanSchedPrefix)   // want "is a prefix constant"
 }

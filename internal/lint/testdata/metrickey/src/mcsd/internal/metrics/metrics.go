@@ -21,6 +21,17 @@ const (
 	FleetNodeRecoveries = "fleet.node_recoveries"
 	FleetScrubRepairs   = "fleet.scrub.repairs"
 	FleetScrubBytes     = "fleet.scrub.bytes"
+
+	FamPushActive   = "smartfam.fam.push_active"
+	FamPushEvents   = "smartfam.fam.push_events"
+	FamDegraded     = "smartfam.fam.degraded"
+	FamBatchFlushes = "smartfam.fam.batch_flushes"
+	FamRespFlushes  = "smartfam.fam.resp_batch_flushes"
+
+	NFSWatchStreams  = "nfs.watch.streams"
+	NFSWatchNotifies = "nfs.watch.notifies"
+	NFSWatchDropped  = "nfs.watch.dropped"
+	NFSWatchEvents   = "nfs.watch.events"
 )
 
 type Registry struct{}

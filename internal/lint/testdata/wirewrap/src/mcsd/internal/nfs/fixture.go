@@ -9,6 +9,11 @@ import (
 // ErrDisconnected stands in for the package's wire sentinels.
 var ErrDisconnected = errors.New("nfs: disconnected")
 
+// ErrWatchUnsupported stands in for the push-watch capability sentinel:
+// consumers decide "permanently pushless vs retry the watch" via
+// errors.Is, so its identity must survive every transport wrapper.
+var ErrWatchUnsupported = errors.New("push watch unsupported")
+
 func wrapping(err error) error {
 	// The %w-vs-%v distinction: wrapping keeps errors.Is alive, %v/%s on a
 	// sentinel severs it.
@@ -30,6 +35,25 @@ func wrapping(err error) error {
 	}
 	// ... but alongside a %w it is deliberate identity-erasure: allowed.
 	return fmt.Errorf("op failed: %v: %w", err, ErrDisconnected)
+}
+
+// watchCapability mirrors how transports relay the push-capability
+// sentinel: wrapped with %w it stays a capability signal; %v turns a
+// permanent "run pure polling" decision into an endlessly retried error.
+func watchCapability(err error) error {
+	if true {
+		return fmt.Errorf("faultfs: %w", ErrWatchUnsupported) // ok: wrapped
+	}
+	if true {
+		return fmt.Errorf("arming watch: %v", ErrWatchUnsupported) // want "sentinel ErrWatchUnsupported formatted with %v severs"
+	}
+	if err == ErrWatchUnsupported { // want "comparing against sentinel ErrWatchUnsupported with == breaks under wrapping"
+		return nil
+	}
+	if errors.Is(err, ErrWatchUnsupported) { // the blessed form
+		return nil
+	}
+	return err
 }
 
 func comparisons(err error) bool {

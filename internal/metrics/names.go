@@ -16,6 +16,17 @@ const (
 	SmartfamRespondErrors       = "smartfam.respond_errors"        // response appends that exhausted their retries
 	SmartfamClientAppendRetries = "smartfam.client.append_retries" // host-side request-append retries
 
+	// smartFAM — push-mode invocation front door ("fam v2"): server-push
+	// change notification plus group-commit batching on both log directions.
+	FamPushActive   = "smartfam.fam.push_active"        // gauge: 1 while a live notify stream feeds dispatch, 0 in degraded polling
+	FamPushEvents   = "smartfam.fam.push_events"        // notify-stream events that triggered a dispatch/scan
+	FamDegraded     = "smartfam.fam.degraded"           // notify-stream losses that dropped a consumer back to polling
+	FamBatchFlushes = "smartfam.fam.batch_flushes"      // host-side request batches flushed (one share append each)
+	FamBatchRecords = "smartfam.fam.batch_records"      // request records carried inside those batches
+	FamBatchBytes   = "smartfam.fam.batch_bytes"        // request bytes carried inside those batches
+	FamRespFlushes  = "smartfam.fam.resp_batch_flushes" // daemon-side response batches flushed
+	FamRespRecords  = "smartfam.fam.resp_batch_records" // response records carried inside those batches
+
 	// smartFAM — daemon (SD node) side.
 	DaemonRequests      = "smartfam.daemon.requests"       // request records accepted
 	DaemonInvoke        = "smartfam.daemon.invoke"         // module execution timer
@@ -87,6 +98,12 @@ const (
 	NFSClientBytesSent      = "nfs.client.bytes_sent"      // raw bytes written to the wire (frames + payload)
 	NFSClientBytesRecv      = "nfs.client.bytes_recv"      // raw bytes read off the wire
 	NFSClientReplays        = "nfs.client.replays"         // idempotent requests replayed after a reconnect
+
+	// NFS change-notification lane (OpWatch + unsolicited notify frames).
+	NFSWatchStreams  = "nfs.watch.streams"  // gauge: live server-side watch registrations
+	NFSWatchNotifies = "nfs.watch.notifies" // notify frames written to watching connections
+	NFSWatchDropped  = "nfs.watch.dropped"  // notifies dropped on a full per-watcher queue (recovered by rescan)
+	NFSWatchEvents   = "nfs.watch.events"   // notify frames the client demux delivered to local streams
 
 	// NFS host-side block cache.
 	NFSCacheHits          = "nfs.cache.hits"          // block reads served from the cache

@@ -72,6 +72,11 @@ type Client struct {
 
 	sendMu sync.Mutex // serializes request frames onto the connection
 
+	watchMu    sync.Mutex // guards the local watch-stream set
+	watches    map[*clientWatch]struct{}
+	watchArmed bool   // a server-side watch registration is live
+	watchGen   uint64 // connection generation it was armed on
+
 	redial      func() (net.Conn, error)
 	backoffInit time.Duration
 	backoffMax  time.Duration
@@ -86,11 +91,12 @@ type Client struct {
 // clientCounters caches the client's hot-path metrics so pipelined sends
 // do not take the registry lock per request.
 type clientCounters struct {
-	inflight  *metrics.Gauge
-	stalls    *metrics.Counter
-	bytesSent *metrics.Counter
-	bytesRecv *metrics.Counter
-	replays   *metrics.Counter
+	inflight    *metrics.Gauge
+	stalls      *metrics.Counter
+	bytesSent   *metrics.Counter
+	bytesRecv   *metrics.Counter
+	replays     *metrics.Counter
+	watchEvents *metrics.Counter
 }
 
 // outcome is the terminal state of one tagged request.
@@ -174,11 +180,12 @@ func (c *Client) SetMetrics(r *metrics.Registry) {
 func (c *Client) setMetricsLocked(r *metrics.Registry) {
 	c.reg = r
 	c.met = clientCounters{
-		inflight:  r.Gauge(metrics.NFSClientInflight),
-		stalls:    r.Counter(metrics.NFSClientPipelineStalls),
-		bytesSent: r.Counter(metrics.NFSClientBytesSent),
-		bytesRecv: r.Counter(metrics.NFSClientBytesRecv),
-		replays:   r.Counter(metrics.NFSClientReplays),
+		inflight:    r.Gauge(metrics.NFSClientInflight),
+		stalls:      r.Counter(metrics.NFSClientPipelineStalls),
+		bytesSent:   r.Counter(metrics.NFSClientBytesSent),
+		bytesRecv:   r.Counter(metrics.NFSClientBytesRecv),
+		replays:     r.Counter(metrics.NFSClientReplays),
+		watchEvents: r.Counter(metrics.NFSWatchEvents),
 	}
 }
 
@@ -233,6 +240,7 @@ func (c *Client) Close() error {
 	}
 	failed := c.failLocked()
 	c.mu.Unlock()
+	c.closeWatches()
 	for _, ch := range failed {
 		//mcsdlint:allow chanbound -- pending-call channels are made with cap 1 in send() and failLocked detached them, so this is the single delivery; it cannot block
 		ch <- outcome{err: fmt.Errorf("%w: client closed", ErrDisconnected), sent: false}
@@ -268,6 +276,9 @@ func (c *Client) failConn(gen uint64, cause error) {
 	}
 	failed := c.failLocked()
 	c.mu.Unlock()
+	// Watch streams die with their connection: the channel close tells
+	// consumers to fall back to polling (and re-Watch after a redial).
+	c.closeWatches()
 	err := fmt.Errorf("%w: %v", ErrDisconnected, cause)
 	for _, ch := range failed {
 		//mcsdlint:allow chanbound -- pending-call channels are made with cap 1 in send() and failLocked detached them, so this is the single delivery; it cannot block
@@ -329,6 +340,12 @@ func (c *Client) demux(codec clientCodec, gen uint64) {
 		if err := codec.readResponse(resp); err != nil {
 			c.failConn(gen, err)
 			return
+		}
+		if resp.Tag == NotifyTag {
+			// Unsolicited server-push change notification: the reserved tag
+			// lane. Never a pending call (tags start at 1).
+			c.deliverNotify(resp)
+			continue
 		}
 		c.mu.Lock()
 		if gen != c.gen {

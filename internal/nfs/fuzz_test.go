@@ -37,6 +37,14 @@ func FuzzFrameDecode(f *testing.F) {
 	commitReq := frameBytes(f, func(e *frameEncoder) error {
 		return e.writeRequest(&Request{Tag: 9, Op: OpCommit, Name: "x.append-1.tmp", To: "x.log", N: CommitAppend})
 	})
+	notifyResp := frameBytes(f, func(e *frameEncoder) error {
+		return e.writeResponse(&Response{Tag: NotifyTag, Names: []string{"wc.log"}, Gen: 12345})
+	})
+	watchReq := frameBytes(f, func(e *frameEncoder) error {
+		return e.writeRequest(&Request{Tag: 11, Op: OpWatch, Name: "prefix-"})
+	})
+	f.Add(notifyResp)
+	f.Add(watchReq)
 	f.Add(req)
 	f.Add(resp)
 	f.Add(listResp)
@@ -93,6 +101,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Op: OpReadAt, Tag: 3, Name: "b.dat", Off: 1 << 40, N: MaxChunk},
 		{Op: OpRename, Tag: 4, Name: "old", To: "new"},
 		{Op: OpCommit, Tag: 5, Name: "t.append-9.tmp", To: "t", N: CommitReplace},
+		{Op: OpWatch, Tag: 6, Name: "logs-"},
 	}
 	var buf bytes.Buffer
 	enc := newFrameEncoder(&buf)
@@ -124,6 +133,8 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Tag: 3, Size: 1 << 50, MTimeNs: -1},
 		{Tag: 4, Names: []string{"x", "", "long-name-with-unicode-✓"}},
 		{Tag: 5, Err: "nfs: nope", NotExist: true},
+		{Tag: 6, Size: 99, MTimeNs: 7, Gen: 1<<63 + 5},
+		{Tag: NotifyTag, Names: []string{"wc.log"}, Gen: 42},
 	}
 	buf.Reset()
 	for _, r := range resps {
@@ -143,8 +154,8 @@ func TestFrameRoundTrip(t *testing.T) {
 		}
 		got.frame = fb
 		if got.Tag != want.Tag || got.Size != want.Size || got.MTimeNs != want.MTimeNs ||
-			got.Err != want.Err || got.NotExist != want.NotExist || got.EOF != want.EOF ||
-			!bytes.Equal(got.Data, want.Data) {
+			got.Gen != want.Gen || got.Err != want.Err || got.NotExist != want.NotExist ||
+			got.EOF != want.EOF || !bytes.Equal(got.Data, want.Data) {
 			t.Fatalf("response round trip mismatch: got %+v want %+v", got, want)
 		}
 		if len(got.Names) != len(want.Names) {

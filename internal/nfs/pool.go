@@ -111,6 +111,18 @@ func (p *Pool) ReadAt(name string, b []byte, off int64) (int, error) {
 // Stat implements smartfam.FS.
 func (p *Pool) Stat(name string) (int64, time.Time, error) { return p.pick().Stat(name) }
 
+// StatGen implements smartfam.GenStat through one slot.
+func (p *Pool) StatGen(name string) (int64, time.Time, uint64, error) {
+	return p.pick().StatGen(name)
+}
+
+// Watch implements smartfam.WatchFS. The stream is pinned to the pool's
+// first connection (notifications need one stable demux; round-robin would
+// scatter the registration).
+func (p *Pool) Watch(prefix string) (smartfam.WatchStream, error) {
+	return p.clients[0].Watch(prefix)
+}
+
 // ChunkSum delegates server-side checksumming to one pooled connection.
 func (p *Pool) ChunkSum(name string, off int64, n int) (uint32, int, error) {
 	return p.pick().ChunkSum(name, off, n)
@@ -155,4 +167,8 @@ func (p *Pool) OpenReaderAt(name string, off int64) (io.ReadCloser, error) {
 // CopyTo streams a whole remote file into w through one slot.
 func (p *Pool) CopyTo(w io.Writer, name string) (int64, error) { return p.pick().CopyTo(w, name) }
 
-var _ smartfam.FS = (*Pool)(nil)
+var (
+	_ smartfam.FS      = (*Pool)(nil)
+	_ smartfam.WatchFS = (*Pool)(nil)
+	_ smartfam.GenStat = (*Pool)(nil)
+)

@@ -24,6 +24,8 @@ import (
 	"net"
 	"strings"
 	"sync"
+
+	"mcsd/internal/smartfam"
 )
 
 // Op codes.
@@ -39,7 +41,16 @@ const (
 	OpPing   = "ping"
 	OpCommit = "commit" // splice staged temp Request.Name into Request.To server-side
 	OpSum    = "sum"    // CRC32 of up to Request.N bytes at Request.Off, computed server-side
+	OpWatch  = "watch"  // register a prefix watch; the server streams notify frames on NotifyTag
 )
+
+// NotifyTag is the reserved demux lane for unsolicited server->client
+// change notifications. Client-issued requests are tagged starting at 1
+// (transmit pre-increments), so tag 0 can never collide with a pending
+// call: the demux routes any frame carrying it to the connection's watch
+// streams instead of the pending map. A notify frame reuses the Response
+// encoding — Names[0] is the changed file, Gen its change generation.
+const NotifyTag = 0
 
 // Commit modes, carried in Request.N of an OpCommit: whether the staged
 // temp file is appended to the target or atomically replaces it.
@@ -68,6 +79,7 @@ type Response struct {
 	Data     []byte
 	Size     int64
 	MTimeNs  int64
+	Gen      uint64 // server change generation (OpStat replies, notify frames)
 	Names    []string
 	Err      string
 	NotExist bool
@@ -101,6 +113,13 @@ var ErrRemote = errors.New("nfs: remote error")
 // ErrFrame marks a malformed binary frame (bad length prefix, truncated
 // body, unknown op code, inconsistent field lengths).
 var ErrFrame = errors.New("nfs: malformed frame")
+
+// ErrWatchUnsupported marks an OpWatch that cannot be served on this
+// connection: the legacy gob codec has no notify lane, and pre-watch
+// servers answer the op with an unknown-op error. Callers fall back to
+// polling. Wraps the smartfam sentinel so FS consumers can detect the
+// permanent case without importing this package.
+var ErrWatchUnsupported = fmt.Errorf("nfs: %w", smartfam.ErrWatchUnsupported)
 
 // Wire selects the on-the-wire encoding a client speaks.
 type Wire int
@@ -209,7 +228,7 @@ func (c *gobCodec) readResponse(r *Response) error {
 //
 // Response body:
 //
-//	tag u64 | flags u8 | size i64 | mtimeNs i64 | errLen u16 | err |
+//	tag u64 | flags u8 | size i64 | mtimeNs i64 | gen u64 | errLen u16 | err |
 //	nameCount u32 | { nameLen u16 | name }… | data…
 //
 // The payload is the unframed tail in both directions, so decoding hands
@@ -227,11 +246,11 @@ const (
 var opCodes = map[string]byte{
 	OpCreate: 1, OpAppend: 2, OpReadAt: 3, OpStat: 4, OpList: 5,
 	OpRemove: 6, OpRename: 7, OpWrite: 8, OpPing: 9, OpCommit: 10,
-	OpSum: 11,
+	OpSum: 11, OpWatch: 12,
 }
 
-var opNames = func() [12]string {
-	var names [12]string
+var opNames = func() [13]string {
+	var names [13]string
 	for name, code := range opCodes {
 		names[code] = name
 	}
@@ -318,7 +337,7 @@ func (e *frameEncoder) writeRequest(r *Request) error {
 
 func (e *frameEncoder) writeResponse(r *Response) error {
 	if len(r.Err) > 0xffff {
-		r = &Response{Tag: r.Tag, Err: r.Err[:0xffff], NotExist: r.NotExist, EOF: r.EOF}
+		r = &Response{Tag: r.Tag, Err: r.Err[:0xffff], Gen: r.Gen, NotExist: r.NotExist, EOF: r.EOF}
 	}
 	var flags byte
 	if r.EOF {
@@ -332,6 +351,7 @@ func (e *frameEncoder) writeResponse(r *Response) error {
 	b = append(b, flags)
 	b = binary.BigEndian.AppendUint64(b, uint64(r.Size))
 	b = binary.BigEndian.AppendUint64(b, uint64(r.MTimeNs))
+	b = binary.BigEndian.AppendUint64(b, r.Gen)
 	b = appendU16Bytes(b, r.Err)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Names)))
 	for _, n := range r.Names {
@@ -491,6 +511,7 @@ func decodeResponse(body []byte, r *Response) error {
 	flags := cur.u8()
 	r.Size = int64(cur.u64())
 	r.MTimeNs = int64(cur.u64())
+	r.Gen = cur.u64()
 	r.Err = string(cur.bytes(int(cur.u16())))
 	nNames := cur.u32()
 	if !cur.ok {

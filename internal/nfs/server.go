@@ -26,23 +26,57 @@ import (
 // frames always start with 0x00 (the high byte of a length below 16 MB),
 // gob streams never do (their first byte is a nonzero varint). SetGobOnly
 // forces the legacy codec for rollback.
+//
+// Beyond request/response the server keeps two pieces of change-tracking
+// state for the push-mode invocation path: a per-file change generation
+// (monotonic, bumped by every mutating op, reported in OpStat replies so
+// pollers can detect size+mtime-reverting rewrites) and a watch registry
+// (OpWatch registers a prefix watch; every mutation streams a notify frame
+// on the NotifyTag lane to each matching watcher). Only mutations that
+// pass through this server are seen — out-of-band writes to the exported
+// directory fall back on the watchers' own rescan sweeps.
 type Server struct {
 	root    string
 	metrics *metrics.Registry
 
-	mu      sync.Mutex
-	applock sync.Mutex // serializes appends/commits for cross-client atomicity
-	conns   map[net.Conn]struct{}
-	closed  bool
-	gobOnly bool
+	mu       sync.Mutex
+	applock  sync.Mutex // serializes appends/commits for cross-client atomicity
+	conns    map[net.Conn]struct{}
+	gens     map[string]uint64 // per-file change generation (cleaned name)
+	watchers map[*connWatcher]struct{}
+	closed   bool
+	gobOnly  bool
+}
+
+// watchQueueDepth bounds each watcher's pending-notify queue. A full queue
+// drops the notify (counted in nfs.watch.dropped) rather than blocking the
+// mutating request; the consumer's rescan sweep recovers the change.
+const watchQueueDepth = 256
+
+// notifyEvt is one queued change notification.
+type notifyEvt struct {
+	name string
+	gen  uint64
+}
+
+// connWatcher is one connection's watch registration: a prefix filter plus
+// a bounded queue drained by a dedicated sender goroutine (notify frames
+// must interleave with the serve loop's response frames under the
+// connection's write lock, never block a mutating request).
+type connWatcher struct {
+	prefix string // guarded by Server.mu
+	queue  chan notifyEvt
+	done   chan struct{}
 }
 
 // NewServer returns a server exporting root.
 func NewServer(root string) *Server {
 	return &Server{
-		root:    root,
-		metrics: metrics.NewRegistry(),
-		conns:   make(map[net.Conn]struct{}),
+		root:     root,
+		metrics:  metrics.NewRegistry(),
+		conns:    make(map[net.Conn]struct{}),
+		gens:     make(map[string]uint64),
+		watchers: make(map[*connWatcher]struct{}),
 	}
 }
 
@@ -92,7 +126,11 @@ func (s *Server) Shutdown() {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	var watcher *connWatcher
 	defer func() {
+		if watcher != nil {
+			s.dropWatcher(watcher)
+		}
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -106,23 +144,146 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.mu.Lock()
 	gobOnly := s.gobOnly
 	s.mu.Unlock()
+	binary := first[0] == 0x00 && !gobOnly
 	var c serverCodec
-	if first[0] == 0x00 && !gobOnly {
+	if binary {
 		c = newBinServerCodec(br, conn)
 	} else {
 		c = newGobCodec(br, conn)
 	}
+	// Responses and notify frames share the connection; once a watch is
+	// registered its sender goroutine interleaves frames with this loop, so
+	// every write goes through writeMu.
+	var writeMu sync.Mutex
 	for {
 		var req Request
 		if err := c.readRequest(&req); err != nil {
 			return // io.EOF on clean close; anything else also ends the conn
 		}
-		resp := s.handle(&req)
+		var resp *Response
+		if req.Op == OpWatch {
+			resp, watcher = s.handleWatch(&req, watcher, c, &writeMu, binary)
+		} else {
+			resp = s.handle(&req)
+		}
 		resp.Tag = req.Tag // correlate on the client's pipelined demux
-		if err := c.writeResponse(resp); err != nil {
+		writeMu.Lock()
+		err := c.writeResponse(resp)
+		writeMu.Unlock()
+		if err != nil {
 			return
 		}
 	}
+}
+
+// handleWatch registers (or re-aims) the connection's prefix watch and
+// starts its notify sender. The gob codec has no reserved notify lane, so
+// legacy connections are refused and fall back to polling client-side.
+func (s *Server) handleWatch(req *Request, cur *connWatcher, c serverCodec, writeMu *sync.Mutex, binary bool) (*Response, *connWatcher) {
+	s.metrics.Counter(metrics.NFSOpPrefix + OpWatch).Inc()
+	if !binary {
+		return &Response{Err: "nfs: watch requires the binary wire framing"}, cur
+	}
+	if cur != nil {
+		// Re-registration on the same connection just re-aims the prefix.
+		s.mu.Lock()
+		cur.prefix = req.Name
+		s.mu.Unlock()
+		return &Response{}, cur
+	}
+	w := &connWatcher{
+		prefix: req.Name,
+		queue:  make(chan notifyEvt, watchQueueDepth),
+		done:   make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return &Response{Err: "nfs: server shutting down"}, cur
+	}
+	s.watchers[w] = struct{}{}
+	s.mu.Unlock()
+	s.metrics.Gauge(metrics.NFSWatchStreams).Add(1)
+	//mcsdlint:allow goroleak -- the sender exits when serveConn's deferred dropWatcher closes w.done (or its conn write fails); the watcher was just registered under s.mu
+	go s.runWatcher(w, c, writeMu)
+	return &Response{}, w
+}
+
+// dropWatcher unregisters a watch and stops its sender.
+func (s *Server) dropWatcher(w *connWatcher) {
+	s.mu.Lock()
+	delete(s.watchers, w)
+	s.mu.Unlock()
+	close(w.done)
+	s.metrics.Gauge(metrics.NFSWatchStreams).Add(-1)
+}
+
+// runWatcher drains one watch registration's queue into notify frames on
+// the connection. A write failure just stops the sender: the connection is
+// dying and serveConn's read side will tear the registration down.
+func (s *Server) runWatcher(w *connWatcher, c serverCodec, writeMu *sync.Mutex) {
+	for {
+		select {
+		case <-w.done:
+			return
+		case ev := <-w.queue:
+			writeMu.Lock()
+			err := c.writeResponse(&Response{Tag: NotifyTag, Names: []string{ev.name}, Gen: ev.gen})
+			writeMu.Unlock()
+			if err != nil {
+				return
+			}
+			s.metrics.Counter(metrics.NFSWatchNotifies).Inc()
+		}
+	}
+}
+
+// touch records a successful mutation of name: the file's change
+// generation advances and every matching watcher is queued a notify.
+// Staging temps stay invisible here just as they do in List.
+func (s *Server) touch(name string) {
+	clean, err := cleanName(name)
+	if err != nil {
+		return
+	}
+	base := clean
+	if i := strings.LastIndexByte(clean, '/'); i >= 0 {
+		base = clean[i+1:]
+	}
+	if isStagingTemp(base) {
+		return
+	}
+	s.mu.Lock()
+	s.gens[clean]++
+	gen := s.gens[clean]
+	var targets []*connWatcher
+	for w := range s.watchers {
+		if strings.HasPrefix(clean, w.prefix) {
+			targets = append(targets, w)
+		}
+	}
+	s.mu.Unlock()
+	for _, w := range targets {
+		select {
+		case w.queue <- notifyEvt{name: clean, gen: gen}:
+		default:
+			// Full queue: drop rather than stall the mutating request. The
+			// watcher's rescan sweep recovers the change.
+			s.metrics.Counter(metrics.NFSWatchDropped).Inc()
+		}
+	}
+}
+
+// gen reads a file's current change generation (0 if never mutated through
+// this server).
+func (s *Server) gen(name string) uint64 {
+	clean, err := cleanName(name)
+	if err != nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gens[clean]
 }
 
 func (s *Server) path(name string) (string, error) {
@@ -180,6 +341,7 @@ func (s *Server) handleCreate(req *Request) *Response {
 		return fail(err)
 	}
 	f.Close()
+	s.touch(req.Name)
 	return &Response{}
 }
 
@@ -203,6 +365,7 @@ func (s *Server) handleAppend(req *Request) *Response {
 		return fail(err)
 	}
 	s.metrics.Counter(metrics.NFSBytesWritten).Add(int64(len(req.Data)))
+	s.touch(req.Name)
 	return &Response{}
 }
 
@@ -271,7 +434,9 @@ func (s *Server) handleStat(req *Request) *Response {
 	if err != nil {
 		return fail(err)
 	}
-	return &Response{Size: fi.Size(), MTimeNs: fi.ModTime().UnixNano()}
+	// The change generation rides along so pollers can catch rewrites that
+	// restore size and mtime within one poll window (the Watcher ABA case).
+	return &Response{Size: fi.Size(), MTimeNs: fi.ModTime().UnixNano(), Gen: s.gen(req.Name)}
 }
 
 func (s *Server) handleList(req *Request) *Response {
@@ -308,6 +473,7 @@ func (s *Server) handleRemove(req *Request) *Response {
 	if err := os.Remove(p); err != nil {
 		return fail(err)
 	}
+	s.touch(req.Name)
 	return &Response{}
 }
 
@@ -323,6 +489,8 @@ func (s *Server) handleRename(req *Request) *Response {
 	if err := os.Rename(from, to); err != nil {
 		return fail(err)
 	}
+	s.touch(req.Name)
+	s.touch(req.To)
 	return &Response{}
 }
 
@@ -355,6 +523,7 @@ func (s *Server) handleCommit(req *Request) *Response {
 		if err := os.Rename(src, dst); err != nil {
 			return fail(err)
 		}
+		s.touch(req.To)
 		return &Response{}
 	}
 	in, err := os.Open(src)
@@ -374,6 +543,7 @@ func (s *Server) handleCommit(req *Request) *Response {
 		return fail(err)
 	}
 	os.Remove(src) //nolint:errcheck // staging file: best-effort cleanup
+	s.touch(req.To)
 	return &Response{}
 }
 
@@ -392,5 +562,6 @@ func (s *Server) handleWrite(req *Request) *Response {
 		return fail(err)
 	}
 	s.metrics.Counter(metrics.NFSBytesWritten).Add(int64(len(req.Data)))
+	s.touch(req.Name)
 	return &Response{}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"mcsd/internal/metrics"
@@ -17,6 +18,14 @@ type Client struct {
 	interval   time.Duration
 	metrics    *metrics.Registry
 	staleAfter time.Duration
+
+	// fam v2 push-mode state (push.go). pushMu guards all of it.
+	pushMu     sync.Mutex
+	routers    map[string]*respRouter    // live response routers, by module
+	batchers   map[string]*appendBatcher // group-commit batchers, by log name
+	pushBroken bool                      // share can never push; stop trying
+	batchBytes int                       // 0: batching disabled (the default)
+	batchDelay time.Duration
 }
 
 // NewClient returns a client over the shared folder fsys, polling for
@@ -116,6 +125,41 @@ const appendAttempts = 4
 
 var appendBackoff = 2 * time.Millisecond
 
+// appendRequest lands one marshalled request record on the module log,
+// through the group-commit batcher when batching is enabled, else with a
+// direct bounded-retry append. A transient share error must not fail the
+// invocation outright, and the record's leading newline makes a retry
+// after a torn attempt safe — the partial bytes parse as one corrupt line
+// and the retried record resyncs the log.
+func (c *Client) appendRequest(ctx context.Context, module, logName string, line []byte) error {
+	if b := c.batcher(logName); b != nil {
+		if err := b.append(ctx, line); err != nil {
+			if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+				return err
+			}
+			return fmt.Errorf("smartfam: sending request to %q: %w", module, err)
+		}
+		return nil
+	}
+	backoff := appendBackoff
+	for attempt := 0; ; attempt++ {
+		err := c.fs.Append(logName, line)
+		if err == nil {
+			return nil
+		}
+		c.countAppendRetry()
+		if attempt+1 >= appendAttempts {
+			return fmt.Errorf("smartfam: sending request to %q: %w", module, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
 // Invoke calls the named module with params and blocks until its results
 // arrive or ctx is done. A missing log file means the module is not loaded
 // (ErrUnknownModule). The request is sent under a fresh correlation ID;
@@ -132,6 +176,23 @@ func (c *Client) Invoke(ctx context.Context, module string, params []byte) ([]by
 // re-appends its journaled response rather than re-running the module.
 func (c *Client) InvokeID(ctx context.Context, module, id string, params []byte) ([]byte, error) {
 	logName := LogName(module)
+	req := Record{Kind: KindRequest, ID: id, Payload: params}
+	line, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+
+	// Push fast path (fam v2): when the share streams change
+	// notifications, a per-module router delivers the response without
+	// polling. The router registers the waiter BEFORE the append. No
+	// per-call existence Stat here: the router stat'ed the log when it
+	// armed its watch, so a live router IS the existence check — the hot
+	// path costs one (batched) append, not an extra round trip.
+	if rt := c.router(module); rt != nil {
+		return c.invokePush(ctx, rt, module, logName, id, line)
+	}
+
+	// Degraded/legacy path: append, then poll the log for the response.
 	// The log file is created at preload time; its absence means the
 	// module does not exist on the SD node.
 	off, _, err := c.fs.Stat(logName)
@@ -141,31 +202,8 @@ func (c *Client) InvokeID(ctx context.Context, module, id string, params []byte)
 		}
 		return nil, err
 	}
-
-	req := Record{Kind: KindRequest, ID: id, Payload: params}
-	line, err := req.Marshal()
-	if err != nil {
+	if err := c.appendRequest(ctx, module, logName, line); err != nil {
 		return nil, err
-	}
-	// Bounded retry on the request append: a transient share error must
-	// not fail the invocation outright. The record's leading newline makes
-	// a retry after a torn first attempt safe — the partial bytes parse as
-	// one corrupt line and the retried record resyncs the log.
-	backoff := appendBackoff
-	for attempt := 0; ; attempt++ {
-		if err = c.fs.Append(logName, line); err == nil {
-			break
-		}
-		c.countAppendRetry()
-		if attempt+1 >= appendAttempts {
-			return nil, fmt.Errorf("smartfam: sending request to %q: %w", module, err)
-		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(backoff):
-		}
-		backoff *= 2
 	}
 
 	// Watch the log from just before our own request; our request record

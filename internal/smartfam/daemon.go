@@ -47,6 +47,12 @@ type Daemon struct {
 	journalErr  error
 	recovery    *JournalState
 
+	// Response-side group commit (daemonpush.go); respBytes == 0 keeps the
+	// classic one-append-per-response path.
+	respBytes    int
+	respDelay    time.Duration
+	respBatchers map[string]*respBatcher // guarded by mu
+
 	mu         sync.Mutex
 	offsets    map[string]int64 // consumed bytes per log file
 	gens       map[string]int64 // observed compaction generation per log
@@ -186,9 +192,11 @@ func (d *Daemon) Run(ctx context.Context) error {
 	// work: cached responses are re-appended, open intents re-executed.
 	d.recoverPass(ctx)
 
-	w := NewWatcher(d.fs, d.interval)
-	w.AddAll()
-	go w.Run(ctx) //nolint:errcheck // terminates with ctx
+	// Change-notification source: server-push stream when the share can
+	// provide one, the polling watcher otherwise (and on stream loss) —
+	// see runNotify.
+	changed := make(chan string, 64)
+	go d.runNotify(ctx, changed)
 	if d.heartbeat >= 0 {
 		go RunHeartbeat(ctx, d.fs, d.heartbeat) //nolint:errcheck // terminates with ctx
 	}
@@ -248,8 +256,8 @@ func (d *Daemon) Run(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case ev := <-w.Events():
-			if err := dispatch(ev.Name); err != nil {
+		case name := <-changed:
+			if err := dispatch(name); err != nil {
 				return err
 			}
 		case <-rescan.C:
@@ -527,6 +535,21 @@ func (d *Daemon) finish(ctx context.Context, module, reqID, status string, paylo
 	d.mu.Lock()
 	d.cacheLocked(reqID, CachedResponse{Module: module, Status: status, Payload: payload})
 	d.mu.Unlock()
+	// Group commit (fam v2): the batcher appends the record with a batch
+	// of its peers and journals RESP itself once the batch lands. DONE is
+	// already journaled above, so the crash-safety story is unchanged.
+	if b := d.respBatcherFor(module); b != nil {
+		res := Record{Kind: KindResponse, ID: reqID, Status: status, Payload: payload}
+		if line, err := res.Marshal(); err == nil {
+			d.mu.Lock()
+			d.responded[reqID] = struct{}{}
+			d.mu.Unlock()
+			b.enqueue(ctx, reqID, line)
+			return
+		}
+		d.metrics.Counter(metrics.DaemonMarshalErrors).Inc()
+		return
+	}
 	if d.respond(ctx, module, reqID, status, payload) {
 		if err := d.journal.Resp(reqID); err != nil {
 			d.metrics.Counter(metrics.DaemonJournalErrors).Inc()
@@ -683,6 +706,10 @@ var statusExtraCounters = []string{
 	metrics.DaemonAborted,
 	metrics.SmartfamCorruptRecords,
 	metrics.SmartfamRespondErrors,
+	metrics.FamPushEvents,
+	metrics.FamDegraded,
+	metrics.FamRespFlushes,
+	metrics.FamRespRecords,
 }
 
 // publishQueueStatus rewrites QueueStatusName until ctx is done.
@@ -697,6 +724,9 @@ func (d *Daemon) publishQueueStatus(ctx context.Context) error {
 			//mcsdlint:allow metrickey -- statusExtraCounters holds registry constants only
 			st.Extra[name] = d.metrics.Counter(name).Value()
 		}
+		// The push gauge rides along so mcsdctl's fam verb can tell push
+		// from degraded without reaching into the daemon process.
+		st.Extra[metrics.FamPushActive] = d.metrics.Gauge(metrics.FamPushActive).Value()
 		data, err := sched.MarshalStatus(st)
 		if err != nil {
 			return

@@ -1,0 +1,286 @@
+package smartfam
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"mcsd/internal/metrics"
+	"mcsd/internal/trace"
+)
+
+// This file is the SD-node half of the fam v2 push-mode front door:
+//
+//   - runNotify feeds the daemon's dispatch loop with changed log names.
+//     When the share implements WatchFS it arms ONE server-push stream
+//     over the whole share and the polling Watcher stays parked; the
+//     moment the stream dies (connection loss, server restart) the
+//     watcher engages at the classic poll interval and the loop
+//     periodically tries to re-arm push. A share that can never push
+//     (DirFS, legacy gob wire) runs pure polling from the start. The
+//     rescan sweep in Run stays on in every mode — it remains the source
+//     of truth for lost notifications.
+//   - respBatcher is the response-side group commit, enabled with
+//     WithResponseBatching: completed executions coalesce their response
+//     records into one share append per batch window. DONE is journaled
+//     per record BEFORE it joins a batch and RESP per record after the
+//     batch lands, so the journal's exactly-once argument is untouched —
+//     a crash between the two replays cached responses, never re-runs.
+
+// rearmEvery is how many degraded-mode poll ticks pass between attempts
+// to re-arm the push stream.
+const rearmEvery = 100
+
+// WithResponseBatching turns on daemon-side group commit for response
+// records with the given bounds (<= 0 selects DefaultBatchBytes /
+// DefaultBatchDelay). Off by default: the classic one-append-per-response
+// path is the reference behaviour.
+func WithResponseBatching(maxBytes int, maxDelay time.Duration) DaemonOption {
+	return func(dm *Daemon) {
+		if maxBytes <= 0 {
+			maxBytes = DefaultBatchBytes
+		}
+		if maxDelay <= 0 {
+			maxDelay = DefaultBatchDelay
+		}
+		dm.respBytes, dm.respDelay = maxBytes, maxDelay
+	}
+}
+
+// runNotify multiplexes change notifications into names until ctx is
+// done. Push mode is reported on the smartfam.fam.push_active gauge (one
+// trace span covers each stream attachment); every fallback transition
+// counts under smartfam.fam.degraded.
+func (d *Daemon) runNotify(ctx context.Context, names chan<- string) {
+	wfs, _ := d.fs.(WatchFS)
+	w := NewWatcher(d.fs, d.interval)
+	w.AddAll()
+
+	var (
+		st   WatchStream
+		span *trace.Span
+	)
+	arm := func() {
+		if wfs == nil || st != nil {
+			return
+		}
+		s, err := wfs.Watch("")
+		if err != nil {
+			if errors.Is(err, ErrWatchUnsupported) {
+				wfs = nil // permanent: stop probing
+			}
+			return
+		}
+		st = s
+		span = d.tracer.Start(trace.SpanFamPush)
+		d.metrics.Gauge(metrics.FamPushActive).Set(1)
+	}
+	degrade := func() {
+		st = nil
+		span.Finish()
+		span = nil
+		d.metrics.Gauge(metrics.FamPushActive).Set(0)
+		d.metrics.Counter(metrics.FamDegraded).Inc()
+	}
+	arm()
+	if st == nil {
+		// Could not push from the start (legacy wire, plain DirFS):
+		// degraded is the daemon's standing mode, note it once.
+		d.metrics.Counter(metrics.FamDegraded).Inc()
+	}
+	defer func() {
+		if st != nil {
+			st.Close()
+			span.Finish()
+			d.metrics.Gauge(metrics.FamPushActive).Set(0)
+		}
+	}()
+
+	forward := func(name string) bool {
+		select {
+		case names <- name:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+
+	tick := time.NewTicker(d.interval)
+	defer tick.Stop()
+	sinceArm := 0
+	for {
+		var events <-chan WatchEvent
+		if st != nil {
+			events = st.Events()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				degrade()
+				sinceArm = 0
+				continue
+			}
+			d.metrics.Counter(metrics.FamPushEvents).Inc()
+			if !forward(ev.Name) {
+				return
+			}
+		case <-tick.C:
+			if st != nil {
+				continue // push carries the load; the tick just idles
+			}
+			w.Poll()
+		drain:
+			for {
+				select {
+				case ev := <-w.Events():
+					if !forward(ev.Name) {
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			if sinceArm++; sinceArm >= rearmEvery {
+				sinceArm = 0
+				arm()
+			}
+		}
+	}
+}
+
+// respBatch is one in-flight response group commit.
+type respBatch struct {
+	buf    []byte
+	ids    []string
+	closed bool          // guarded by respBatcher.mu
+	full   chan struct{} // closed when buf reaches the byte bound
+}
+
+// respBatcher group-commits response records for one module log, the
+// flush side of the host's appendBatcher mirror: the first enqueuer spawns
+// the batch's leader goroutine and every enqueuer returns immediately, so
+// a worker is never parked behind the batch window — the responder's
+// throughput stays workers-independent. The leader owns the flush and the
+// per-record RESP journalling.
+type respBatcher struct {
+	d       *Daemon
+	module  string
+	logName string
+
+	mu  sync.Mutex
+	cur *respBatch
+}
+
+// respBatcherFor returns the batcher for module, or nil when response
+// batching is disabled.
+func (d *Daemon) respBatcherFor(module string) *respBatcher {
+	if d.respBytes <= 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.respBatchers[module]
+	if b == nil {
+		b = &respBatcher{d: d, module: module, logName: LogName(module)}
+		if d.respBatchers == nil {
+			d.respBatchers = make(map[string]*respBatcher)
+		}
+		d.respBatchers[module] = b
+	}
+	return b
+}
+
+// enqueue joins the current batch with one marshalled response line and
+// returns immediately: the record's fate is the batch leader's business.
+// By this point the response is cached and journaled DONE, so whether the
+// flush lands (RESP journaled) or dies with the daemon (restart replays
+// the cache), exactly-once holds without the worker waiting around.
+func (b *respBatcher) enqueue(ctx context.Context, reqID string, line []byte) {
+	d := b.d
+	b.mu.Lock()
+	leader := false
+	if b.cur == nil {
+		b.cur = &respBatch{full: make(chan struct{})}
+		leader = true
+	}
+	batch := b.cur
+	batch.buf = append(batch.buf, line...)
+	batch.ids = append(batch.ids, reqID)
+	if len(batch.buf) >= d.respBytes && !batch.closed {
+		batch.closed = true
+		close(batch.full)
+		b.cur = nil
+	}
+	b.mu.Unlock()
+
+	if leader {
+		// lead performs exactly one bounded flush and returns: the window
+		// wait is capped by respDelay (ctx cancellation short-circuits it)
+		// and the retry loop by respondAttempts with finite backoffs.
+		go b.lead(ctx, batch)
+	}
+}
+
+// lead waits out the batch window, detaches the batch and flushes it with
+// the respond path's bounded retry. On success every member's RESP is
+// journaled; on final failure the responses stay cached and journaled
+// DONE, so a restart (or a host retry) replays them.
+func (b *respBatcher) lead(ctx context.Context, batch *respBatch) {
+	d := b.d
+	b.mu.Lock()
+	closed := batch.closed
+	b.mu.Unlock()
+	if !closed {
+		timer := time.NewTimer(d.respDelay)
+		select {
+		case <-batch.full:
+		case <-timer.C:
+		case <-ctx.Done():
+			// Shutting down: flush immediately rather than hold the batch
+			// open across the daemon's exit.
+		}
+		timer.Stop()
+		b.mu.Lock()
+		if b.cur == batch {
+			b.cur = nil
+		}
+		batch.closed = true
+		b.mu.Unlock()
+	}
+	backoff := respondBackoff
+	landed := false
+	for attempt := 0; attempt < respondAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				attempt = respondAttempts
+			case <-time.After(backoff):
+			}
+			if attempt >= respondAttempts {
+				break
+			}
+			backoff *= 2
+		}
+		// Leading newlines per record keep a whole-batch retry after a torn
+		// append safe, exactly as on the single-record path.
+		if err := d.fs.Append(b.logName, batch.buf); err == nil {
+			landed = true
+			break
+		}
+		d.metrics.Counter(metrics.DaemonAppendErrors).Inc()
+	}
+	if landed {
+		d.metrics.Counter(metrics.FamRespFlushes).Inc()
+		d.metrics.Counter(metrics.FamRespRecords).Add(int64(len(batch.ids)))
+		for _, id := range batch.ids {
+			if err := d.journal.Resp(id); err != nil {
+				d.metrics.Counter(metrics.DaemonJournalErrors).Inc()
+			}
+		}
+	} else {
+		d.metrics.Counter(metrics.SmartfamRespondErrors).Add(int64(len(batch.ids)))
+	}
+}

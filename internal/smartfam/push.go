@@ -1,0 +1,532 @@
+package smartfam
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"mcsd/internal/metrics"
+)
+
+// This file is the host half of the fam v2 push-mode front door:
+//
+//   - respRouter replaces InvokeID's per-call polling loop when the share
+//     implements WatchFS: ONE notify-driven reader per module log scans new
+//     records and hands each response to the waiter registered under its
+//     correlation ID. Waiters register BEFORE appending their request, so a
+//     response can never land unobserved.
+//   - appendBatcher is the group-commit side: concurrent InvokeID calls
+//     against one module coalesce their request records into a single
+//     share append per batch window (bounded by bytes and delay), cutting
+//     the per-invocation RPC cost to ~1/batch. Record framing (leading
+//     newline + CRC) makes concatenated batches and whole-batch retries
+//     safe; duplicate records from a torn-flush retry are deduped by the
+//     daemon's journal, so exactly-once survives batching.
+//
+// Both degrade loudly, never wedge: a lost notify stream flips the router
+// to fast polling (counted under smartfam.fam.degraded) and periodically
+// re-arms push; a share that cannot push at all (DirFS, legacy gob) keeps
+// the classic append-then-poll path untouched.
+
+// pushSafetyFloor is the slowest the router's safety ticker runs while the
+// notify stream is live. Push delivers the fast path; the ticker only
+// covers dropped notifies (the server's per-watcher queue is bounded), so
+// it can be far lazier than the polling interval.
+const pushSafetyFloor = 25 * time.Millisecond
+
+// Group-commit defaults: a batch flushes at DefaultBatchBytes of encoded
+// records or DefaultBatchDelay after its first record, whichever comes
+// first. The delay is deliberately small against the modelled 20 ms RTT —
+// batching should buy throughput, not visible latency.
+const (
+	DefaultBatchBytes = 64 << 10
+	DefaultBatchDelay = time.Millisecond
+)
+
+// SetBatching enables host-side group commit with the given bounds (<= 0
+// selects the defaults). Call before sharing the client across
+// goroutines; batching changes only how request records reach the share,
+// not the protocol on it.
+func (c *Client) SetBatching(maxBytes int, maxDelay time.Duration) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultBatchBytes
+	}
+	if maxDelay <= 0 {
+		maxDelay = DefaultBatchDelay
+	}
+	c.batchBytes, c.batchDelay = maxBytes, maxDelay
+}
+
+func (c *Client) countPushEvent() {
+	if c.metrics != nil {
+		c.metrics.Counter(metrics.FamPushEvents).Inc()
+	}
+}
+
+func (c *Client) countDegraded() {
+	if c.metrics != nil {
+		c.metrics.Counter(metrics.FamDegraded).Inc()
+	}
+}
+
+func (c *Client) pushGaugeAdd(delta int64) {
+	if c.metrics != nil {
+		c.metrics.Gauge(metrics.FamPushActive).Add(delta)
+	}
+}
+
+// routerLinger is how long an idle router keeps its goroutine and
+// server-side watch armed after the last in-flight invocation leaves.
+// Re-arming costs three round trips (watch, stat, generation), so tearing
+// down between the bursts of a busy caller would tax every burst with the
+// arm latency; a watch held idle costs the server one map entry.
+const routerLinger = time.Second
+
+// respRouter is the notify-driven response reader for one module log. It
+// is reference-counted by in-flight invocations: the first creates it (and
+// its goroutine); after the last leaves the router lingers routerLinger
+// before retiring, so an idle client eventually holds no goroutines and no
+// server-side watch.
+type respRouter struct {
+	c       *Client
+	wfs     WatchFS
+	module  string
+	logName string
+
+	// refs/stopped/idleSince are guarded by c.pushMu (see Client.router).
+	refs      int
+	stopped   bool
+	idleSince time.Time // set when refs hits 0; zeroed on reuse
+
+	mu      sync.Mutex
+	waiters map[string]chan Record
+
+	// off/gen are touched only by the router goroutine.
+	off int64
+	gen int64
+}
+
+// router returns the live response router for module, creating it (and
+// arming a server watch) on first use. nil means push is unavailable —
+// the caller runs the classic polling path. A share that reports
+// ErrWatchUnsupported is remembered as permanently pushless. The arm
+// I/O — watch, stat, generation, three round trips — runs with pushMu
+// released; when two first-callers race, the loser joins the winner's
+// router and folds its own watch.
+func (c *Client) router(module string) *respRouter {
+	wfs, ok := c.fs.(WatchFS)
+	if !ok {
+		return nil
+	}
+	if rt, broken := c.joinRouter(module); rt != nil || broken {
+		return rt
+	}
+	logName := LogName(module)
+	st, err := wfs.Watch(logName)
+	if err != nil {
+		if errors.Is(err, ErrWatchUnsupported) {
+			c.pushMu.Lock()
+			c.pushBroken = true
+			c.pushMu.Unlock()
+		}
+		return nil
+	}
+	// Snapshot the scan start BEFORE any caller appends its request (the
+	// caller registers first, then appends — and only after this router is
+	// published), so responses to our requests always land at or after off.
+	size, _, err := c.fs.Stat(logName)
+	if err != nil {
+		st.Close()
+		return nil
+	}
+	gen := ReadGeneration(c.fs, module)
+
+	c.pushMu.Lock()
+	if rt := c.routers[module]; rt != nil && !rt.stopped {
+		// Lost the arm race: join the winner's router.
+		rt.refs++
+		rt.idleSince = time.Time{}
+		c.pushMu.Unlock()
+		st.Close()
+		return rt
+	}
+	rt := &respRouter{
+		c:       c,
+		wfs:     wfs,
+		module:  module,
+		logName: logName,
+		refs:    1,
+		waiters: make(map[string]chan Record),
+		off:     size,
+		gen:     gen,
+	}
+	if c.routers == nil {
+		c.routers = make(map[string]*respRouter)
+	}
+	c.routers[module] = rt
+	c.pushMu.Unlock()
+	//mcsdlint:allow goroleak -- run exits through expire(): its ticker fires at least every safety interval and retires the router once it has sat at zero refs past routerLinger (refcounted under c.pushMu); a stream loss inside run only degrades it to polling, the ticker keeps firing
+	go rt.run(st)
+	return rt
+}
+
+// joinRouter takes a reference on module's live router when one exists.
+// The second return reports the permanently-pushless verdict so callers
+// skip the arm I/O.
+func (c *Client) joinRouter(module string) (*respRouter, bool) {
+	c.pushMu.Lock()
+	defer c.pushMu.Unlock()
+	if c.pushBroken {
+		return nil, true
+	}
+	if rt := c.routers[module]; rt != nil && !rt.stopped {
+		rt.refs++
+		rt.idleSince = time.Time{}
+		return rt, false
+	}
+	return nil, false
+}
+
+// register installs a waiter for the response carrying id. Must be called
+// before the request record is appended.
+func (rt *respRouter) register(id string) chan Record {
+	ch := make(chan Record, 1)
+	rt.mu.Lock()
+	rt.waiters[id] = ch
+	rt.mu.Unlock()
+	return ch
+}
+
+// unregister drops the waiter and, when it was the last, arms the linger
+// clock: the router survives short idle gaps (bursty callers reclaim it
+// for free) and expire() retires it from the run loop once the gap
+// outlasts routerLinger.
+func (rt *respRouter) unregister(id string) {
+	c := rt.c
+	c.pushMu.Lock()
+	rt.mu.Lock()
+	delete(rt.waiters, id)
+	rt.mu.Unlock()
+	rt.refs--
+	if rt.refs == 0 {
+		rt.idleSince = time.Now()
+	}
+	c.pushMu.Unlock()
+}
+
+// expire retires the router once it has sat at zero refs past
+// routerLinger; returns true when the run loop should exit. Called from
+// the router goroutine on its ticker.
+func (rt *respRouter) expire() bool {
+	c := rt.c
+	c.pushMu.Lock()
+	defer c.pushMu.Unlock()
+	if rt.refs > 0 || rt.idleSince.IsZero() || time.Since(rt.idleSince) < routerLinger {
+		return false
+	}
+	rt.stopped = true
+	if c.routers[rt.module] == rt {
+		delete(c.routers, rt.module)
+	}
+	return true
+}
+
+// run is the router goroutine: scan on every notify while the stream is
+// live (with a lazy safety tick covering dropped notifies), and on stream
+// loss degrade to polling at the client's interval while periodically
+// trying to re-arm push.
+func (rt *respRouter) run(st WatchStream) {
+	c := rt.c
+	safety := pushSafetyFloor
+	if d := 10 * c.interval; d > safety {
+		safety = d
+	}
+	tick := time.NewTicker(safety)
+	defer tick.Stop()
+	c.pushGaugeAdd(1)
+	defer func() {
+		if st != nil {
+			st.Close()
+			c.pushGaugeAdd(-1)
+		}
+	}()
+	for {
+		var events <-chan WatchEvent
+		if st != nil {
+			events = st.Events()
+		}
+		select {
+		case _, ok := <-events:
+			if !ok {
+				// Stream lost: degraded mode. Poll fast, like the classic
+				// path, and let the safety tick double as the re-arm probe.
+				st = nil
+				c.pushGaugeAdd(-1)
+				c.countDegraded()
+				tick.Reset(c.interval)
+				continue
+			}
+			c.countPushEvent()
+			rt.scan()
+		case <-tick.C:
+			if rt.expire() {
+				return
+			}
+			if st == nil {
+				if ns, err := rt.wfs.Watch(rt.logName); err == nil {
+					st = ns
+					c.pushGaugeAdd(1)
+					tick.Reset(safety)
+				} else if errors.Is(err, ErrWatchUnsupported) {
+					c.pushMu.Lock()
+					c.pushBroken = true
+					c.pushMu.Unlock()
+				}
+			}
+			rt.scan()
+		}
+	}
+}
+
+// scanChunk is the router's optimistic read size. Records are a few
+// hundred bytes, so one chunk covers thousands of them — and it stays
+// within the share's single-RPC read bound, keeping the hot scan at
+// exactly one round trip.
+const scanChunk = 256 << 10
+
+// scan reads records appended since the last scan and delivers responses
+// to their registered waiters. The hot path is ONE round trip: the log
+// grows append-only between compactions, so the scan reads a chunk
+// straight from the saved offset — no Stat first; the short read bounds
+// it, and ParseRecords quarantines a tail torn mid-append until a later
+// read completes it. The compaction checks (generation bump, truncation)
+// run only when the read comes back empty, which is exactly what a
+// shrunken log looks like from a stale offset. With no waiters registered
+// the scan is skipped entirely; the offset catches up on the next armed
+// scan.
+func (rt *respRouter) scan() {
+	c := rt.c
+	rt.mu.Lock()
+	armed := len(rt.waiters) > 0
+	rt.mu.Unlock()
+	if !armed {
+		return
+	}
+	for pass := 0; pass < 2; pass++ {
+		read := 0
+		for {
+			buf := make([]byte, scanChunk)
+			n, err := c.fs.ReadAt(rt.logName, buf, rt.off)
+			if n > 0 {
+				recs, consumed, corrupt, perr := ParseRecords(buf[:n])
+				c.countCorrupt(corrupt)
+				if perr != nil {
+					return
+				}
+				rt.off += int64(consumed)
+				rt.deliver(recs)
+				read += n
+				if consumed == 0 {
+					// A torn tail with no complete record in front of it:
+					// wait for the append that terminates it.
+					break
+				}
+			}
+			if err != nil || n < len(buf) {
+				break
+			}
+		}
+		if read > 0 {
+			return
+		}
+		// Nothing at the offset: usually just no news, but a compacted or
+		// truncated log shows the same face — check, rewind, rescan once.
+		if g := ReadGeneration(c.fs, rt.module); g != rt.gen {
+			rt.gen, rt.off = g, 0
+			continue
+		}
+		if size, _, serr := c.fs.Stat(rt.logName); serr == nil && size < rt.off {
+			rt.off = 0
+			continue
+		}
+		return
+	}
+}
+
+// deliver hands each response record to its registered waiter. Matching
+// and removal happen under rt.mu; the sends happen after it is released,
+// keeping the critical section free of channel traffic.
+func (rt *respRouter) deliver(recs []Record) {
+	type delivery struct {
+		ch  chan Record
+		rec Record
+	}
+	var due []delivery
+	rt.mu.Lock()
+	for _, rec := range recs {
+		if rec.Kind != KindResponse {
+			continue
+		}
+		ch, ok := rt.waiters[rec.ID]
+		if !ok {
+			continue
+		}
+		delete(rt.waiters, rec.ID)
+		due = append(due, delivery{ch, rec})
+	}
+	rt.mu.Unlock()
+	for _, dv := range due {
+		//mcsdlint:allow chanbound -- the waiter channel is made with cap 1 in register and was removed from the map under rt.mu above, so this is its single delivery; it cannot block
+		dv.ch <- dv.rec
+	}
+}
+
+// invokePush is InvokeID's fast path: register the waiter, append the
+// request (batched or direct), block on the routed response.
+func (c *Client) invokePush(ctx context.Context, rt *respRouter, module, logName, id string, line []byte) ([]byte, error) {
+	ch := rt.register(id)
+	defer rt.unregister(id)
+	if err := c.appendRequest(ctx, module, logName, line); err != nil {
+		return nil, err
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case rec := <-ch:
+		if rec.Status == StatusError {
+			return nil, &ModuleError{Module: module, Msg: string(rec.Payload)}
+		}
+		return rec.Payload, nil
+	}
+}
+
+// famBatch is one in-flight group commit: records accumulate in buf until
+// the batch closes (byte bound hit, delay elapsed, or leader cancelled),
+// then the leader flushes it with one share append.
+type famBatch struct {
+	buf    []byte
+	n      int64
+	closed bool          // guarded by appendBatcher.mu
+	full   chan struct{} // closed when buf reaches the byte bound
+	done   chan struct{} // closed after the flush; err is set first
+	err    error
+}
+
+// appendBatcher group-commits request records for one module log. The
+// first record's appender becomes the batch leader: it waits out the
+// batch window, detaches the batch, and performs the single append every
+// member blocks on.
+type appendBatcher struct {
+	c        *Client
+	logName  string
+	maxBytes int
+	maxDelay time.Duration
+
+	mu  sync.Mutex
+	cur *famBatch
+}
+
+// batcher returns the group-commit batcher for logName, or nil when
+// batching is disabled (the default).
+func (c *Client) batcher(logName string) *appendBatcher {
+	if c.batchBytes <= 0 {
+		return nil
+	}
+	c.pushMu.Lock()
+	defer c.pushMu.Unlock()
+	b := c.batchers[logName]
+	if b == nil {
+		b = &appendBatcher{c: c, logName: logName, maxBytes: c.batchBytes, maxDelay: c.batchDelay}
+		if c.batchers == nil {
+			c.batchers = make(map[string]*appendBatcher)
+		}
+		c.batchers[logName] = b
+	}
+	return b
+}
+
+// append joins (or opens) the current batch and blocks until the batch's
+// flush resolves. A caller whose ctx expires leaves early, but its record
+// stays in the batch and may still land — harmless, because a retry under
+// the same correlation ID is deduped by the daemon's journal.
+func (b *appendBatcher) append(ctx context.Context, line []byte) error {
+	b.mu.Lock()
+	leader := false
+	if b.cur == nil {
+		b.cur = &famBatch{full: make(chan struct{}), done: make(chan struct{})}
+		leader = true
+	}
+	batch := b.cur
+	batch.buf = append(batch.buf, line...)
+	batch.n++
+	if len(batch.buf) >= b.maxBytes && !batch.closed {
+		batch.closed = true
+		close(batch.full)
+		b.cur = nil // next record opens a fresh batch
+	}
+	b.mu.Unlock()
+
+	if leader {
+		b.lead(ctx, batch)
+	}
+	select {
+	case <-batch.done:
+		return batch.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// lead waits out the batch window, closes the batch and flushes it.
+func (b *appendBatcher) lead(ctx context.Context, batch *famBatch) {
+	b.mu.Lock()
+	closed := batch.closed
+	b.mu.Unlock()
+	if !closed {
+		timer := time.NewTimer(b.maxDelay)
+		select {
+		case <-batch.full:
+		case <-timer.C:
+		case <-ctx.Done():
+			// Leader cancelled: flush what has gathered rather than strand
+			// the followers' records behind a dead leader.
+		}
+		timer.Stop()
+		b.mu.Lock()
+		if b.cur == batch {
+			b.cur = nil
+		}
+		batch.closed = true
+		b.mu.Unlock()
+	}
+	// After detach no appender can touch batch.buf: joins happen under
+	// b.mu and only against b.cur.
+	backoff := appendBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = b.c.fs.Append(b.logName, batch.buf); err == nil {
+			break
+		}
+		b.c.countAppendRetry()
+		if attempt+1 >= appendAttempts {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			// Stop retrying but keep the append error: it is the cause the
+			// members care about; the dedup journal makes retries safe.
+		case <-time.After(backoff):
+			backoff *= 2
+			continue
+		}
+		break
+	}
+	if err == nil && b.c.metrics != nil {
+		b.c.metrics.Counter(metrics.FamBatchFlushes).Inc()
+		b.c.metrics.Counter(metrics.FamBatchRecords).Add(batch.n)
+		b.c.metrics.Counter(metrics.FamBatchBytes).Add(int64(len(batch.buf)))
+	}
+	batch.err = err
+	close(batch.done)
+}

@@ -22,18 +22,24 @@ type Event struct {
 //
 // # Missed notifications
 //
-// Change detection compares only (size, mtime). A file rewritten twice
-// within one poll interval such that both end up back at their last
-// observed values — same byte count, same timestamp (possible on
-// filesystems with coarse mtime granularity, or after an explicit
-// timestamp restore) — produces no event. This loss is accepted by
-// design: the watcher is a latency optimization, not the source of
-// truth. Consumers track their own read offsets and the daemon's
-// periodic rescan sweep (Daemon.Run, WithRescanInterval) re-reads every
-// log regardless of events, so a missed notification delays a request
-// by at most one rescan interval instead of losing it.
+// Over a plain FS, change detection compares only (size, mtime). A file
+// rewritten twice within one poll interval such that both end up back at
+// their last observed values — same byte count, same timestamp (possible
+// on filesystems with coarse mtime granularity, or after an explicit
+// timestamp restore) — produces no event. Over an FS that implements
+// GenStat (the nfs client), the server's change generation joins the
+// comparison and closes exactly this ABA blind spot: the generation
+// advances on every server-observed mutation regardless of what size and
+// mtime settle back to. Residual losses (mutations that bypassed the
+// server) remain accepted by design: the watcher is a latency
+// optimization, not the source of truth. Consumers track their own read
+// offsets and the daemon's periodic rescan sweep (Daemon.Run,
+// WithRescanInterval) re-reads every log regardless of events, so a
+// missed notification delays a request by at most one rescan interval
+// instead of losing it.
 type Watcher struct {
 	fs       FS
+	gs       GenStat // non-nil when fs tracks change generations
 	interval time.Duration
 	events   chan Event
 	watch    map[string]struct{}
@@ -44,6 +50,7 @@ type Watcher struct {
 type fileState struct {
 	size  int64
 	mtime time.Time
+	gen   uint64
 }
 
 // DefaultPollInterval is the watcher's default polling period. 2 ms keeps
@@ -56,8 +63,10 @@ func NewWatcher(fsys FS, interval time.Duration) *Watcher {
 	if interval <= 0 {
 		interval = DefaultPollInterval
 	}
+	gs, _ := fsys.(GenStat)
 	return &Watcher{
 		fs:       fsys,
+		gs:       gs,
 		interval: interval,
 		events:   make(chan Event, 64),
 		watch:    make(map[string]struct{}),
@@ -114,17 +123,27 @@ func (w *Watcher) poll() {
 			continue
 		}
 		seen[name] = struct{}{}
-		size, mtime, err := w.fs.Stat(name)
+		var (
+			size  int64
+			mtime time.Time
+			gen   uint64
+			err   error
+		)
+		if w.gs != nil {
+			size, mtime, gen, err = w.gs.StatGen(name)
+		} else {
+			size, mtime, err = w.fs.Stat(name)
+		}
 		if err != nil {
 			// Deleted or not yet created: forget it so reappearance fires.
 			delete(w.known, name)
 			continue
 		}
 		prev, ok := w.known[name]
-		if ok && prev.size == size && prev.mtime.Equal(mtime) {
+		if ok && prev.size == size && prev.mtime.Equal(mtime) && prev.gen == gen {
 			continue
 		}
-		w.known[name] = fileState{size: size, mtime: mtime}
+		w.known[name] = fileState{size: size, mtime: mtime, gen: gen}
 		select {
 		case w.events <- Event{Name: name, Size: size, MTime: mtime}:
 		default:

@@ -73,6 +73,71 @@ func TestWatcherMissesSameSizeSameMtimeRewrite(t *testing.T) {
 	}
 }
 
+// genDirFS wraps an FS with a manually advanced change-generation counter,
+// standing in for the nfs server's per-file generation tracking. Tests
+// bump gens explicitly, keeping the ABA scenario fully deterministic.
+type genDirFS struct {
+	FS
+	gens map[string]uint64
+}
+
+func (g *genDirFS) StatGen(name string) (int64, time.Time, uint64, error) {
+	size, mtime, err := g.FS.Stat(name)
+	return size, mtime, g.gens[name], err
+}
+
+// TestWatcherGenCatchesSameSizeSameMtimeRewrite is the regression test for
+// the ABA fix: the very rewrite TestWatcherMissesSameSizeSameMtimeRewrite
+// pins as a miss over a plain FS fires an event once the FS carries a
+// change generation, because the server-side counter advanced even though
+// size and mtime reverted within the poll window.
+func TestWatcherGenCatchesSameSizeSameMtimeRewrite(t *testing.T) {
+	dir := t.TempDir()
+	fsys := &genDirFS{FS: DirFS(dir), gens: make(map[string]uint64)}
+	w := NewWatcher(fsys, time.Millisecond)
+	w.Add("m.log")
+
+	if err := fsys.Append("m.log", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	fsys.gens["m.log"]++
+	w.Poll()
+	if evs := drainEvents(w); len(evs) != 1 {
+		t.Fatalf("initial write: %d events, want 1", len(evs))
+	}
+	_, mtime, err := fsys.Stat("m.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The ABA rewrite: same final size, timestamp restored — invisible to
+	// (size, mtime) — but the generation advances per mutation, as the nfs
+	// server does for every Append/Write it executes.
+	path := filepath.Join(dir, "m.log")
+	if err := os.WriteFile(path, []byte("interim!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys.gens["m.log"]++
+	if err := os.WriteFile(path, []byte("bbbb"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys.gens["m.log"]++
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+
+	w.Poll()
+	if evs := drainEvents(w); len(evs) != 1 {
+		t.Fatalf("gen-tracked ABA rewrite: %d events, want 1 (the fix)", len(evs))
+	}
+
+	// Stability: no further mutation, no further event.
+	w.Poll()
+	if evs := drainEvents(w); len(evs) != 0 {
+		t.Fatalf("steady state: %d events, want 0", len(evs))
+	}
+}
+
 // TestDaemonRescanRecoversWithoutEvents proves the sweep is a complete
 // recovery path: with the watcher effectively disabled (one-hour poll
 // interval, so no change notification ever fires), requests are still

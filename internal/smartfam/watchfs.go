@@ -1,0 +1,64 @@
+package smartfam
+
+import (
+	"errors"
+	"time"
+)
+
+// The push-mode invocation front door ("fam v2") rests on two optional FS
+// capabilities, both implemented by the internal/nfs client over its
+// binary wire framing and by neither DirFS nor the legacy gob codec:
+//
+//   - WatchFS streams server-push change notifications, replacing the
+//     polling Watcher on the hot path (the Watcher and the rescan sweep
+//     remain the degraded-mode fallback).
+//   - GenStat exposes the server's per-file change generation, closing the
+//     Watcher's documented ABA blind spot (a rewrite that restores size
+//     and mtime within one poll window still advances the generation).
+//
+// Consumers must treat both as best-effort accelerators: a stream can be
+// lost (its channel closes) and generations only advance for mutations the
+// server observed. Offsets and rescans stay the source of truth.
+
+// ErrWatchUnsupported marks a transport that can never push notifications
+// (the legacy gob codec, a pre-watch server). It is PERMANENT for the
+// connection: consumers stop retrying Watch and run pure polling.
+// Transient Watch failures are reported as other errors and may be
+// retried. Transport implementations wrap this sentinel.
+var ErrWatchUnsupported = errors.New("push watch unsupported on this transport")
+
+// WatchEvent reports that a watched file changed: Name is the
+// share-relative file, Gen the server's change generation after the
+// mutation (0 when the source does not track generations).
+type WatchEvent struct {
+	Name string
+	Gen  uint64
+}
+
+// WatchStream is one live change-notification subscription. Events are
+// delivered best-effort (dropped, never blocked on, when the consumer
+// lags) and the channel CLOSES when the stream is lost — connection drop,
+// server shutdown, or Close — which is the consumer's signal to fall back
+// to polling and optionally re-subscribe.
+type WatchStream interface {
+	// Events returns the notification channel. It is closed exactly once,
+	// when the stream dies.
+	Events() <-chan WatchEvent
+	// Close unsubscribes. Safe to call multiple times and after loss.
+	Close() error
+}
+
+// WatchFS is an FS that can push change notifications for files whose
+// share-relative name starts with prefix ("" watches everything).
+type WatchFS interface {
+	FS
+	Watch(prefix string) (WatchStream, error)
+}
+
+// GenStat is an FS that reports a per-file change generation alongside
+// size and mtime. The generation is monotonic per file and advances on
+// every mutation the backing server performs, even one that leaves size
+// and mtime bit-identical.
+type GenStat interface {
+	StatGen(name string) (size int64, mtime time.Time, gen uint64, err error)
+}

@@ -17,6 +17,11 @@ const (
 	SpanQueued      = "queued"
 	SpanRunning     = "running"
 
+	// Push-mode invocation front door (smartFAM v2): one span per live
+	// notify-stream attachment; the span closes when the stream is lost and
+	// the daemon drops back to degraded polling.
+	SpanFamPush = "fam/push"
+
 	// Daemon crash recovery.
 	SpanRecovery          = "smartfam.recovery"
 	SpanReplayRespPrefix  = "replay-response " // + request ID
